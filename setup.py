@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The container this reproduction targets ships setuptools 65 without
+``wheel``, so PEP 660 editable installs fail; providing a ``setup.py`` lets
+``pip install -e .`` fall back to the legacy develop path.  All metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

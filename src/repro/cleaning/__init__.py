@@ -1,0 +1,14 @@
+"""Data-cleaning substrate: the Successive Variance Reduction filter.
+
+Section V-B of the paper introduces this filter to strip significant
+anomalies from a short window before the ARMA-GARCH metric re-adjusts to a
+new trend.
+"""
+
+from repro.cleaning.svr_filter import (
+    SVRResult,
+    learn_sv_max,
+    successive_variance_reduction,
+)
+
+__all__ = ["SVRResult", "learn_sv_max", "successive_variance_reduction"]

@@ -1,0 +1,177 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands cover the workflows a user reaches for first:
+
+* ``experiment`` — run one reproduced paper experiment and print its table
+  (``python -m repro experiment fig14 --scale 0.1``);
+* ``query`` — execute a ``CREATE VIEW ... AS DENSITY ...`` statement over a
+  generated or CSV dataset and print the resulting view head;
+* ``generate`` — write a synthetic dataset to CSV;
+* ``arch-test`` — run the Fig. 15 volatility check on a dataset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Callable, Sequence
+
+from repro.data.loaders import load_series_csv, save_series_csv
+from repro.data.synthetic import campus_humidity, make_dataset
+from repro.db.engine import Database
+from repro.db.table import Table
+from repro.evaluation.volatility_test import rolling_arch_test
+from repro.exceptions import ReproError
+from repro.experiments import (
+    run_fig04,
+    run_fig05,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_fig13,
+    run_fig14a,
+    run_fig14b,
+    run_fig15,
+    run_table02,
+)
+from repro.experiments.ablation import run_ablation
+from repro.timeseries.series import TimeSeries
+from repro.util.tables import format_table
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS: dict[str, Callable] = {
+    "table2": run_table02,
+    "fig4": run_fig04,
+    "fig5": run_fig05,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+    "fig13": run_fig13,
+    "fig14a": run_fig14a,
+    "fig14b": run_fig14b,
+    "fig15": run_fig15,
+    "ablation": run_ablation,
+}
+
+_DATASETS = ("campus", "car", "humidity")
+
+
+def _load_dataset(name: str, scale: float, seed: int) -> TimeSeries:
+    if name.endswith(".csv"):
+        return load_series_csv(name)
+    if name == "humidity":
+        n = max(int(18031 * scale), 400)
+        return campus_humidity(n, rng=seed)
+    return make_dataset(name, scale=scale, rng=seed)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Probabilistic databases from imprecise time-series data "
+            "(ICDE 2011 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser("experiment", help="run one reproduced experiment")
+    exp.add_argument("name", choices=sorted(_EXPERIMENTS))
+    exp.add_argument("--scale", type=float, default=None,
+                     help="workload scale in (0, 1]; default REPRO_SCALE or 0.08")
+
+    query = sub.add_parser("query", help="execute a view-generation query")
+    query.add_argument("sql", help="CREATE VIEW ... AS DENSITY ... statement")
+    query.add_argument("--data", default="campus",
+                       help="dataset name (campus/car/humidity) or a CSV path")
+    query.add_argument("--table", default="raw_values",
+                       help="name to register the data under")
+    query.add_argument("--scale", type=float, default=0.08)
+    query.add_argument("--seed", type=int, default=0)
+    query.add_argument("--head", type=int, default=12,
+                       help="number of view tuples to print")
+
+    gen = sub.add_parser("generate", help="write a synthetic dataset to CSV")
+    gen.add_argument("name", choices=_DATASETS)
+    gen.add_argument("output", help="destination CSV path")
+    gen.add_argument("--scale", type=float, default=1.0)
+    gen.add_argument("--seed", type=int, default=0)
+
+    arch = sub.add_parser("arch-test", help="Engle ARCH test (Fig. 15 protocol)")
+    arch.add_argument("--data", default="campus")
+    arch.add_argument("--scale", type=float, default=0.08)
+    arch.add_argument("--seed", type=int, default=0)
+    arch.add_argument("--max-lag", type=int, default=8)
+    arch.add_argument("--window", type=int, default=180)
+    return parser
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    table = _EXPERIMENTS[args.name](args.scale)
+    print(table.render())
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    series = _load_dataset(args.data, args.scale, args.seed)
+    table = Table(args.table, ["t", "r"])
+    table.insert_many(zip(series.timestamps.tolist(), series.values.tolist()))
+    db = Database()
+    db.register_table(table)
+    view = db.execute(args.sql)
+    print(f"created {view!r}\n")
+    rows = [
+        [tup.t, tup.low, tup.high, tup.probability, tup.label]
+        for tup in list(view)[: args.head]
+    ]
+    print(format_table(["t", "low", "high", "probability", "label"], rows))
+    if len(view) > args.head:
+        print(f"... ({len(view) - args.head} more tuples)")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    series = _load_dataset(args.name, args.scale, args.seed)
+    save_series_csv(series, args.output)
+    print(f"wrote {len(series)} samples of {series.name!r} to {args.output}")
+    return 0
+
+
+def _cmd_arch_test(args: argparse.Namespace) -> int:
+    series = _load_dataset(args.data, args.scale, args.seed)
+    rows = []
+    for m in range(1, args.max_lag + 1):
+        result = rolling_arch_test(series, m, H=args.window,
+                                   n_windows=max(int(1800 * args.scale), 40))
+        rows.append([
+            m, round(result.statistic, 3), round(result.critical_value, 3),
+            result.reject_iid,
+        ])
+    print(format_table(
+        ["m", "Phi(m)", "chi2_m(0.05)", "reject iid"], rows,
+        title=f"ARCH test on {series.name} (H={args.window})",
+    ))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "experiment": _cmd_experiment,
+        "query": _cmd_query,
+        "generate": _cmd_generate,
+        "arch-test": _cmd_arch_test,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py.
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Dataset generation and loading.
+
+The paper evaluates on two proprietary datasets (Table II): EPFL campus
+ambient temperature and Copenhagen car GPS logs.  Neither is public, so
+this package provides synthetic generators that reproduce the statistical
+properties the paper's experiments depend on — see DESIGN.md for the
+substitution argument — plus the error-injection procedure of Section VII-B
+and CSV loaders.
+"""
+
+from repro.data.errors import inject_errors
+from repro.data.loaders import dataset_summary, load_series_csv, save_series_csv
+from repro.data.synthetic import campus_temperature, car_gps, make_dataset
+
+__all__ = [
+    "campus_temperature",
+    "car_gps",
+    "dataset_summary",
+    "inject_errors",
+    "load_series_csv",
+    "make_dataset",
+    "save_series_csv",
+]

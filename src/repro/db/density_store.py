@@ -1,0 +1,223 @@
+"""Persistent store for inferred densities (paper Section II-A).
+
+"The system stores the inferred probability density functions p_t(R_t)
+associated with the corresponding raw values" — this module is that store.
+Densities land here once (online or offline) and the Omega-view builder can
+then answer *any number* of probability value generation queries, with
+arbitrary time predicates and view parameters, without re-running a metric.
+This is exactly the workload of the paper's Fig. 14 experiment: the query
+cost is CDF evaluation over stored densities, which the sigma-cache then
+collapses.
+
+Only location-scale families are storable (Gaussian and Uniform — the two
+families the paper's metrics emit), so rows serialise to four floats plus a
+family tag.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.distributions.base import Distribution
+from repro.distributions.gaussian import Gaussian
+from repro.distributions.uniform import Uniform
+from repro.exceptions import DataError, InvalidParameterError, QueryError
+from repro.metrics.base import DensityForecast, DensitySeries
+
+__all__ = ["DensityStore", "StoredDensity"]
+
+_FAMILY_GAUSSIAN = "gaussian"
+_FAMILY_UNIFORM = "uniform"
+
+
+@dataclass(frozen=True)
+class StoredDensity:
+    """One persisted density row.
+
+    ``mean``/``scale`` are the location and the family's natural scale
+    (sigma for Gaussian, half-width for Uniform); ``kappa_bounds`` keeps
+    the metric's lower/upper so C-GARCH style consumers survive the round
+    trip.
+    """
+
+    t: int
+    family: str
+    mean: float
+    scale: float
+    lower: float
+    upper: float
+
+    def to_distribution(self) -> Distribution:
+        """Rehydrate the stored parameters into a distribution object."""
+        if self.family == _FAMILY_GAUSSIAN:
+            return Gaussian(self.mean, self.scale**2)
+        if self.family == _FAMILY_UNIFORM:
+            return Uniform(self.mean - self.scale, self.mean + self.scale)
+        raise DataError(f"unknown stored density family {self.family!r}")
+
+    def to_forecast(self) -> DensityForecast:
+        """Rehydrate into the metric-layer forecast type."""
+        distribution = self.to_distribution()
+        return DensityForecast(
+            t=self.t,
+            mean=self.mean,
+            distribution=distribution,
+            lower=self.lower,
+            upper=self.upper,
+            volatility=distribution.std(),
+        )
+
+
+class DensityStore:
+    """An append-only, time-indexed store of inferred densities.
+
+    Examples
+    --------
+    >>> from repro.metrics import VariableThresholdingMetric
+    >>> from repro.data import campus_temperature
+    >>> series = campus_temperature(200, rng=0)
+    >>> forecasts = VariableThresholdingMetric().run(series, 40)
+    >>> store = DensityStore()
+    >>> store.append_series(forecasts)
+    >>> len(store)
+    160
+    >>> len(store.between(50, 60))
+    11
+    """
+
+    def __init__(self) -> None:
+        self._rows: list[StoredDensity] = []
+        self._last_t: int | None = None
+
+    # ------------------------------------------------------------------
+    # Writing.
+    # ------------------------------------------------------------------
+    def append(self, forecast: DensityForecast) -> None:
+        """Persist one forecast; times must arrive strictly increasing."""
+        if self._last_t is not None and forecast.t <= self._last_t:
+            raise InvalidParameterError(
+                f"forecast time {forecast.t} is not after the last stored "
+                f"time {self._last_t}"
+            )
+        distribution = forecast.distribution
+        if isinstance(distribution, Gaussian):
+            row = StoredDensity(
+                t=forecast.t, family=_FAMILY_GAUSSIAN,
+                mean=distribution.mu, scale=distribution.std(),
+                lower=forecast.lower, upper=forecast.upper,
+            )
+        elif isinstance(distribution, Uniform):
+            row = StoredDensity(
+                t=forecast.t, family=_FAMILY_UNIFORM,
+                mean=distribution.mean(), scale=distribution.width / 2.0,
+                lower=forecast.lower, upper=forecast.upper,
+            )
+        else:
+            raise InvalidParameterError(
+                f"cannot persist distribution family "
+                f"{type(distribution).__name__}; only Gaussian and Uniform "
+                "are storable"
+            )
+        self._rows.append(row)
+        self._last_t = forecast.t
+
+    def append_series(self, forecasts: DensitySeries | Iterable[DensityForecast]) -> None:
+        """Persist a whole density series."""
+        for forecast in forecasts:
+            self.append(forecast)
+
+    # ------------------------------------------------------------------
+    # Reading.
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[StoredDensity]:
+        return iter(self._rows)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.array([row.t for row in self._rows], dtype=int)
+
+    def at(self, t: int) -> StoredDensity:
+        """The stored density for exactly time ``t``."""
+        times = self.times
+        index = int(np.searchsorted(times, t))
+        if index >= times.size or times[index] != t:
+            raise QueryError(f"no stored density at time {t}")
+        return self._rows[index]
+
+    def between(self, lo: int, hi: int) -> DensitySeries:
+        """Rehydrate all densities with ``lo <= t <= hi`` (the WHERE clause)."""
+        selected = [row.to_forecast() for row in self._rows if lo <= row.t <= hi]
+        if not selected:
+            raise QueryError(f"no stored densities in time range [{lo}, {hi}]")
+        return DensitySeries(selected)
+
+    def all(self) -> DensitySeries:
+        """Rehydrate the entire store."""
+        if not self._rows:
+            raise QueryError("density store is empty")
+        return DensitySeries([row.to_forecast() for row in self._rows])
+
+    def volatility_extremes(self) -> tuple[float, float]:
+        """(min sigma, max sigma) over the store — sizes a sigma-cache."""
+        if not self._rows:
+            raise QueryError("density store is empty")
+        sigmas = [row.to_distribution().std() for row in self._rows]
+        return float(min(sigmas)), float(max(sigmas))
+
+    # ------------------------------------------------------------------
+    # Persistence.
+    # ------------------------------------------------------------------
+    def save_csv(self, path: str | Path) -> None:
+        """Write the store as ``t, family, mean, scale, lower, upper``."""
+        path = Path(path)
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["t", "family", "mean", "scale", "lower", "upper"])
+            for row in self._rows:
+                writer.writerow([
+                    row.t, row.family, repr(row.mean), repr(row.scale),
+                    repr(row.lower), repr(row.upper),
+                ])
+
+    @classmethod
+    def load_csv(cls, path: str | Path) -> "DensityStore":
+        """Read a store previously written by :meth:`save_csv`."""
+        path = Path(path)
+        store = cls()
+        with path.open(newline="") as handle:
+            reader = csv.reader(handle)
+            try:
+                header = next(reader)
+            except StopIteration:
+                raise DataError(f"{path} is empty") from None
+            expected = ["t", "family", "mean", "scale", "lower", "upper"]
+            if header != expected:
+                raise DataError(
+                    f"{path} does not look like a density store: {header}"
+                )
+            for cells in reader:
+                if not cells:
+                    continue
+                row = StoredDensity(
+                    t=int(cells[0]), family=cells[1], mean=float(cells[2]),
+                    scale=float(cells[3]), lower=float(cells[4]),
+                    upper=float(cells[5]),
+                )
+                row.to_distribution()  # Validate the family tag eagerly.
+                store._rows.append(row)
+                store._last_t = row.t
+        return store
+
+    def __repr__(self) -> str:
+        span = ""
+        if self._rows:
+            span = f", t=[{self._rows[0].t}, {self._rows[-1].t}]"
+        return f"DensityStore(n={len(self)}{span})"

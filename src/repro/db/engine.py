@@ -1,0 +1,116 @@
+"""Database engine: executes the SQL-like view-generation language.
+
+Ties the whole framework together (paper Fig. 2): raw-value tables go in,
+``CREATE VIEW ... AS DENSITY ...`` statements run the selected dynamic
+density metric over the matching rows, the Omega-view builder (optionally
+backed by a sigma-cache) turns the inferred densities into probability
+rows, and the result is registered as a named
+:class:`~repro.db.prob_view.ProbabilisticView`.
+"""
+
+from __future__ import annotations
+
+from repro.db.prob_view import ProbabilisticView
+from repro.db.table import Table
+from repro.exceptions import QueryError
+from repro.metrics.registry import create_metric
+from repro.view.builder import ViewBuilder
+from repro.view.omega import OmegaGrid
+from repro.view.sql import ViewQuery, parse_view_query
+
+__all__ = ["Database"]
+
+#: Window size used when a query omits the WINDOW clause.
+DEFAULT_WINDOW = 60
+
+
+class Database:
+    """An in-memory database of raw tables and probabilistic views.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> db = Database()
+    >>> table = Table("raw_values", ["t", "r"])
+    >>> rng = np.random.default_rng(1)
+    >>> table.insert_many((float(i), 20 + 0.01 * i + rng.normal(0, 0.1))
+    ...                   for i in range(200))
+    >>> db.register_table(table)
+    >>> view = db.execute(
+    ...     "CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=0.5, n=4 "
+    ...     "METRIC arma_garch (p=1) WINDOW 40 FROM raw_values")
+    >>> view.name
+    'pv'
+    """
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._views: dict[str, ProbabilisticView] = {}
+
+    # ------------------------------------------------------------------
+    # Catalog.
+    # ------------------------------------------------------------------
+    def register_table(self, table: Table) -> None:
+        """Add (or replace) a raw-values table."""
+        self._tables[table.name] = table
+
+    def table(self, name: str) -> Table:
+        if name not in self._tables:
+            raise QueryError(
+                f"unknown table {name!r}; registered: {sorted(self._tables)}"
+            )
+        return self._tables[name]
+
+    def view(self, name: str) -> ProbabilisticView:
+        if name not in self._views:
+            raise QueryError(
+                f"unknown view {name!r}; created: {sorted(self._views)}"
+            )
+        return self._views[name]
+
+    def list_tables(self) -> list[str]:
+        return sorted(self._tables)
+
+    def list_views(self) -> list[str]:
+        return sorted(self._views)
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+    def execute(self, sql: str) -> ProbabilisticView:
+        """Parse and execute one view-generation statement."""
+        return self.execute_query(parse_view_query(sql))
+
+    def execute_query(self, query: ViewQuery) -> ProbabilisticView:
+        """Execute an already-parsed :class:`ViewQuery`."""
+        table = self.table(query.table_name)
+        series = table.to_series(query.value_column, query.time_column)
+        if query.time_lo is not None or query.time_hi is not None:
+            lo = query.time_lo if query.time_lo is not None else float("-inf")
+            hi = query.time_hi if query.time_hi is not None else float("inf")
+            series = series.between_times(lo, hi)
+        metric = create_metric(query.metric_name, **query.metric_params)
+        window = query.window or DEFAULT_WINDOW
+        if len(series) <= window:
+            raise QueryError(
+                f"query matches {len(series)} rows, not enough for "
+                f"window H={window}; widen the WHERE range or shrink WINDOW"
+            )
+        forecasts = metric.run(series, window)
+        grid = OmegaGrid(delta=query.delta, n=query.n)
+        builder = ViewBuilder(grid)
+        if query.uses_cache:
+            builder = builder.with_cache_for(
+                forecasts,
+                distance_constraint=query.cache_distance,
+                memory_constraint=query.cache_memory,
+            )
+        rows = builder.build_rows(forecasts)
+        view = ProbabilisticView.from_rows(query.view_name, rows, grid)
+        self._views[query.view_name] = view
+        return view
+
+    def __repr__(self) -> str:
+        return (
+            f"Database(tables={self.list_tables()}, views={self.list_views()})"
+        )

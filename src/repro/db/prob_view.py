@@ -1,0 +1,155 @@
+"""Tuple-independent probabilistic views (the paper's ``prob_view``).
+
+A probabilistic view holds tuples ``(time, range, probability)`` — see the
+paper's Fig. 1 and Fig. 2.  Tuples at the same time are mutually exclusive
+alternatives (the ranges partition the value domain around ``r_hat_t``);
+tuples at different times are independent, the standard tuple-independent
+model the paper's Definition 2 targets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DataError, InvalidParameterError, QueryError
+from repro.view.builder import ProbabilityRow
+from repro.view.omega import OmegaGrid
+
+__all__ = ["ProbTuple", "ProbabilisticView"]
+
+#: Tolerance when validating that per-time probabilities do not exceed one.
+_MASS_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class ProbTuple:
+    """One row of a probabilistic view.
+
+    Attributes
+    ----------
+    t:
+        Inference time index.
+    low, high:
+        The range ``omega = [low, high]`` this tuple asserts.
+    probability:
+        ``rho_omega`` — probability that the true value lies in the range.
+    label:
+        Human-readable range label (e.g. ``"room 2"`` or ``"lambda=-1"``).
+    """
+
+    t: int
+    low: float
+    high: float
+    probability: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.high <= self.low:
+            raise InvalidParameterError(
+                f"tuple range upper bound must exceed lower, "
+                f"got [{self.low}, {self.high}]"
+            )
+        if not -_MASS_TOLERANCE <= self.probability <= 1.0 + _MASS_TOLERANCE:
+            raise InvalidParameterError(
+                f"tuple probability must be in [0, 1], got {self.probability}"
+            )
+
+
+class ProbabilisticView:
+    """An ordered collection of :class:`ProbTuple` grouped by time.
+
+    Construct directly from tuples or from builder output via
+    :meth:`from_rows`.  Provides the per-time access patterns the
+    probabilistic queries in :mod:`repro.db.queries` build on.
+    """
+
+    def __init__(self, name: str, tuples: Sequence[ProbTuple]) -> None:
+        if not name:
+            raise InvalidParameterError("view name must be non-empty")
+        self.name = str(name)
+        self._tuples = list(tuples)
+        self._by_time: dict[int, list[ProbTuple]] = {}
+        for item in self._tuples:
+            self._by_time.setdefault(item.t, []).append(item)
+        for t, group in self._by_time.items():
+            mass = sum(tup.probability for tup in group)
+            if mass > 1.0 + _MASS_TOLERANCE * max(len(group), 1):
+                raise DataError(
+                    f"probabilities at time {t} sum to {mass:.6f} > 1"
+                )
+
+    @classmethod
+    def from_rows(
+        cls, name: str, rows: Sequence[ProbabilityRow], grid: OmegaGrid
+    ) -> "ProbabilisticView":
+        """Materialise builder output into a view.
+
+        Each :class:`ProbabilityRow` expands into ``grid.n`` tuples whose
+        ranges are centred on the row's mean.
+        """
+        tuples: list[ProbTuple] = []
+        for row in rows:
+            ranges = grid.ranges_around(row.mean)
+            for omega, probability in zip(ranges, row.probabilities):
+                tuples.append(
+                    ProbTuple(
+                        t=row.t,
+                        low=omega.low,
+                        high=omega.high,
+                        probability=float(np.clip(probability, 0.0, 1.0)),
+                        label=omega.label,
+                    )
+                )
+        return cls(name, tuples)
+
+    # ------------------------------------------------------------------
+    # Container protocol.
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[ProbTuple]:
+        return iter(self._tuples)
+
+    def __getitem__(self, index: int) -> ProbTuple:
+        return self._tuples[index]
+
+    @property
+    def times(self) -> list[int]:
+        """Distinct inference times, ascending."""
+        return sorted(self._by_time)
+
+    def tuples_at(self, t: int) -> list[ProbTuple]:
+        """All tuples asserted at time ``t`` (the alternatives)."""
+        if t not in self._by_time:
+            raise QueryError(
+                f"view {self.name!r} has no tuples at time {t}; "
+                f"times span [{min(self._by_time, default='-')}, "
+                f"{max(self._by_time, default='-')}]"
+            )
+        return list(self._by_time[t])
+
+    def probability_at(self, t: int, value: float) -> float:
+        """Probability that the true value at ``t`` lies in a range covering ``value``.
+
+        Sums the (disjoint) ranges containing ``value``; zero when the value
+        falls outside every range of the grid.
+        """
+        return sum(
+            tup.probability
+            for tup in self.tuples_at(t)
+            if tup.low <= value <= tup.high
+        )
+
+    def total_mass_at(self, t: int) -> float:
+        """Probability mass the view captures at ``t`` (tail loss = 1 - mass)."""
+        return sum(tup.probability for tup in self.tuples_at(t))
+
+    def __repr__(self) -> str:
+        return (
+            f"ProbabilisticView(name={self.name!r}, tuples={len(self)}, "
+            f"times={len(self._by_time)})"
+        )

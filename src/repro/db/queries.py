@@ -1,0 +1,97 @@
+"""Probabilistic queries over created views.
+
+The point of the paper is that, once a probabilistic view exists, standard
+probabilistic query machinery applies directly.  This module provides the
+basic consumers used by the examples and integration tests:
+
+* :func:`threshold_query` — tuples whose probability exceeds a threshold
+  (Cheng et al.'s probabilistic threshold query);
+* :func:`most_probable_range_query` — the modal range per time;
+* :func:`range_probability_query` — probability the value lies in an
+  arbitrary interval, per time;
+* :func:`expected_value_query` — expected value under the discretised
+  distribution, per time.
+"""
+
+from __future__ import annotations
+
+from repro.db.prob_view import ProbTuple, ProbabilisticView
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "threshold_query",
+    "most_probable_range_query",
+    "range_probability_query",
+    "expected_value_query",
+]
+
+
+def threshold_query(view: ProbabilisticView, tau: float) -> list[ProbTuple]:
+    """All tuples with ``probability >= tau``, in (time, range) order.
+
+    >>> # tuples whose event is at least 50% likely
+    >>> # threshold_query(view, 0.5)
+    """
+    if not 0.0 <= tau <= 1.0:
+        raise InvalidParameterError(f"tau must be in [0, 1], got {tau}")
+    return [tup for tup in view if tup.probability >= tau]
+
+
+def most_probable_range_query(view: ProbabilisticView) -> dict[int, ProbTuple]:
+    """The highest-probability tuple for every time in the view.
+
+    Ties break toward the earlier (lower) range, matching the order the
+    builder emits.
+    """
+    out: dict[int, ProbTuple] = {}
+    for t in view.times:
+        out[t] = max(view.tuples_at(t), key=lambda tup: tup.probability)
+    return out
+
+
+def range_probability_query(
+    view: ProbabilisticView, low: float, high: float
+) -> dict[int, float]:
+    """``P(low <= value <= high)`` per time, from overlapping tuples.
+
+    Partially overlapping tuples contribute proportionally to the overlap,
+    exact under the builder's piecewise treatment of each range.
+    """
+    if high <= low:
+        raise InvalidParameterError(
+            f"query range upper bound must exceed lower, got [{low}, {high}]"
+        )
+    out: dict[int, float] = {}
+    for t in view.times:
+        mass = 0.0
+        for tup in view.tuples_at(t):
+            overlap = min(high, tup.high) - max(low, tup.low)
+            if overlap <= 0:
+                continue
+            mass += tup.probability * (overlap / (tup.high - tup.low))
+        out[t] = min(mass, 1.0)
+    return out
+
+
+def expected_value_query(view: ProbabilisticView) -> dict[int, float]:
+    """Expected value per time under the discretised distribution.
+
+    Each tuple contributes its range midpoint weighted by its probability;
+    the result is normalised by the captured mass so grids that truncate
+    the tails stay unbiased.
+    """
+    out: dict[int, float] = {}
+    for t in view.times:
+        tuples = view.tuples_at(t)
+        mass = sum(tup.probability for tup in tuples)
+        if mass <= 0.0:
+            # Degenerate: no information at this time; midpoint of support.
+            lows = min(tup.low for tup in tuples)
+            highs = max(tup.high for tup in tuples)
+            out[t] = 0.5 * (lows + highs)
+            continue
+        weighted = sum(
+            tup.probability * 0.5 * (tup.low + tup.high) for tup in tuples
+        )
+        out[t] = weighted / mass
+    return out

@@ -1,0 +1,97 @@
+"""CSV persistence for tables and probabilistic views.
+
+Keeps the library self-contained (no pandas): plain ``csv`` round-trips for
+:class:`~repro.db.table.Table` and
+:class:`~repro.db.prob_view.ProbabilisticView`, used by the examples to
+inspect outputs and by tests to verify round-trip fidelity.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.db.prob_view import ProbTuple, ProbabilisticView
+from repro.db.table import Table
+from repro.exceptions import DataError
+
+__all__ = [
+    "save_table_csv",
+    "load_table_csv",
+    "save_view_csv",
+    "load_view_csv",
+]
+
+
+def save_table_csv(table: Table, path: str | Path) -> None:
+    """Write ``table`` to ``path`` with a header row."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.columns)
+        columns = [table.column(c) for c in table.columns]
+        for index in range(len(table)):
+            writer.writerow([repr(float(col[index])) for col in columns])
+
+
+def load_table_csv(path: str | Path, name: str | None = None) -> Table:
+    """Read a table previously written by :func:`save_table_csv`.
+
+    The table name defaults to the file stem.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DataError(f"{path} is empty") from None
+        rows = [[float(cell) for cell in row] for row in reader if row]
+    data = {
+        column: np.array([row[index] for row in rows])
+        for index, column in enumerate(header)
+    }
+    return Table(name or path.stem, header, data)
+
+
+def save_view_csv(view: ProbabilisticView, path: str | Path) -> None:
+    """Write a probabilistic view as ``t, low, high, probability, label``."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["t", "low", "high", "probability", "label"])
+        for tup in view:
+            writer.writerow(
+                [int(tup.t), repr(float(tup.low)), repr(float(tup.high)),
+                 repr(float(tup.probability)), tup.label]
+            )
+
+
+def load_view_csv(path: str | Path, name: str | None = None) -> ProbabilisticView:
+    """Read a view previously written by :func:`save_view_csv`."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DataError(f"{path} is empty") from None
+        expected = ["t", "low", "high", "probability", "label"]
+        if header != expected:
+            raise DataError(
+                f"{path} does not look like a view file: header {header}"
+            )
+        tuples = [
+            ProbTuple(
+                t=int(row[0]),
+                low=float(row[1]),
+                high=float(row[2]),
+                probability=float(row[3]),
+                label=row[4],
+            )
+            for row in reader
+            if row
+        ]
+    return ProbabilisticView(name or path.stem, tuples)

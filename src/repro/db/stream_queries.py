@@ -1,0 +1,116 @@
+"""Windowed probabilistic queries over created views (probabilistic streams).
+
+The related work the paper positions against (Cormode & Garofalakis; Re et
+al.) consumes *probabilistic streams* — exactly what a probabilistic view
+over a time series is.  This module provides the basic windowed consumers
+under the tuple-independent semantics of the created views:
+
+* :func:`windowed_expected_value` — sliding-window mean of the per-time
+  expected values;
+* :func:`exceedance_probability` — P(value above a threshold) per time,
+  from partially overlapping ranges;
+* :func:`sustained_exceedance_probability` — P(threshold exceeded at
+  *every* time of a window), using cross-time independence;
+* :func:`expected_time_above` — expected number of times (within a window)
+  the value exceeds the threshold, by linearity of expectation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.db.prob_view import ProbabilisticView
+from repro.db.queries import expected_value_query
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "windowed_expected_value",
+    "exceedance_probability",
+    "sustained_exceedance_probability",
+    "expected_time_above",
+]
+
+
+def exceedance_probability(view: ProbabilisticView, threshold: float) -> dict[int, float]:
+    """P(value > threshold) per time.
+
+    Ranges fully above the threshold contribute their whole probability;
+    the range straddling it contributes proportionally (the builder's
+    piecewise-uniform treatment within a range).
+    """
+    out: dict[int, float] = {}
+    for t in view.times:
+        mass = 0.0
+        for tup in view.tuples_at(t):
+            if tup.low >= threshold:
+                mass += tup.probability
+            elif tup.high > threshold:
+                fraction = (tup.high - threshold) / (tup.high - tup.low)
+                mass += tup.probability * fraction
+        out[t] = min(mass, 1.0)
+    return out
+
+
+def windowed_expected_value(
+    view: ProbabilisticView, window: int
+) -> dict[int, float]:
+    """Sliding-window average of per-time expected values.
+
+    Keyed by the window's *last* time; only full windows are reported.
+    """
+    if window < 1:
+        raise InvalidParameterError(f"window must be >= 1, got {window}")
+    expectations = expected_value_query(view)
+    times = view.times
+    if len(times) < window:
+        raise InvalidParameterError(
+            f"view has {len(times)} times, fewer than window={window}"
+        )
+    values = np.array([expectations[t] for t in times])
+    csum = np.concatenate(([0.0], np.cumsum(values)))
+    means = (csum[window:] - csum[:-window]) / window
+    return {times[i + window - 1]: float(means[i]) for i in range(means.size)}
+
+
+def sustained_exceedance_probability(
+    view: ProbabilisticView, threshold: float, window: int
+) -> dict[int, float]:
+    """P(value > threshold at every time of each ``window``-length window).
+
+    Tuples at different times are independent in the created views, so the
+    window probability is the product of per-time exceedances.  Keyed by
+    the window's last time.
+    """
+    if window < 1:
+        raise InvalidParameterError(f"window must be >= 1, got {window}")
+    per_time = exceedance_probability(view, threshold)
+    times = view.times
+    if len(times) < window:
+        raise InvalidParameterError(
+            f"view has {len(times)} times, fewer than window={window}"
+        )
+    out: dict[int, float] = {}
+    for index in range(window - 1, len(times)):
+        probability = 1.0
+        for t in times[index - window + 1 : index + 1]:
+            probability *= per_time[t]
+        out[times[index]] = probability
+    return out
+
+
+def expected_time_above(
+    view: ProbabilisticView, threshold: float, window: int
+) -> dict[int, float]:
+    """Expected count of exceedances within each window (linearity of E)."""
+    if window < 1:
+        raise InvalidParameterError(f"window must be >= 1, got {window}")
+    per_time = exceedance_probability(view, threshold)
+    times = view.times
+    if len(times) < window:
+        raise InvalidParameterError(
+            f"view has {len(times)} times, fewer than window={window}"
+        )
+    values = np.array([per_time[t] for t in times])
+    csum = np.concatenate(([0.0], np.cumsum(values)))
+    sums = csum[window:] - csum[:-window]
+    return {times[i + window - 1]: float(sums[i]) for i in range(sums.size)}

@@ -1,0 +1,14 @@
+"""Probability distributions used by the dynamic density metrics.
+
+The metrics of the paper emit either uniform densities (uniform
+thresholding) or Gaussian densities (variable thresholding and the GARCH
+family); the histogram distribution backs the density-distance evaluation
+of Section II-B.
+"""
+
+from repro.distributions.base import Distribution
+from repro.distributions.gaussian import Gaussian
+from repro.distributions.histogram import HistogramDistribution
+from repro.distributions.uniform import Uniform
+
+__all__ = ["Distribution", "Gaussian", "HistogramDistribution", "Uniform"]

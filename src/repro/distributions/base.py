@@ -1,0 +1,73 @@
+"""Abstract interface all probability distributions in this library share.
+
+A dynamic density metric (paper Definition 1) returns a ``Distribution`` for
+every inference time ``t``; the Omega-view builder (Definition 2) only ever
+consumes it through :meth:`Distribution.cdf` / :meth:`Distribution.prob`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.util.rng import ensure_rng
+
+__all__ = ["Distribution"]
+
+
+class Distribution(ABC):
+    """A univariate probability distribution.
+
+    Array-valued inputs are accepted everywhere a scalar is; outputs follow
+    numpy broadcasting.
+    """
+
+    @abstractmethod
+    def pdf(self, x: float | np.ndarray) -> float | np.ndarray:
+        """Probability density function evaluated at ``x``."""
+
+    @abstractmethod
+    def cdf(self, x: float | np.ndarray) -> float | np.ndarray:
+        """Cumulative distribution function ``P(X <= x)``."""
+
+    @abstractmethod
+    def ppf(self, u: float | np.ndarray) -> float | np.ndarray:
+        """Quantile function (inverse CDF) for ``u`` in ``[0, 1]``."""
+
+    @abstractmethod
+    def mean(self) -> float:
+        """Expected value ``E(X)`` — the paper's *expected true value*."""
+
+    @abstractmethod
+    def variance(self) -> float:
+        """Variance of the distribution."""
+
+    def std(self) -> float:
+        """Standard deviation, ``sqrt(variance())``."""
+        return float(np.sqrt(self.variance()))
+
+    def prob(self, low: float, high: float) -> float:
+        """``P(low <= X <= high)`` — the integral of eq. (9) over one range."""
+        if high < low:
+            raise InvalidParameterError(
+                f"range upper bound {high} is below lower bound {low}"
+            )
+        return float(self.cdf(high) - self.cdf(low))
+
+    def interval(self, coverage: float) -> tuple[float, float]:
+        """Central interval containing ``coverage`` probability mass."""
+        if not 0.0 < coverage < 1.0:
+            raise InvalidParameterError(
+                f"coverage must be in (0, 1), got {coverage}"
+            )
+        tail = (1.0 - coverage) / 2.0
+        return float(self.ppf(tail)), float(self.ppf(1.0 - tail))
+
+    def sample(self, n: int, rng: int | np.random.Generator | None = None) -> np.ndarray:
+        """Draw ``n`` samples by inverse-transform sampling."""
+        if n < 1:
+            raise InvalidParameterError(f"n must be >= 1, got {n}")
+        generator = ensure_rng(rng)
+        return np.asarray(self.ppf(generator.uniform(size=n)), dtype=float)

@@ -1,0 +1,140 @@
+"""Histogram-based empirical distribution.
+
+Section II-B of the paper estimates the cumulative distribution ``Q_Z(z)``
+of the probability-integral transforms "using a histogram approximation
+method"; :class:`HistogramDistribution` is that estimator, and doubles as a
+general-purpose empirical distribution for tests and examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.base import Distribution
+from repro.exceptions import DataError, InvalidParameterError
+from repro.util.validation import require_finite_array
+
+__all__ = ["HistogramDistribution"]
+
+
+class HistogramDistribution(Distribution):
+    """Piecewise-constant density over equal-probability treatment of bins.
+
+    Construct either from explicit ``(edges, counts)`` or from raw samples
+    via :meth:`from_samples`.  The CDF is linear within each bin (i.e. the
+    samples are assumed uniformly spread inside their bin), which makes the
+    CDF continuous and the PPF exact.
+    """
+
+    def __init__(self, edges: np.ndarray, counts: np.ndarray) -> None:
+        edges = require_finite_array("edges", edges, min_len=2)
+        counts = np.asarray(counts, dtype=float)
+        if counts.ndim != 1 or counts.size != edges.size - 1:
+            raise DataError(
+                f"counts must have len(edges) - 1 = {edges.size - 1} entries, "
+                f"got {counts.size}"
+            )
+        if np.any(np.diff(edges) <= 0):
+            raise DataError("edges must be strictly increasing")
+        if np.any(counts < 0):
+            raise DataError("counts must be non-negative")
+        total = float(np.sum(counts))
+        if total <= 0:
+            raise DataError("histogram must contain at least one observation")
+        self.edges = edges
+        self.counts = counts
+        self._cum = np.concatenate(([0.0], np.cumsum(counts))) / total
+        self._widths = np.diff(edges)
+        self._density = (counts / total) / self._widths
+
+    @classmethod
+    def from_samples(
+        cls, samples: np.ndarray, n_bins: int = 20,
+        support: tuple[float, float] | None = None,
+    ) -> "HistogramDistribution":
+        """Build an equal-width histogram of ``samples``.
+
+        ``support`` fixes the range (the PIT evaluation uses ``(0, 1)``);
+        otherwise the sample min/max (padded if degenerate) is used.
+        """
+        data = require_finite_array("samples", samples)
+        if n_bins < 1:
+            raise InvalidParameterError(f"n_bins must be >= 1, got {n_bins}")
+        if support is None:
+            lo, hi = float(np.min(data)), float(np.max(data))
+            if hi <= lo:  # Degenerate: all samples equal.
+                lo, hi = lo - 0.5, hi + 0.5
+        else:
+            lo, hi = float(support[0]), float(support[1])
+            if hi <= lo:
+                raise InvalidParameterError(
+                    f"support upper bound must exceed lower, got ({lo}, {hi})"
+                )
+            data = np.clip(data, lo, hi)
+        edges = np.linspace(lo, hi, n_bins + 1)
+        counts, _ = np.histogram(data, bins=edges)
+        if counts.sum() == 0:  # All samples outside support (cannot happen after clip).
+            raise DataError("no samples fall inside the requested support")
+        return cls(edges, counts.astype(float))
+
+    def pdf(self, x: float | np.ndarray) -> float | np.ndarray:
+        x_array = np.asarray(x, dtype=float)
+        index = np.searchsorted(self.edges, x_array, side="right") - 1
+        inside = (index >= 0) & (index < self.counts.size)
+        # Right edge belongs to the last bin.
+        at_top = x_array == self.edges[-1]
+        index = np.clip(index, 0, self.counts.size - 1)
+        result = np.where(inside | at_top, self._density[index], 0.0)
+        return float(result) if np.ndim(x) == 0 else result
+
+    def cdf(self, x: float | np.ndarray) -> float | np.ndarray:
+        x_array = np.asarray(x, dtype=float)
+        index = np.clip(
+            np.searchsorted(self.edges, x_array, side="right") - 1,
+            0,
+            self.counts.size - 1,
+        )
+        fraction = np.clip(
+            (x_array - self.edges[index]) / self._widths[index], 0.0, 1.0
+        )
+        result = self._cum[index] + fraction * (self._cum[index + 1] - self._cum[index])
+        result = np.where(x_array <= self.edges[0], 0.0, result)
+        result = np.where(x_array >= self.edges[-1], 1.0, result)
+        return float(result) if np.ndim(x) == 0 else result
+
+    def ppf(self, u: float | np.ndarray) -> float | np.ndarray:
+        u_array = np.asarray(u, dtype=float)
+        if np.any((u_array < 0.0) | (u_array > 1.0)):
+            raise InvalidParameterError("quantile argument must be in [0, 1]")
+        index = np.clip(
+            np.searchsorted(self._cum, u_array, side="right") - 1,
+            0,
+            self.counts.size - 1,
+        )
+        bin_mass = self._cum[index + 1] - self._cum[index]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            fraction = np.where(
+                bin_mass > 0, (u_array - self._cum[index]) / bin_mass, 0.0
+            )
+        result = self.edges[index] + np.clip(fraction, 0.0, 1.0) * self._widths[index]
+        return float(result) if np.ndim(u) == 0 else result
+
+    def mean(self) -> float:
+        midpoints = 0.5 * (self.edges[:-1] + self.edges[1:])
+        weights = self.counts / self.counts.sum()
+        return float(np.dot(midpoints, weights))
+
+    def variance(self) -> float:
+        midpoints = 0.5 * (self.edges[:-1] + self.edges[1:])
+        weights = self.counts / self.counts.sum()
+        mean = float(np.dot(midpoints, weights))
+        # Within-bin variance of a uniform plus between-bin spread.
+        within = float(np.dot(weights, self._widths**2)) / 12.0
+        between = float(np.dot(weights, (midpoints - mean) ** 2))
+        return within + between
+
+    def __repr__(self) -> str:
+        return (
+            f"HistogramDistribution(bins={self.counts.size}, "
+            f"support=[{self.edges[0]:.6g}, {self.edges[-1]:.6g}])"
+        )

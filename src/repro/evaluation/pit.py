@@ -1,0 +1,28 @@
+"""Probability integral transform (paper Section II-B).
+
+For each realised raw value ``r_i`` and its inferred density ``p_i(R_i)``,
+the transform is ``z_i = integral_{-inf}^{r_i} p_i(u) du = P_i(r_i)``.  The
+Diebold-Gunther-Tay result the paper invokes: the ``z_i`` are i.i.d. uniform
+on (0, 1) if and only if every inferred density equals the true one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.base import DensitySeries
+from repro.timeseries.series import TimeSeries
+
+__all__ = ["probability_integral_transform"]
+
+
+def probability_integral_transform(
+    forecasts: DensitySeries, series: TimeSeries
+) -> np.ndarray:
+    """Return ``z_i = P_i(r_i)`` for every forecast in ``forecasts``.
+
+    ``series`` is the raw series the forecasts were computed on; the
+    realised value for forecast time ``t`` is ``series[t]``.  Output values
+    lie in ``[0, 1]``.
+    """
+    return forecasts.pit(series)

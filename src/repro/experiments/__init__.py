@@ -1,0 +1,40 @@
+"""Experiment harness reproducing every table and figure of the paper.
+
+One module per experiment; each exposes a ``run_*`` function returning an
+:class:`~repro.experiments.common.ExperimentTable` whose rows mirror the
+series the paper plots.  The benchmarks under ``benchmarks/`` are thin
+wrappers that time these functions and print the tables; EXPERIMENTS.md
+records paper-vs-measured values.
+
+Scaling: every experiment accepts a ``scale`` in ``(0, 1]`` (default from
+the ``REPRO_SCALE`` environment variable, see
+:func:`~repro.experiments.common.get_scale`) that shrinks dataset sizes and
+rolling-inference counts so the suite finishes on a laptop.  ``scale=1``
+reproduces the paper-sized workloads.
+"""
+
+from repro.experiments.common import ExperimentTable, get_scale
+from repro.experiments.fig04 import run_fig04
+from repro.experiments.fig05 import run_fig05
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.fig11 import run_fig11
+from repro.experiments.fig12 import run_fig12
+from repro.experiments.fig13 import run_fig13
+from repro.experiments.fig14 import run_fig14a, run_fig14b
+from repro.experiments.fig15 import run_fig15
+from repro.experiments.table02 import run_table02
+
+__all__ = [
+    "ExperimentTable",
+    "get_scale",
+    "run_fig04",
+    "run_fig05",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+    "run_fig13",
+    "run_fig14a",
+    "run_fig14b",
+    "run_fig15",
+    "run_table02",
+]

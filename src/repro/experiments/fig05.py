@@ -1,0 +1,78 @@
+"""Fig. 5 — GARCH blow-up on erroneous values vs C-GARCH correction.
+
+The paper's Fig. 5(a) shows plain ARMA-GARCH inferring an absurdly wide
+bound (1800 deg C on a temperature trace) after erroneous values enter the
+training window; Fig. 5(b) shows C-GARCH (kappa=3, oc_max=7) replacing the
+spikes and tracking a genuine trend change.  We reproduce both behaviours
+on the same corrupted series and report the worst inferred bound width and
+the cleaning diagnostics side by side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.errors import inject_errors
+from repro.data.synthetic import campus_temperature
+from repro.experiments.common import ExperimentTable, get_scale
+from repro.metrics.arma_garch import ARMAGARCHMetric
+from repro.metrics.cgarch import CGARCHMetric
+
+__all__ = ["run_fig05"]
+
+
+def run_fig05(
+    scale: float | None = None,
+    H: int = 40,
+    oc_max: int = 7,
+    rng_seed: int = 0,
+) -> ExperimentTable:
+    """Compare worst-case inferred bounds of GARCH vs C-GARCH under spikes."""
+    scale = get_scale(scale)
+    n = max(400, int(3000 * scale))
+    clean = campus_temperature(n, rng=rng_seed)
+    injection = inject_errors(
+        clean, count=max(3, n // 150), magnitude=12.0, rng=rng_seed + 1,
+        protect_prefix=H + 1,
+    )
+    series = injection.series
+
+    plain = ARMAGARCHMetric(kappa=3.0)
+    plain_forecasts = plain.run(series, H)
+    plain_widths = np.array([f.upper - f.lower for f in plain_forecasts])
+
+    cgarch = CGARCHMetric(kappa=3.0, oc_max=oc_max)
+    cg_forecasts, report = cgarch.run_with_report(series, H)
+    cg_widths = np.array([f.upper - f.lower for f in cg_forecasts])
+
+    clean_width = 6.0 * float(np.std(np.diff(clean.values)))  # Reference scale.
+    table = ExperimentTable(
+        experiment_id="Fig. 5",
+        title="GARCH failure vs C-GARCH correction on erroneous values",
+        headers=[
+            "model", "max bound width", "median bound width",
+            "width blow-up vs clean", "errors flagged", "trend changes",
+        ],
+        notes=(
+            f"n={n}, {len(injection.error_indices)} injected spikes, "
+            f"kappa=3, oc_max={oc_max}; the paper's Fig. 5(a) blow-up shows "
+            "as a max width orders of magnitude above the median"
+        ),
+    )
+    table.add_row(
+        "ARMA-GARCH",
+        float(np.max(plain_widths)),
+        float(np.median(plain_widths)),
+        float(np.max(plain_widths) / max(clean_width, 1e-9)),
+        0,
+        0,
+    )
+    table.add_row(
+        "C-GARCH",
+        float(np.max(cg_widths)),
+        float(np.median(cg_widths)),
+        float(np.max(cg_widths) / max(clean_width, 1e-9)),
+        report.n_flagged,
+        len(report.trend_changes),
+    )
+    return table

@@ -1,0 +1,86 @@
+"""Fig. 10 — density distance of the four metrics vs window size H.
+
+Paper protocol: run UT, VT, ARMA-GARCH and Kalman-GARCH over both datasets
+for H in {30, 60, 90, 120, 150, 180}; score each with the density distance
+of eq. (1).  Expected shape: the GARCH metrics beat the naive ones by a
+large factor (up to 20x campus / 12.3x car), ARMA-GARCH best overall, and
+Kalman-GARCH degrading with H on car-data.
+"""
+
+from __future__ import annotations
+
+from repro.data.synthetic import CAMPUS_ACCURACY, CAR_ACCURACY, make_dataset
+from repro.evaluation.density_distance import density_distance
+from repro.experiments.common import ExperimentTable, get_scale, steps_for
+from repro.metrics.arma_garch import ARMAGARCHMetric
+from repro.metrics.base import DynamicDensityMetric
+from repro.metrics.kalman_garch import KalmanGARCHMetric
+from repro.metrics.uniform_threshold import UniformThresholdingMetric
+from repro.metrics.variable_threshold import VariableThresholdingMetric
+from repro.timeseries.series import TimeSeries
+
+__all__ = ["run_fig10", "DEFAULT_WINDOW_SIZES"]
+
+DEFAULT_WINDOW_SIZES = (30, 60, 90, 120, 150, 180)
+
+
+def _metrics_for(dataset: str) -> list[tuple[str, DynamicDensityMetric, float]]:
+    """(label, metric, inference-budget multiplier) per metric.
+
+    The UT threshold is the dataset's sensor accuracy — the natural
+    "user-defined" uncertainty a practitioner would configure.  The
+    Kalman-GARCH budget multiplier keeps its EM cost comparable to the
+    others' in wall-clock terms.
+    """
+    threshold = CAMPUS_ACCURACY if dataset == "campus" else CAR_ACCURACY
+    return [
+        ("UT", UniformThresholdingMetric(threshold=threshold), 1.0),
+        ("VT", VariableThresholdingMetric(), 1.0),
+        ("ARMA-GARCH", ARMAGARCHMetric(), 1.0),
+        ("Kalman-GARCH", KalmanGARCHMetric(em_max_iter=15), 0.25),
+    ]
+
+
+def run_fig10(
+    scale: float | None = None,
+    window_sizes: tuple[int, ...] = DEFAULT_WINDOW_SIZES,
+    datasets: tuple[str, ...] = ("campus", "car"),
+    rng_seed: int = 0,
+) -> ExperimentTable:
+    """Density distance per (dataset, H, metric)."""
+    scale = get_scale(scale)
+    base_budget = max(60, int(1500 * scale))
+    table = ExperimentTable(
+        experiment_id="Fig. 10",
+        title="Quality of the dynamic density metrics (density distance, lower=better)",
+        headers=["dataset", "H", "UT", "VT", "ARMA-GARCH", "Kalman-GARCH"],
+        notes=(
+            f"scale={scale:g}; ~{base_budget} rolling inferences per cell "
+            "(Kalman-GARCH subsampled 4x harder for cost)"
+        ),
+    )
+    for index, dataset in enumerate(datasets):
+        series = make_dataset(dataset, scale=scale, rng=rng_seed + index)
+        for H in window_sizes:
+            cells = []
+            for _label, metric, budget_multiplier in _metrics_for(dataset):
+                cells.append(
+                    _density_distance_cell(
+                        metric, series, H,
+                        int(base_budget * budget_multiplier),
+                    )
+                )
+            table.add_row(series.name, H, *cells)
+    return table
+
+
+def _density_distance_cell(
+    metric: DynamicDensityMetric,
+    series: TimeSeries,
+    H: int,
+    budget: int,
+) -> float:
+    available = len(series) - H
+    step = steps_for(available, max(budget, 30))
+    forecasts = metric.run(series, H, step=step)
+    return round(density_distance(forecasts, series), 4)

@@ -1,0 +1,58 @@
+"""Fig. 15 — verifying time-varying volatility (Engle ARCH test).
+
+Paper protocol: compute the average Phi(m) statistic (eq. 16) for
+m = 1..8 over 1800 windows of H = 180 samples on both datasets; reject the
+i.i.d.-errors null when the average exceeds the chi-square critical value
+at alpha = 0.05.  Expected shape: campus-data rejects decisively for every
+m (strong volatility clustering); car-data also rejects but with Phi(m)
+much closer to the critical value.
+"""
+
+from __future__ import annotations
+
+from repro.data.synthetic import make_dataset
+from repro.evaluation.volatility_test import rolling_arch_test
+from repro.experiments.common import ExperimentTable, get_scale
+
+__all__ = ["run_fig15"]
+
+DEFAULT_LAGS = tuple(range(1, 9))
+
+
+def run_fig15(
+    scale: float | None = None,
+    lags: tuple[int, ...] = DEFAULT_LAGS,
+    H: int = 180,
+    alpha: float = 0.05,
+    rng_seed: int = 0,
+) -> ExperimentTable:
+    """Average Phi(m) vs chi^2_m(alpha) per (dataset, m)."""
+    scale = get_scale(scale)
+    n_windows = max(60, int(1800 * scale))
+    table = ExperimentTable(
+        experiment_id="Fig. 15",
+        title="Verifying time-varying volatility (ARCH test)",
+        headers=[
+            "dataset", "m", "Phi(m)", "chi2_m(alpha)", "reject iid",
+            "margin Phi/critical",
+        ],
+        notes=(
+            f"H={H}, alpha={alpha}, {n_windows} windows (scale={scale:g}); "
+            "paper: both datasets reject, car-data much closer to critical"
+        ),
+    )
+    for index, dataset in enumerate(("campus", "car")):
+        series = make_dataset(dataset, scale=max(scale, 0.05), rng=rng_seed + index)
+        for m in lags:
+            result = rolling_arch_test(
+                series, m, H=H, n_windows=n_windows, alpha=alpha
+            )
+            table.add_row(
+                series.name,
+                m,
+                round(result.statistic, 3),
+                round(result.critical_value, 3),
+                result.reject_iid,
+                round(result.statistic / result.critical_value, 2),
+            )
+    return table

@@ -1,0 +1,123 @@
+"""ARMA-GARCH dynamic density metric (paper Section IV, Algorithm 1).
+
+The main metric of the paper: an ARMA(p, q) model infers the time-varying
+mean ``r_hat_t`` (eq. 2), its residuals ``a_i = r_i - r_hat_i`` feed a
+GARCH(m, s) model that infers the time-varying variance ``sigma_hat_t^2``
+(eq. 6), and the resulting density is ``N(r_hat_t, sigma_hat_t^2)`` with
+kappa-scaled bounds ``r_hat_t +/- kappa * sigma_hat_t``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.gaussian import Gaussian
+from repro.exceptions import EstimationError
+from repro.metrics.base import DensityForecast, DynamicDensityMetric
+from repro.timeseries.arma import ARMAModel
+from repro.timeseries.garch import GARCHModel
+from repro.util.validation import require_positive
+
+__all__ = ["ARMAGARCHMetric"]
+
+_VARIANCE_FLOOR = 1e-12
+
+
+class ARMAGARCHMetric(DynamicDensityMetric):
+    """The paper's Algorithm 1: ARMA mean, GARCH volatility, kappa bounds.
+
+    Parameters
+    ----------
+    p, q:
+        ARMA orders.  The paper recommends low orders (its Fig. 12 shows
+        density distance *increasing* with p); the default is ARMA(1, 0).
+    m, s:
+        GARCH orders; the paper restricts evaluation to GARCH(1, 1) because
+        higher-order identification is difficult.
+    kappa:
+        Bound scaling factor; ``kappa=3`` covers ~99.73% of the Gaussian.
+    warm_start:
+        When true (the default) each GARCH estimation is seeded with the
+        previous window's optimum instead of the multi-start heuristics.
+        Rolling applications visit heavily overlapping windows, so this
+        cuts the dominant cost several-fold with no measurable quality
+        change (ablated in the benchmark suite).  Disable for strictly
+        stateless ``infer`` calls.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> metric = ARMAGARCHMetric()
+    >>> window = np.sin(np.linspace(0, 3, 60)) + 0.01 * np.random.default_rng(0).standard_normal(60)
+    >>> forecast = metric.infer(window, t=60)
+    >>> forecast.lower < forecast.mean < forecast.upper
+    True
+    """
+
+    name = "arma_garch"
+
+    def __init__(
+        self,
+        p: int = 1,
+        q: int = 0,
+        m: int = 1,
+        s: int = 1,
+        kappa: float = 3.0,
+        warm_start: bool = True,
+    ) -> None:
+        self.p = int(p)
+        self.q = int(q)
+        self.m = int(m)
+        self.s = int(s)
+        self.kappa = require_positive("kappa", kappa, strict=False)
+        self.warm_start = bool(warm_start)
+        self._last_garch_params = None
+        arma_min = max(self.p, self.q) + max(self.p + self.q, 1) + 1
+        garch_min = max(self.m, self.s) + 2
+        self.min_window = max(arma_min, garch_min, 4)
+
+    def infer(self, window: np.ndarray, t: int) -> DensityForecast:
+        """Steps 1-4 of Algorithm 1 on one window.
+
+        1. Estimate ARMA(p, q) on the window, obtaining residuals ``a_i``.
+        2. Estimate GARCH(m, s) on those residuals.
+        3. Infer ``r_hat_t`` (ARMA) and ``sigma_hat_t^2`` (GARCH).
+        4. Bounds ``r_hat_t +/- kappa * sigma_hat_t``.
+        """
+        arma = ARMAModel(self.p, self.q).fit(window)
+        mean = arma.predict_next()
+        residuals = arma.residuals_[max(self.p, self.q):]
+        variance = self._garch_variance(residuals)
+        distribution = Gaussian(mean, variance)
+        sigma = distribution.std()
+        return DensityForecast(
+            t=t,
+            mean=mean,
+            distribution=distribution,
+            lower=mean - self.kappa * sigma,
+            upper=mean + self.kappa * sigma,
+            volatility=sigma,
+        )
+
+    def _garch_variance(self, residuals: np.ndarray) -> float:
+        """One-step GARCH variance forecast with a flat-variance fallback."""
+        try:
+            garch = GARCHModel(self.m, self.s).fit(
+                residuals,
+                warm_start=self._last_garch_params if self.warm_start else None,
+            )
+            if self.warm_start:
+                self._last_garch_params = garch.params_
+            return max(garch.forecast_variance(), _VARIANCE_FLOOR)
+        except EstimationError:
+            return max(float(np.var(residuals)), _VARIANCE_FLOOR)
+
+    def reset(self) -> None:
+        """Drop the warm-start state (e.g. before switching to a new series)."""
+        self._last_garch_params = None
+
+    def __repr__(self) -> str:
+        return (
+            f"ARMAGARCHMetric(p={self.p}, q={self.q}, m={self.m}, s={self.s}, "
+            f"kappa={self.kappa})"
+        )

@@ -1,0 +1,168 @@
+"""Dynamic density metric interface and rolling application.
+
+Definition 1 of the paper: given a sliding window ``S^H_{t-1}``, a metric
+estimates the density ``p_t(R_t)`` of the random variable associated with
+the raw value at time ``t``.  :class:`DynamicDensityMetric` captures that
+single-step contract; :meth:`DynamicDensityMetric.run` rolls it over a whole
+series, producing the :class:`DensitySeries` that the Omega-view builder and
+the density-distance evaluation consume.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distributions.base import Distribution
+from repro.exceptions import DataError, InvalidParameterError
+from repro.timeseries.series import TimeSeries
+
+__all__ = ["DensityForecast", "DensitySeries", "DynamicDensityMetric"]
+
+
+@dataclass(frozen=True)
+class DensityForecast:
+    """The inferred density for one inference time.
+
+    Attributes
+    ----------
+    t:
+        Inference index into the source series.
+    mean:
+        Expected true value ``r_hat_t`` (Definition 3).
+    distribution:
+        The full inferred density ``p_t(R_t)``.
+    lower, upper:
+        kappa-scaled bounds ``r_hat_t -/+ kappa * sigma_hat_t`` from
+        Algorithm 1 (equal to the distribution support edges for the
+        uniform metric).
+    volatility:
+        The inferred standard deviation ``sigma_hat_t`` (or the uniform
+        equivalent); exposed separately because the sigma-cache keys on it.
+    """
+
+    t: int
+    mean: float
+    distribution: Distribution
+    lower: float
+    upper: float
+    volatility: float
+
+    def contains(self, value: float) -> bool:
+        """True when ``value`` lies inside the kappa-scaled bounds."""
+        return self.lower <= value <= self.upper
+
+
+class DensitySeries:
+    """An ordered collection of :class:`DensityForecast`.
+
+    Exposes vectorised views (means, volatilities, inference indices) plus
+    the probability-integral-transform against the realised raw values used
+    by the density-distance quality measure.
+    """
+
+    def __init__(self, forecasts: Sequence[DensityForecast]) -> None:
+        self._forecasts = list(forecasts)
+        times = [f.t for f in self._forecasts]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise DataError("forecasts must be in strictly increasing time order")
+
+    def __len__(self) -> int:
+        return len(self._forecasts)
+
+    def __iter__(self) -> Iterator[DensityForecast]:
+        return iter(self._forecasts)
+
+    def __getitem__(self, index: int) -> DensityForecast:
+        return self._forecasts[index]
+
+    @property
+    def times(self) -> np.ndarray:
+        """Inference indices as an int array."""
+        return np.array([f.t for f in self._forecasts], dtype=int)
+
+    @property
+    def means(self) -> np.ndarray:
+        """Expected true values ``r_hat_t``."""
+        return np.array([f.mean for f in self._forecasts])
+
+    @property
+    def volatilities(self) -> np.ndarray:
+        """Inferred standard deviations ``sigma_hat_t``."""
+        return np.array([f.volatility for f in self._forecasts])
+
+    def pit(self, series: TimeSeries) -> np.ndarray:
+        """Probability integral transforms ``z_t = P_t(r_t)`` (Section II-B).
+
+        ``series`` must be the raw series the forecasts were computed on;
+        each realised value is pushed through its forecast CDF.
+        """
+        out = np.empty(len(self._forecasts))
+        n = len(series)
+        for index, forecast in enumerate(self._forecasts):
+            if forecast.t >= n:
+                raise DataError(
+                    f"forecast for t={forecast.t} has no realised value in a "
+                    f"series of length {n}"
+                )
+            out[index] = forecast.distribution.cdf(series[forecast.t])
+        return out
+
+    def coverage(self, series: TimeSeries) -> float:
+        """Fraction of realised values inside the kappa-scaled bounds."""
+        if not self._forecasts:
+            raise DataError("coverage of an empty DensitySeries")
+        hits = sum(f.contains(series[f.t]) for f in self._forecasts)
+        return hits / len(self._forecasts)
+
+
+class DynamicDensityMetric(ABC):
+    """Base class for every dynamic density metric.
+
+    Subclasses implement :meth:`infer` — one density from one window.  The
+    base class provides the rolling :meth:`run` loop shared by experiments,
+    the view builder and the pipeline.
+    """
+
+    #: Short machine name used by the registry and the SQL METRIC clause.
+    name: str = "abstract"
+
+    #: Smallest window the metric can be fit on; subclasses override.
+    min_window = 3
+
+    @abstractmethod
+    def infer(self, window: np.ndarray, t: int) -> DensityForecast:
+        """Infer ``p_t(R_t)`` from the sliding window ``S^H_{t-1}``."""
+
+    def run(
+        self,
+        series: TimeSeries,
+        H: int,
+        *,
+        start: int | None = None,
+        stop: int | None = None,
+        step: int = 1,
+    ) -> DensitySeries:
+        """Apply the metric over every window of ``series``.
+
+        ``start``/``stop``/``step`` bound and subsample the inference times,
+        mirroring :meth:`TimeSeries.iter_windows`.  Returns the collected
+        :class:`DensitySeries`.
+        """
+        if H < self.min_window:
+            raise InvalidParameterError(
+                f"{type(self).__name__} needs a window of at least "
+                f"{self.min_window} values, got H={H}"
+            )
+        forecasts = [
+            self.infer(window, t)
+            for t, window in series.iter_windows(H, start=start, stop=stop, step=step)
+        ]
+        if not forecasts:
+            raise DataError(
+                f"series of length {len(series)} yields no windows of size {H}"
+            )
+        return DensitySeries(forecasts)

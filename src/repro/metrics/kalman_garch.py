@@ -1,0 +1,100 @@
+"""Kalman-GARCH dynamic density metric (paper Section IV).
+
+Identical to :class:`~repro.metrics.arma_garch.ARMAGARCHMetric` except that
+the expected true value ``r_hat_t`` comes from the local-level Kalman filter
+of eqs. (7)-(8), whose parameters are estimated by EM on each window.  The
+GARCH stage consumes the filter's one-step prediction errors
+``a_i = r_i - r_hat_i`` exactly as the paper prescribes.
+
+The EM loop makes this metric 5-19x slower than ARMA-GARCH in the paper's
+Fig. 11; the ``em_max_iter`` knob trades that cost against mean-estimate
+quality and is exercised by the efficiency benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.gaussian import Gaussian
+from repro.exceptions import EstimationError, InvalidParameterError
+from repro.metrics.base import DensityForecast, DynamicDensityMetric
+from repro.timeseries.garch import GARCHModel
+from repro.timeseries.kalman import KalmanFilter
+from repro.util.validation import require_positive
+
+__all__ = ["KalmanGARCHMetric"]
+
+_VARIANCE_FLOOR = 1e-12
+
+
+class KalmanGARCHMetric(DynamicDensityMetric):
+    """Kalman-filter mean + GARCH volatility.
+
+    Parameters
+    ----------
+    m, s:
+        GARCH orders (paper uses (1, 1)).
+    kappa:
+        Bound scaling factor (paper uses 3).
+    em_max_iter:
+        Maximum EM iterations per window for the Kalman variances.
+    c1, c2:
+        The state/observation constants of eqs. (7)-(8).
+    """
+
+    name = "kalman_garch"
+
+    def __init__(
+        self,
+        m: int = 1,
+        s: int = 1,
+        kappa: float = 3.0,
+        em_max_iter: int = 30,
+        c1: float = 1.0,
+        c2: float = 1.0,
+    ) -> None:
+        if em_max_iter < 1:
+            raise InvalidParameterError(
+                f"em_max_iter must be >= 1, got {em_max_iter}"
+            )
+        self.m = int(m)
+        self.s = int(s)
+        self.kappa = require_positive("kappa", kappa, strict=False)
+        self.em_max_iter = int(em_max_iter)
+        self.c1 = float(c1)
+        self.c2 = float(c2)
+        self.min_window = max(max(self.m, self.s) + 2, 4)
+
+    def infer(self, window: np.ndarray, t: int) -> DensityForecast:
+        """EM-fit the Kalman filter, then GARCH on its prediction errors."""
+        kalman = KalmanFilter().fit_em(
+            window, c1=self.c1, c2=self.c2, max_iter=self.em_max_iter
+        )
+        mean = kalman.predict_next()
+        residuals = window - kalman.fitted_means()
+        # The first prediction error reflects the diffuse prior, not the
+        # dynamics; drop it before volatility estimation.
+        variance = self._garch_variance(residuals[1:])
+        distribution = Gaussian(mean, variance)
+        sigma = distribution.std()
+        return DensityForecast(
+            t=t,
+            mean=mean,
+            distribution=distribution,
+            lower=mean - self.kappa * sigma,
+            upper=mean + self.kappa * sigma,
+            volatility=sigma,
+        )
+
+    def _garch_variance(self, residuals: np.ndarray) -> float:
+        try:
+            garch = GARCHModel(self.m, self.s).fit(residuals)
+            return max(garch.forecast_variance(), _VARIANCE_FLOOR)
+        except EstimationError:
+            return max(float(np.var(residuals)), _VARIANCE_FLOOR)
+
+    def __repr__(self) -> str:
+        return (
+            f"KalmanGARCHMetric(m={self.m}, s={self.s}, kappa={self.kappa}, "
+            f"em_max_iter={self.em_max_iter})"
+        )

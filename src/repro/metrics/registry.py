@@ -1,0 +1,75 @@
+"""Name-based metric construction.
+
+The SQL-like view language (``METRIC arma_garch (p=1, kappa=3)``) and the
+experiment harness refer to metrics by short name; this registry maps those
+names to constructors.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.exceptions import InvalidParameterError
+from repro.metrics.arma_garch import ARMAGARCHMetric
+from repro.metrics.base import DynamicDensityMetric
+from repro.metrics.cgarch import CGARCHMetric
+from repro.metrics.ewma import EWMAMetric
+from repro.metrics.kalman_garch import KalmanGARCHMetric
+from repro.metrics.uniform_threshold import UniformThresholdingMetric
+from repro.metrics.variable_threshold import VariableThresholdingMetric
+
+__all__ = ["available_metrics", "create_metric", "register_metric"]
+
+_REGISTRY: dict[str, Callable[..., DynamicDensityMetric]] = {
+    UniformThresholdingMetric.name: UniformThresholdingMetric,
+    VariableThresholdingMetric.name: VariableThresholdingMetric,
+    ARMAGARCHMetric.name: ARMAGARCHMetric,
+    KalmanGARCHMetric.name: KalmanGARCHMetric,
+    CGARCHMetric.name: CGARCHMetric,
+    EWMAMetric.name: EWMAMetric,
+}
+
+#: Aliases accepted by the SQL layer for readability.
+_ALIASES = {
+    "ut": UniformThresholdingMetric.name,
+    "vt": VariableThresholdingMetric.name,
+    "garch": ARMAGARCHMetric.name,
+    "c-garch": CGARCHMetric.name,
+}
+
+
+def available_metrics() -> tuple[str, ...]:
+    """Names accepted by :func:`create_metric`, canonical ones first."""
+    return tuple(_REGISTRY) + tuple(_ALIASES)
+
+
+def register_metric(name: str, factory: Callable[..., DynamicDensityMetric]) -> None:
+    """Register a custom metric under ``name`` (overwrites silently).
+
+    Allows downstream users to plug their own density metric into the SQL
+    layer and pipeline without modifying this package.
+    """
+    _REGISTRY[name.lower()] = factory
+
+
+def create_metric(name: str, **kwargs: Any) -> DynamicDensityMetric:
+    """Instantiate the metric registered under ``name``.
+
+    >>> create_metric("arma_garch", p=2).p
+    2
+    >>> create_metric("ut", threshold=0.5).threshold
+    0.5
+    """
+    key = name.lower()
+    key = _ALIASES.get(key, key)
+    factory = _REGISTRY.get(key)
+    if factory is None:
+        raise InvalidParameterError(
+            f"unknown metric {name!r}; available: {', '.join(available_metrics())}"
+        )
+    try:
+        return factory(**kwargs)
+    except TypeError as exc:
+        raise InvalidParameterError(
+            f"invalid parameters for metric {name!r}: {exc}"
+        ) from exc

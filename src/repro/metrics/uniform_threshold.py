@@ -1,0 +1,59 @@
+"""Uniform thresholding metric (paper Section III, Fig. 3a).
+
+Extends the Cheng et al. fixed-uncertainty-range idea: an ARMA model infers
+the expected true value ``r_hat_t`` and a user-supplied threshold ``u``
+bounds a uniform density centred on it, so the true value is assumed to lie
+within ``[r_hat_t - u, r_hat_t + u]`` with uniform probability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.uniform import Uniform
+from repro.metrics.base import DensityForecast, DynamicDensityMetric
+from repro.timeseries.arma import ARMAModel
+from repro.util.validation import require_positive
+
+__all__ = ["UniformThresholdingMetric"]
+
+
+class UniformThresholdingMetric(DynamicDensityMetric):
+    """ARMA expected value + user-defined uniform uncertainty range.
+
+    Parameters
+    ----------
+    threshold:
+        The half-width ``u`` of the uncertainty range.  A natural choice is
+        the sensor accuracy (e.g. 0.3 deg C for the campus deployment).
+    p, q:
+        ARMA orders for the expected-true-value model (eq. 2).
+    """
+
+    name = "uniform_threshold"
+
+    def __init__(self, threshold: float, p: int = 1, q: int = 0) -> None:
+        self.threshold = require_positive("threshold", threshold)
+        self.p = int(p)
+        self.q = int(q)
+        self.min_window = max(self.p, self.q) + max(self.p + self.q, 1) + 1
+
+    def infer(self, window: np.ndarray, t: int) -> DensityForecast:
+        """Uniform density of half-width ``threshold`` around the ARMA forecast."""
+        model = ARMAModel(self.p, self.q).fit(window)
+        mean = model.predict_next()
+        distribution = Uniform.centered(mean, self.threshold)
+        return DensityForecast(
+            t=t,
+            mean=mean,
+            distribution=distribution,
+            lower=distribution.low,
+            upper=distribution.high,
+            volatility=distribution.std(),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"UniformThresholdingMetric(threshold={self.threshold}, "
+            f"p={self.p}, q={self.q})"
+        )

@@ -1,0 +1,63 @@
+"""Variable thresholding metric (paper Section III, eq. 3, Fig. 3b).
+
+Unlike uniform thresholding it needs no user threshold: the window's sample
+variance ``s_t^2`` scales a Gaussian centred on the ARMA expected true
+value.  The variance is computed on the *raw* window (not detrended), which
+is exactly the deficiency the GARCH metric later fixes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.gaussian import Gaussian
+from repro.metrics.base import DensityForecast, DynamicDensityMetric
+from repro.timeseries.arma import ARMAModel
+from repro.timeseries.stats import sample_variance
+from repro.util.validation import require_positive
+
+__all__ = ["VariableThresholdingMetric"]
+
+#: Variance floor used when a window is perfectly constant, keeping the
+#: Gaussian well-defined.
+_VARIANCE_FLOOR = 1e-12
+
+
+class VariableThresholdingMetric(DynamicDensityMetric):
+    """ARMA expected value + window-sample-variance Gaussian.
+
+    Parameters
+    ----------
+    p, q:
+        ARMA orders for the expected-true-value model.
+    kappa:
+        Scaling factor for the reported ``lower``/``upper`` bounds
+        (consistent with Algorithm 1; defaults to 3).
+    """
+
+    name = "variable_threshold"
+
+    def __init__(self, p: int = 1, q: int = 0, kappa: float = 3.0) -> None:
+        self.p = int(p)
+        self.q = int(q)
+        self.kappa = require_positive("kappa", kappa, strict=False)
+        self.min_window = max(max(self.p, self.q) + max(self.p + self.q, 1) + 1, 3)
+
+    def infer(self, window: np.ndarray, t: int) -> DensityForecast:
+        """Gaussian ``N(r_hat_t, s_t^2)`` with ``s_t^2`` the window variance."""
+        model = ARMAModel(self.p, self.q).fit(window)
+        mean = model.predict_next()
+        variance = max(sample_variance(window), _VARIANCE_FLOOR)
+        distribution = Gaussian(mean, variance)
+        sigma = distribution.std()
+        return DensityForecast(
+            t=t,
+            mean=mean,
+            distribution=distribution,
+            lower=mean - self.kappa * sigma,
+            upper=mean + self.kappa * sigma,
+            volatility=sigma,
+        )
+
+    def __repr__(self) -> str:
+        return f"VariableThresholdingMetric(p={self.p}, q={self.q}, kappa={self.kappa})"

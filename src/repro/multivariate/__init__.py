@@ -1,0 +1,31 @@
+"""Multivariate extension: densities and views for vector-valued streams.
+
+The paper's motivating example (Fig. 1) is two-dimensional — Alice's
+``(x, y)`` position against a floor plan of rooms — but its machinery is
+presented univariately.  This subpackage provides the natural product
+construction: one dynamic density metric per axis (axis noise is treated
+as independent, the standard assumption for positioning error), labelled
+box regions, and a view builder producing per-region probability tuples —
+the exact ``prob_view`` table of Fig. 1.
+"""
+
+from repro.multivariate.builder import RegionView, RegionViewBuilder, RegionTuple
+from repro.multivariate.metric import (
+    VectorDensityForecast,
+    VectorDensityMetric,
+    VectorDensitySeries,
+)
+from repro.multivariate.regions import Region, RegionSet
+from repro.multivariate.series import MultiSeries
+
+__all__ = [
+    "MultiSeries",
+    "Region",
+    "RegionSet",
+    "RegionTuple",
+    "RegionView",
+    "RegionViewBuilder",
+    "VectorDensityForecast",
+    "VectorDensityMetric",
+    "VectorDensitySeries",
+]

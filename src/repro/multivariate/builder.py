@@ -1,0 +1,113 @@
+"""Region view builder: the paper's Fig. 1 ``prob_view`` as a first-class type.
+
+Turns a :class:`~repro.multivariate.metric.VectorDensitySeries` plus a
+:class:`~repro.multivariate.regions.RegionSet` into a table of
+``(time, region, probability)`` tuples — "the probability of finding Alice
+in a particular room at a given time".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.exceptions import DataError, InvalidParameterError, QueryError
+from repro.multivariate.metric import VectorDensitySeries
+from repro.multivariate.regions import RegionSet
+
+__all__ = ["RegionTuple", "RegionView", "RegionViewBuilder"]
+
+_MASS_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class RegionTuple:
+    """One row of a region view: P(entity in ``region``) at time ``t``."""
+
+    t: int
+    region: str
+    probability: float
+
+    def __post_init__(self) -> None:
+        if not -_MASS_TOLERANCE <= self.probability <= 1.0 + _MASS_TOLERANCE:
+            raise InvalidParameterError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+
+
+class RegionView:
+    """A tuple-independent view over labelled regions."""
+
+    def __init__(self, name: str, tuples: Sequence[RegionTuple],
+                 labels: Sequence[str]) -> None:
+        self.name = str(name)
+        self.labels = tuple(labels)
+        self._tuples = list(tuples)
+        self._by_time: dict[int, dict[str, float]] = {}
+        for tup in self._tuples:
+            bucket = self._by_time.setdefault(tup.t, {})
+            if tup.region in bucket:
+                raise DataError(
+                    f"duplicate region {tup.region!r} at time {tup.t}"
+                )
+            bucket[tup.region] = tup.probability
+        for t, bucket in self._by_time.items():
+            mass = sum(bucket.values())
+            if mass > 1.0 + _MASS_TOLERANCE * max(len(bucket), 1):
+                raise DataError(
+                    f"region probabilities at time {t} sum to {mass:.6f} > 1"
+                )
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[RegionTuple]:
+        return iter(self._tuples)
+
+    @property
+    def times(self) -> list[int]:
+        return sorted(self._by_time)
+
+    def probabilities_at(self, t: int) -> dict[str, float]:
+        """Region-label to probability map for time ``t``."""
+        if t not in self._by_time:
+            raise QueryError(f"view {self.name!r} has no tuples at time {t}")
+        return dict(self._by_time[t])
+
+    def most_probable_at(self, t: int) -> RegionTuple:
+        """The modal region at time ``t`` — "which room is Alice in?"."""
+        bucket = self.probabilities_at(t)
+        label = max(bucket, key=bucket.get)
+        return RegionTuple(t=t, region=label, probability=bucket[label])
+
+    def trajectory(self) -> list[RegionTuple]:
+        """The modal region at every time, in order."""
+        return [self.most_probable_at(t) for t in self.times]
+
+    def __repr__(self) -> str:
+        return (
+            f"RegionView(name={self.name!r}, tuples={len(self)}, "
+            f"times={len(self._by_time)}, regions={len(self.labels)})"
+        )
+
+
+class RegionViewBuilder:
+    """Evaluates the probability value generation query over regions."""
+
+    def __init__(self, regions: RegionSet) -> None:
+        self.regions = regions
+
+    def build_view(
+        self, forecasts: VectorDensitySeries, name: str = "region_view"
+    ) -> RegionView:
+        """One tuple per (time, region) — the paper's Fig. 1 table."""
+        tuples = [
+            RegionTuple(
+                t=forecast.t,
+                region=region.label,
+                probability=min(max(forecast.region_probability(region), 0.0), 1.0),
+            )
+            for forecast in forecasts
+            for region in self.regions
+        ]
+        return RegionView(name, tuples, self.regions.labels)

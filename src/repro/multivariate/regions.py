@@ -1,0 +1,147 @@
+"""Labelled box regions over named axes (the rooms of the paper's Fig. 1)."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping, Sequence
+
+from repro.exceptions import DataError, InvalidParameterError
+
+__all__ = ["Region", "RegionSet"]
+
+
+class Region:
+    """An axis-aligned box with a label.
+
+    >>> room = Region("room 1", {"x": (0.0, 2.0), "y": (2.0, 4.0)})
+    >>> room.contains({"x": 1.0, "y": 3.0})
+    True
+    """
+
+    def __init__(self, label: str, bounds: Mapping[str, tuple[float, float]]) -> None:
+        if not label:
+            raise InvalidParameterError("region label must be non-empty")
+        if not bounds:
+            raise InvalidParameterError("region needs at least one axis bound")
+        self.label = str(label)
+        self.bounds: dict[str, tuple[float, float]] = {}
+        for axis, (low, high) in bounds.items():
+            low, high = float(low), float(high)
+            if high <= low:
+                raise InvalidParameterError(
+                    f"region {label!r} axis {axis!r}: upper bound {high} "
+                    f"must exceed lower bound {low}"
+                )
+            self.bounds[axis] = (low, high)
+
+    @property
+    def axes(self) -> tuple[str, ...]:
+        return tuple(self.bounds)
+
+    def contains(self, point: Mapping[str, float]) -> bool:
+        """True when ``point`` lies inside the box on every bounded axis."""
+        for axis, (low, high) in self.bounds.items():
+            if axis not in point:
+                raise InvalidParameterError(
+                    f"point is missing axis {axis!r} required by region "
+                    f"{self.label!r}"
+                )
+            if not low <= point[axis] <= high:
+                return False
+        return True
+
+    def overlaps(self, other: "Region") -> bool:
+        """True when the two boxes share volume on their common axes.
+
+        Regions bounding disjoint axis sets are conservatively considered
+        overlapping (neither constrains the other's free axes).
+        """
+        for axis in set(self.bounds) & set(other.bounds):
+            a_low, a_high = self.bounds[axis]
+            b_low, b_high = other.bounds[axis]
+            if a_high <= b_low or b_high <= a_low:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{axis}=[{low}, {high}]" for axis, (low, high) in self.bounds.items()
+        )
+        return f"Region({self.label!r}, {parts})"
+
+
+class RegionSet:
+    """An ordered collection of uniquely labelled regions.
+
+    ``require_disjoint=True`` (the default) rejects overlapping regions so
+    per-time probabilities are mutually exclusive — the tuple-independent
+    semantics the paper's ``prob_view`` assumes.
+    """
+
+    def __init__(self, regions: Sequence[Region], *, require_disjoint: bool = True) -> None:
+        if not regions:
+            raise InvalidParameterError("RegionSet needs at least one region")
+        labels = [region.label for region in regions]
+        if len(set(labels)) != len(labels):
+            raise InvalidParameterError(f"duplicate region labels in {labels}")
+        if require_disjoint:
+            for index, first in enumerate(regions):
+                for second in regions[index + 1:]:
+                    if first.overlaps(second):
+                        raise DataError(
+                            f"regions {first.label!r} and {second.label!r} "
+                            "overlap; pass require_disjoint=False to allow"
+                        )
+        self._regions = list(regions)
+
+    @classmethod
+    def grid2d(
+        cls,
+        x_edges: Sequence[float],
+        y_edges: Sequence[float],
+        *,
+        x_axis: str = "x",
+        y_axis: str = "y",
+        label_format: str = "cell({i},{j})",
+    ) -> "RegionSet":
+        """A rectangular grid of cells — e.g. the 2x2 rooms of Fig. 1.
+
+        >>> rooms = RegionSet.grid2d([0, 2, 4], [0, 2, 4])
+        >>> len(rooms)
+        4
+        """
+        if len(x_edges) < 2 or len(y_edges) < 2:
+            raise InvalidParameterError("grid needs at least two edges per axis")
+        regions = []
+        for i in range(len(x_edges) - 1):
+            for j in range(len(y_edges) - 1):
+                regions.append(
+                    Region(
+                        label_format.format(i=i, j=j),
+                        {
+                            x_axis: (float(x_edges[i]), float(x_edges[i + 1])),
+                            y_axis: (float(y_edges[j]), float(y_edges[j + 1])),
+                        },
+                    )
+                )
+        return cls(regions)
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    def __iter__(self) -> Iterator[Region]:
+        return iter(self._regions)
+
+    def __getitem__(self, index: int) -> Region:
+        return self._regions[index]
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return tuple(region.label for region in self._regions)
+
+    def by_label(self, label: str) -> Region:
+        for region in self._regions:
+            if region.label == label:
+                return region
+        raise InvalidParameterError(
+            f"no region labelled {label!r}; labels are {list(self.labels)}"
+        )

@@ -1,0 +1,100 @@
+"""Vector-valued time series: named axes over one shared time base."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+
+import numpy as np
+
+from repro.exceptions import DataError, InvalidParameterError
+from repro.timeseries.series import TimeSeries
+
+__all__ = ["MultiSeries"]
+
+
+class MultiSeries:
+    """Parallel :class:`TimeSeries` sharing one time axis.
+
+    Axes are named (``"x"``, ``"y"``, ...) and index-aligned: position
+    ``i`` of every axis belongs to the same observation, as in the paper's
+    ``raw_values(time, x, y)`` relation.
+
+    >>> import numpy as np
+    >>> ms = MultiSeries({"x": np.array([1.0, 2.0]), "y": np.array([5.0, 6.0])})
+    >>> ms.axes
+    ('x', 'y')
+    >>> ms.point(1)
+    {'x': 2.0, 'y': 6.0}
+    """
+
+    def __init__(
+        self,
+        axes: Mapping[str, np.ndarray],
+        timestamps: np.ndarray | None = None,
+        name: str = "multiseries",
+    ) -> None:
+        if not axes:
+            raise InvalidParameterError("MultiSeries needs at least one axis")
+        self.name = str(name)
+        self._series: dict[str, TimeSeries] = {}
+        shared_timestamps: np.ndarray | None = None
+        length: int | None = None
+        for axis, values in axes.items():
+            series = TimeSeries(values, timestamps, name=f"{name}.{axis}")
+            if length is None:
+                length = len(series)
+                shared_timestamps = series.timestamps
+            elif len(series) != length:
+                raise DataError(
+                    f"axis {axis!r} has {len(series)} values but "
+                    f"previous axes have {length}"
+                )
+            self._series[axis] = series
+        assert shared_timestamps is not None
+        self._timestamps = shared_timestamps
+
+    # ------------------------------------------------------------------
+    # Access.
+    # ------------------------------------------------------------------
+    @property
+    def axes(self) -> tuple[str, ...]:
+        return tuple(self._series)
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        return self._timestamps
+
+    def __len__(self) -> int:
+        return len(self._timestamps)
+
+    def axis(self, name: str) -> TimeSeries:
+        """The univariate series of one axis."""
+        if name not in self._series:
+            raise InvalidParameterError(
+                f"no axis {name!r}; axes are {list(self.axes)}"
+            )
+        return self._series[name]
+
+    def point(self, index: int) -> dict[str, float]:
+        """All axis values of observation ``index``."""
+        return {axis: series[index] for axis, series in self._series.items()}
+
+    def iter_points(self) -> Iterator[dict[str, float]]:
+        """Yield observations as axis dicts, in time order."""
+        for index in range(len(self)):
+            yield self.point(index)
+
+    def slice(self, start: int, stop: int) -> "MultiSeries":
+        """Positional sub-series across every axis."""
+        return MultiSeries(
+            {axis: series.slice(start, stop).values.copy()
+             for axis, series in self._series.items()},
+            self.axis(self.axes[0]).slice(start, stop).timestamps.copy(),
+            name=self.name,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiSeries(name={self.name!r}, axes={list(self.axes)}, "
+            f"n={len(self)})"
+        )

@@ -1,0 +1,199 @@
+"""Timestamped series container and sliding-window access.
+
+The paper (Table I) works with a series ``S = <r_1 ... r_t>`` and sliding
+windows ``S^H_{t-1} = <r_{t-H} ... r_{t-1}>`` whose last element sits one
+step before the inference time ``t``.  :class:`TimeSeries` stores the values
+together with (possibly irregular) timestamps and provides exactly that
+window view, plus the iteration pattern every rolling experiment uses.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DataError, InvalidParameterError
+from repro.util.validation import require_finite_array
+
+__all__ = ["TimeSeries", "SeriesSummary"]
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Descriptive summary of a series; mirrors the paper's Table II rows."""
+
+    name: str
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median_interval: float
+
+    def as_dict(self) -> dict[str, float | int | str]:
+        """Return the summary as a plain dict (used by the Table II bench)."""
+        return {
+            "name": self.name,
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "median_interval": self.median_interval,
+        }
+
+
+class TimeSeries:
+    """A univariate time series: parallel arrays of timestamps and values.
+
+    Parameters
+    ----------
+    values:
+        Raw (imprecise) observations ``r_i``; coerced to ``float64``.
+    timestamps:
+        Monotonically increasing time axis.  Defaults to ``0, 1, 2, ...``.
+    name:
+        Optional label used in summaries and error messages.
+
+    The *index* (position ``0 .. n-1``) and the *timestamp* are distinct:
+    models operate on indices, timestamps carry the physical time (e.g.
+    seconds).  ``window(t, H)`` follows the paper's convention that the
+    window for inference time ``t`` ends at index ``t - 1``.
+    """
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        timestamps: np.ndarray | None = None,
+        name: str = "series",
+    ) -> None:
+        self._values = require_finite_array("values", values)
+        if timestamps is None:
+            self._timestamps = np.arange(self._values.size, dtype=float)
+        else:
+            self._timestamps = require_finite_array("timestamps", timestamps)
+            if self._timestamps.size != self._values.size:
+                raise DataError(
+                    f"timestamps ({self._timestamps.size}) and values "
+                    f"({self._values.size}) must have equal length"
+                )
+            if np.any(np.diff(self._timestamps) <= 0):
+                raise DataError("timestamps must be strictly increasing")
+        self.name = str(name)
+
+    # ------------------------------------------------------------------
+    # Basic container protocol.
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._values.size
+
+    def __getitem__(self, index: int) -> float:
+        return float(self._values[index])
+
+    def __repr__(self) -> str:
+        return f"TimeSeries(name={self.name!r}, n={len(self)})"
+
+    @property
+    def values(self) -> np.ndarray:
+        """The raw values as a read-only float array."""
+        view = self._values.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        """The time axis as a read-only float array."""
+        view = self._timestamps.view()
+        view.flags.writeable = False
+        return view
+
+    # ------------------------------------------------------------------
+    # Windows.
+    # ------------------------------------------------------------------
+    def window(self, t: int, H: int) -> np.ndarray:
+        """Return the sliding window ``S^H_{t-1} = values[t-H : t]``.
+
+        ``t`` is the inference index; the returned window holds the ``H``
+        values *preceding* it, matching Definition 1 of the paper.
+        """
+        if H < 1:
+            raise InvalidParameterError(f"window size H must be >= 1, got {H}")
+        if t < H or t > len(self):
+            raise InvalidParameterError(
+                f"inference index t={t} needs H={H} preceding values "
+                f"in a series of length {len(self)}"
+            )
+        return self._values[t - H : t]
+
+    def iter_windows(
+        self, H: int, *, start: int | None = None, stop: int | None = None, step: int = 1
+    ) -> Iterator[tuple[int, np.ndarray]]:
+        """Yield ``(t, S^H_{t-1})`` for ``t`` in ``[start, stop)``.
+
+        ``start`` defaults to ``H`` (the first index with a full window) and
+        ``stop`` to ``len(self)``.  ``step`` subsamples inference times,
+        which the experiment harness uses to keep rolling runs tractable.
+        """
+        if step < 1:
+            raise InvalidParameterError(f"step must be >= 1, got {step}")
+        first = H if start is None else max(start, H)
+        last = len(self) if stop is None else min(stop, len(self))
+        for t in range(first, last, step):
+            yield t, self._values[t - H : t]
+
+    # ------------------------------------------------------------------
+    # Derived series.
+    # ------------------------------------------------------------------
+    def slice(self, start: int, stop: int) -> TimeSeries:
+        """Return the sub-series of positions ``[start, stop)``."""
+        if not 0 <= start < stop <= len(self):
+            raise InvalidParameterError(
+                f"invalid slice [{start}, {stop}) for series of length {len(self)}"
+            )
+        return TimeSeries(
+            self._values[start:stop].copy(),
+            self._timestamps[start:stop].copy(),
+            name=self.name,
+        )
+
+    def between_times(self, lo: float, hi: float) -> TimeSeries:
+        """Return the sub-series whose *timestamps* fall in ``[lo, hi]``.
+
+        This implements the WHERE clause of the view-generation query.
+        """
+        mask = (self._timestamps >= lo) & (self._timestamps <= hi)
+        if not np.any(mask):
+            raise DataError(
+                f"no samples of {self.name!r} in time range [{lo}, {hi}]"
+            )
+        return TimeSeries(
+            self._values[mask].copy(), self._timestamps[mask].copy(), name=self.name
+        )
+
+    def with_values(self, values: np.ndarray, name: str | None = None) -> TimeSeries:
+        """Return a copy sharing this series' time axis but new values."""
+        values = np.asarray(values, dtype=float)
+        if values.size != len(self):
+            raise DataError(
+                f"replacement values ({values.size}) must match length {len(self)}"
+            )
+        return TimeSeries(values.copy(), self._timestamps.copy(),
+                          name=self.name if name is None else name)
+
+    # ------------------------------------------------------------------
+    # Summaries.
+    # ------------------------------------------------------------------
+    def summary(self) -> SeriesSummary:
+        """Return the Table II style summary of this series."""
+        intervals = np.diff(self._timestamps)
+        return SeriesSummary(
+            name=self.name,
+            count=len(self),
+            mean=float(np.mean(self._values)),
+            std=float(np.std(self._values, ddof=1)) if len(self) > 1 else 0.0,
+            minimum=float(np.min(self._values)),
+            maximum=float(np.max(self._values)),
+            median_interval=float(np.median(intervals)) if intervals.size else 0.0,
+        )

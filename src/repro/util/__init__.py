@@ -1,0 +1,25 @@
+"""Small generic substrates shared across the library.
+
+This subpackage deliberately contains no paper-specific logic: a B-tree
+sorted map (the backing store of the sigma-cache), ASCII table rendering used
+by the experiment harness, seeded random-number helpers, and argument
+validation utilities.
+"""
+
+from repro.util.btree import BTreeMap
+from repro.util.rng import ensure_rng
+from repro.util.tables import format_table
+from repro.util.validation import (
+    require_finite_array,
+    require_in_range,
+    require_positive,
+)
+
+__all__ = [
+    "BTreeMap",
+    "ensure_rng",
+    "format_table",
+    "require_finite_array",
+    "require_in_range",
+    "require_positive",
+]

@@ -1,0 +1,333 @@
+"""An in-memory B-tree sorted map.
+
+The paper stores the pre-computed sigma-cache distributions "in a sorted
+container like a B-tree along with key ``d_s^q * min(sigma)``" (Section VI-B,
+Fig. 9).  This module provides that container: a classic B-tree keyed by
+floats (any totally ordered type works) supporting insertion, exact lookup,
+and the *floor*/*ceiling* searches the cache needs to find the cached
+distribution whose standard deviation lies just below a queried one.
+
+The implementation is a textbook B-tree of minimum degree ``t`` (every node
+except the root holds between ``t - 1`` and ``2t - 1`` keys) with iterative
+descent for searches and the standard single-pass split-on-the-way-down
+insertion, so no parent pointers are required.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import Any
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["BTreeMap"]
+
+
+class _Node:
+    """One B-tree node: sorted ``keys`` with parallel ``values``.
+
+    ``children`` is empty for leaves and has ``len(keys) + 1`` entries for
+    internal nodes.
+    """
+
+    __slots__ = ("keys", "values", "children")
+
+    def __init__(self) -> None:
+        self.keys: list[Any] = []
+        self.values: list[Any] = []
+        self.children: list[_Node] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class BTreeMap:
+    """A sorted map backed by a B-tree.
+
+    Parameters
+    ----------
+    min_degree:
+        The B-tree minimum degree ``t >= 2``.  Nodes hold at most
+        ``2 * t - 1`` keys.  The default of 16 keeps the tree shallow for the
+        few thousand keys a sigma-cache stores while exercising real splits
+        in the unit tests.
+
+    Examples
+    --------
+    >>> tree = BTreeMap()
+    >>> tree[2.0] = "a"
+    >>> tree[5.0] = "b"
+    >>> tree.floor_item(4.9)
+    (2.0, 'a')
+    >>> tree.ceiling_item(2.1)
+    (5.0, 'b')
+    """
+
+    def __init__(self, min_degree: int = 16) -> None:
+        if min_degree < 2:
+            raise InvalidParameterError(
+                f"min_degree must be >= 2, got {min_degree!r}"
+            )
+        self._t = int(min_degree)
+        self._root = _Node()
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Size / containment.
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, key: Any) -> bool:
+        return self.get(key, _MISSING) is not _MISSING
+
+    # ------------------------------------------------------------------
+    # Lookup.
+    # ------------------------------------------------------------------
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Return the value stored under ``key`` or ``default``."""
+        node = self._root
+        while True:
+            index = _bisect_left(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                return node.values[index]
+            if node.is_leaf:
+                return default
+            node = node.children[index]
+
+    def __getitem__(self, key: Any) -> Any:
+        value = self.get(key, _MISSING)
+        if value is _MISSING:
+            raise KeyError(key)
+        return value
+
+    def floor_item(self, key: Any) -> tuple[Any, Any] | None:
+        """Return the ``(key, value)`` pair with the greatest key ``<= key``.
+
+        Returns ``None`` when every stored key exceeds ``key``.  This is the
+        lookup the sigma-cache performs: find the cached distribution whose
+        standard deviation is the largest one not above the queried sigma.
+        """
+        best: tuple[Any, Any] | None = None
+        node = self._root
+        while True:
+            index = _bisect_right(node.keys, key)
+            if index > 0:
+                best = (node.keys[index - 1], node.values[index - 1])
+                if node.keys[index - 1] == key:
+                    return best
+            if node.is_leaf:
+                return best
+            node = node.children[index]
+
+    def ceiling_item(self, key: Any) -> tuple[Any, Any] | None:
+        """Return the ``(key, value)`` pair with the smallest key ``>= key``."""
+        best: tuple[Any, Any] | None = None
+        node = self._root
+        while True:
+            index = _bisect_left(node.keys, key)
+            if index < len(node.keys):
+                best = (node.keys[index], node.values[index])
+                if node.keys[index] == key:
+                    return best
+            if node.is_leaf:
+                return best
+            node = node.children[index]
+
+    def min_item(self) -> tuple[Any, Any]:
+        """Return the smallest ``(key, value)`` pair.
+
+        Raises ``KeyError`` on an empty tree.
+        """
+        if not self._size:
+            raise KeyError("min_item() on empty BTreeMap")
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        return node.keys[0], node.values[0]
+
+    def max_item(self) -> tuple[Any, Any]:
+        """Return the largest ``(key, value)`` pair.
+
+        Raises ``KeyError`` on an empty tree.
+        """
+        if not self._size:
+            raise KeyError("max_item() on empty BTreeMap")
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[-1]
+        return node.keys[-1], node.values[-1]
+
+    # ------------------------------------------------------------------
+    # Insertion.
+    # ------------------------------------------------------------------
+    def __setitem__(self, key: Any, value: Any) -> None:
+        """Insert ``key -> value``, replacing any existing binding."""
+        root = self._root
+        if len(root.keys) == 2 * self._t - 1:
+            new_root = _Node()
+            new_root.children.append(root)
+            self._split_child(new_root, 0)
+            self._root = new_root
+            root = new_root
+        self._insert_nonfull(root, key, value)
+
+    def _split_child(self, parent: _Node, index: int) -> None:
+        """Split the full child ``parent.children[index]`` in two."""
+        t = self._t
+        child = parent.children[index]
+        sibling = _Node()
+        # Median key moves up into the parent.
+        parent.keys.insert(index, child.keys[t - 1])
+        parent.values.insert(index, child.values[t - 1])
+        parent.children.insert(index + 1, sibling)
+        sibling.keys = child.keys[t:]
+        sibling.values = child.values[t:]
+        child.keys = child.keys[: t - 1]
+        child.values = child.values[: t - 1]
+        if not child.is_leaf:
+            sibling.children = child.children[t:]
+            child.children = child.children[:t]
+
+    def _insert_nonfull(self, node: _Node, key: Any, value: Any) -> None:
+        while True:
+            index = _bisect_left(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.values[index] = value  # Replace existing binding.
+                return
+            if node.is_leaf:
+                node.keys.insert(index, key)
+                node.values.insert(index, value)
+                self._size += 1
+                return
+            child = node.children[index]
+            if len(child.keys) == 2 * self._t - 1:
+                self._split_child(node, index)
+                if node.keys[index] == key:
+                    node.values[index] = value
+                    return
+                if key > node.keys[index]:
+                    index += 1
+            node = node.children[index]
+
+    # ------------------------------------------------------------------
+    # Iteration.
+    # ------------------------------------------------------------------
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """Yield ``(key, value)`` pairs in ascending key order."""
+        yield from self._iter_node(self._root)
+
+    def keys(self) -> Iterator[Any]:
+        """Yield keys in ascending order."""
+        for key, _value in self.items():
+            yield key
+
+    def values(self) -> Iterator[Any]:
+        """Yield values in ascending key order."""
+        for _key, value in self.items():
+            yield value
+
+    def __iter__(self) -> Iterator[Any]:
+        return self.keys()
+
+    def _iter_node(self, node: _Node) -> Iterator[tuple[Any, Any]]:
+        if node.is_leaf:
+            yield from zip(node.keys, node.values)
+            return
+        for index, key in enumerate(node.keys):
+            yield from self._iter_node(node.children[index])
+            yield key, node.values[index]
+        yield from self._iter_node(node.children[-1])
+
+    # ------------------------------------------------------------------
+    # Introspection used by tests.
+    # ------------------------------------------------------------------
+    def height(self) -> int:
+        """Return the number of levels in the tree (1 for a lone root)."""
+        height = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+            height += 1
+        return height
+
+    def check_invariants(self) -> None:
+        """Assert the structural B-tree invariants; used by property tests.
+
+        Verifies key ordering inside nodes, separator ordering across
+        children, node fill bounds, and that all leaves sit at equal depth.
+        """
+        leaf_depths: set[int] = set()
+        self._check_node(self._root, depth=0, lo=None, hi=None,
+                         is_root=True, leaf_depths=leaf_depths)
+        assert len(leaf_depths) <= 1, f"leaves at unequal depths: {leaf_depths}"
+
+    def _check_node(
+        self,
+        node: _Node,
+        depth: int,
+        lo: Any,
+        hi: Any,
+        is_root: bool,
+        leaf_depths: set[int],
+    ) -> None:
+        t = self._t
+        assert len(node.keys) == len(node.values)
+        if not is_root:
+            assert len(node.keys) >= t - 1, "underfull node"
+        assert len(node.keys) <= 2 * t - 1, "overfull node"
+        for left, right in zip(node.keys, node.keys[1:]):
+            assert left < right, "keys out of order within node"
+        if node.keys:
+            if lo is not None:
+                assert node.keys[0] > lo, "key violates left separator"
+            if hi is not None:
+                assert node.keys[-1] < hi, "key violates right separator"
+        if node.is_leaf:
+            leaf_depths.add(depth)
+            return
+        assert len(node.children) == len(node.keys) + 1
+        bounds = [lo, *node.keys, hi]
+        for index, child in enumerate(node.children):
+            self._check_node(child, depth + 1, bounds[index], bounds[index + 1],
+                             is_root=False, leaf_depths=leaf_depths)
+
+
+class _Missing:
+    """Sentinel distinguishing 'absent' from a stored ``None``."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid only.
+        return "<missing>"
+
+
+_MISSING = _Missing()
+
+
+def _bisect_left(keys: list[Any], key: Any) -> int:
+    """Leftmost insertion point for ``key`` in the sorted list ``keys``."""
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def _bisect_right(keys: list[Any], key: Any) -> int:
+    """Rightmost insertion point for ``key`` in the sorted list ``keys``."""
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if key < keys[mid]:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo

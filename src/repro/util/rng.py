@@ -1,0 +1,27 @@
+"""Random-number-generator plumbing.
+
+Every stochastic entry point in the library accepts ``rng`` as either a seed,
+a :class:`numpy.random.Generator`, or ``None``; this module centralises the
+coercion so behaviour is reproducible and uniform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Seed used by library code when the caller does not provide one.  Fixed so
+#: examples and benchmarks are reproducible run to run.
+DEFAULT_SEED = 20110411  # ICDE 2011 conference start date.
+
+
+def ensure_rng(rng: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``rng``.
+
+    ``None`` maps to a generator seeded with :data:`DEFAULT_SEED`; an integer
+    is used as a seed; an existing generator is passed through unchanged.
+    """
+    if rng is None:
+        return np.random.default_rng(DEFAULT_SEED)
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)

@@ -1,0 +1,77 @@
+"""Plain-text table rendering for the experiment harness.
+
+The benchmark modules print the same rows/series the paper's figures report;
+this module renders them as aligned ASCII tables so the output is readable in
+pytest logs without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+
+def _render_cell(value: Any, float_format: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    title: str | None = None,
+    float_format: str = ".4g",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Floats are formatted with ``float_format``; booleans print as yes/no.
+    Returns the table as a single string (no trailing newline).
+
+    >>> print(format_table(["a", "b"], [[1, 2.5]]))
+    a  b
+    -  ---
+    1  2.5
+    """
+    header_cells = [str(h) for h in headers]
+    body = [[_render_cell(value, float_format) for value in row] for row in rows]
+    for row in body:
+        if len(row) != len(header_cells):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(header_cells)} headers"
+            )
+    widths = [len(cell) for cell in header_cells]
+    for row in body:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def join(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(join(header_cells))
+    lines.append(join(["-" * width for width in widths]))
+    lines.extend(join(row) for row in body)
+    return "\n".join(lines)
+
+
+def rows_from_dicts(
+    records: Sequence[dict[str, Any]],
+    headers: Sequence[str] | None = None,
+) -> tuple[list[str], list[list[Any]]]:
+    """Convert a list of dict records to ``(headers, rows)`` for formatting.
+
+    When ``headers`` is omitted the keys of the first record are used, in
+    insertion order.  Missing keys render as empty strings.
+    """
+    if not records:
+        return list(headers or []), []
+    keys = list(headers) if headers is not None else list(records[0].keys())
+    rows = [[record.get(key, "") for key in keys] for record in records]
+    return keys, rows

@@ -1,0 +1,32 @@
+"""Omega-view builder: from inferred densities to probabilistic views.
+
+Implements Section VI of the paper: the probability value generation query
+(Definition 2) over the ranges ``Omega = {r_hat_t + lambda * Delta}``, the
+SQL-like ``CREATE VIEW ... AS DENSITY ...`` language, and the sigma-cache
+that reuses CDF computations across time steps under provable distance and
+memory constraints (Theorems 1 and 2).
+"""
+
+from repro.view.builder import ProbabilityRow, ViewBuilder
+from repro.view.hellinger import (
+    hellinger_distance,
+    ratio_threshold_for_distance,
+    ratio_threshold_for_memory,
+)
+from repro.view.omega import OmegaGrid, OmegaRange
+from repro.view.sigma_cache import CacheStatistics, SigmaCache
+from repro.view.sql import ViewQuery, parse_view_query
+
+__all__ = [
+    "CacheStatistics",
+    "OmegaGrid",
+    "OmegaRange",
+    "ProbabilityRow",
+    "SigmaCache",
+    "ViewBuilder",
+    "ViewQuery",
+    "hellinger_distance",
+    "parse_view_query",
+    "ratio_threshold_for_distance",
+    "ratio_threshold_for_memory",
+]

@@ -1,0 +1,91 @@
+"""Hellinger distance between Gaussians and the sigma-cache theorems.
+
+Section VI-B of the paper: for two zero-mean (mean-shifted) Gaussian CDFs
+``P_t`` and ``P_t'`` with standard deviations ``sigma_t`` and ``sigma_t'``,
+
+    H^2[P_t, P_t'] = 1 - sqrt( 2 * sigma_t * sigma_t' / (sigma_t^2 + sigma_t'^2) )    (eq. 10)
+
+* Theorem 1 (distance constraint): approximating ``P_t'`` by ``P_t`` keeps
+  the Hellinger distance within a user bound ``H'`` provided the ratio
+  ``d_s = sigma_t' / sigma_t`` satisfies eq. (11).
+* Theorem 2 (memory constraint): storing at most ``Q'`` distributions needs
+  ``d_s >= D_s^(1/Q')`` with ``D_s = max(sigma)/min(sigma)`` (eq. 14).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import InvalidParameterError
+from repro.util.validation import require_positive
+
+__all__ = [
+    "hellinger_distance",
+    "ratio_threshold_for_distance",
+    "ratio_threshold_for_memory",
+]
+
+
+def hellinger_distance(sigma_t: float, sigma_t_prime: float) -> float:
+    """Hellinger distance between two zero-mean Gaussians (eq. 10).
+
+    Symmetric in its arguments, zero iff the sigmas are equal, and bounded
+    in ``[0, 1)`` for positive sigmas.
+
+    >>> hellinger_distance(1.0, 1.0)
+    0.0
+    >>> 0.0 < hellinger_distance(1.0, 2.0) < 1.0
+    True
+    """
+    sigma_t = require_positive("sigma_t", sigma_t)
+    sigma_t_prime = require_positive("sigma_t_prime", sigma_t_prime)
+    ratio = 2.0 * sigma_t * sigma_t_prime / (sigma_t**2 + sigma_t_prime**2)
+    squared = 1.0 - math.sqrt(ratio)
+    return math.sqrt(max(squared, 0.0))
+
+
+def ratio_threshold_for_distance(distance_constraint: float) -> float:
+    """Largest ratio ``d_s`` guaranteeing ``H <= H'`` — Theorem 1, eq. (11).
+
+    Solving ``(1 - H'^2) * sqrt(1 + d_s^2) = sqrt(2) * d_s`` for the upper
+    root gives
+
+        d_s = ( 2 + sqrt(4 - 4 * (1 - H'^2)^4) ) / ( 2 * (1 - H'^2)^2 ).
+
+    ``d_s`` is monotonically increasing in ``H'`` and tends to 1 as
+    ``H' -> 0`` (no slack: every sigma needs its own cached distribution).
+
+    >>> ratio_threshold_for_distance(0.0)
+    1.0
+    >>> ratio_threshold_for_distance(0.01) > 1.0
+    True
+    """
+    h = float(distance_constraint)
+    if not 0.0 <= h < 1.0:
+        raise InvalidParameterError(
+            f"distance_constraint must be in [0, 1), got {distance_constraint!r}"
+        )
+    if h == 0.0:
+        return 1.0
+    one_minus = (1.0 - h * h) ** 2
+    discriminant = 4.0 - 4.0 * one_minus * one_minus
+    return (2.0 + math.sqrt(max(discriminant, 0.0))) / (2.0 * one_minus)
+
+
+def ratio_threshold_for_memory(max_ratio: float, q_max: int) -> float:
+    """Smallest ratio ``d_s`` storing at most ``q_max`` distributions — Theorem 2.
+
+    ``max_ratio`` is ``D_s = max(sigma)/min(sigma)`` over the queried
+    tuples; the bound is ``d_s >= D_s^(1/Q')`` (eq. 14).
+
+    >>> ratio_threshold_for_memory(16.0, 4)
+    2.0
+    """
+    max_ratio = require_positive("max_ratio", max_ratio)
+    if max_ratio < 1.0:
+        raise InvalidParameterError(
+            f"max_ratio must be >= 1 (it is max/min), got {max_ratio}"
+        )
+    if q_max < 1:
+        raise InvalidParameterError(f"q_max must be >= 1, got {q_max}")
+    return max_ratio ** (1.0 / q_max)

@@ -1,0 +1,116 @@
+"""Omega range construction (paper Section VI, Definition 2).
+
+A probabilistic view decomposes the value domain into ranges
+``Omega = {omega_1 .. omega_n}``.  The paper parameterises them around the
+expected true value: ``Omega = { [r_hat + lambda*Delta, r_hat + (lambda+1)*Delta] }``
+for ``lambda = -n/2 .. n/2 - 1``, controlled by the *view parameters*
+``Delta`` (range width) and ``n`` (an even range count).
+:class:`OmegaGrid` captures the ``(Delta, n)`` pair; :class:`OmegaRange`
+is one labelled interval, also usable standalone for irregular range sets
+such as the rooms of the paper's Fig. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.util.validation import require_positive
+
+__all__ = ["OmegaGrid", "OmegaRange"]
+
+
+@dataclass(frozen=True)
+class OmegaRange:
+    """One range ``omega_i = [low, high]`` with an optional label.
+
+    >>> room = OmegaRange(0.0, 2.0, label="room 1")
+    >>> room.contains(1.5), room.width
+    (True, 2.0)
+    """
+
+    low: float
+    high: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not (np.isfinite(self.low) and np.isfinite(self.high)):
+            raise InvalidParameterError(
+                f"range bounds must be finite, got [{self.low}, {self.high}]"
+            )
+        if self.high <= self.low:
+            raise InvalidParameterError(
+                f"range upper bound must exceed lower, got [{self.low}, {self.high}]"
+            )
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+class OmegaGrid:
+    """The paper's ``(Delta, n)`` view parameters.
+
+    Parameters
+    ----------
+    delta:
+        Width of each range (``Delta > 0``).  Smaller values give the view
+        finer granularity.
+    n:
+        Even number of ranges laid symmetrically around the expected true
+        value.
+
+    >>> grid = OmegaGrid(delta=2.0, n=2)
+    >>> [(r.low, r.high) for r in grid.ranges_around(10.0)]
+    [(8.0, 10.0), (10.0, 12.0)]
+    """
+
+    def __init__(self, delta: float, n: int) -> None:
+        self.delta = require_positive("delta", delta)
+        if n < 2 or n % 2 != 0:
+            raise InvalidParameterError(f"n must be a positive even integer, got {n}")
+        self.n = int(n)
+
+    @property
+    def lambdas(self) -> np.ndarray:
+        """The offsets ``lambda = -n/2 .. n/2 - 1`` (one per range)."""
+        half = self.n // 2
+        return np.arange(-half, half)
+
+    def edges_around(self, center: float) -> np.ndarray:
+        """The ``n + 1`` range edges ``center + lambda * delta``.
+
+        These are exactly the points at which the view builder (and the
+        sigma-cache) evaluate the CDF in eq. (9).
+        """
+        half = self.n // 2
+        return center + self.delta * np.arange(-half, half + 1)
+
+    def ranges_around(self, center: float) -> list[OmegaRange]:
+        """Materialise the ``n`` labelled ranges around ``center``."""
+        edges = self.edges_around(center)
+        return [
+            OmegaRange(float(edges[i]), float(edges[i + 1]),
+                       label=f"lambda={int(lam)}")
+            for i, lam in enumerate(self.lambdas)
+        ]
+
+    def total_width(self) -> float:
+        """Overall support covered by the grid, ``n * delta``."""
+        return self.n * self.delta
+
+    def __repr__(self) -> str:
+        return f"OmegaGrid(delta={self.delta}, n={self.n})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OmegaGrid):
+            return NotImplemented
+        return self.delta == other.delta and self.n == other.n
+
+    def __hash__(self) -> int:
+        return hash((self.delta, self.n))

@@ -1,0 +1,356 @@
+"""SQL-like language for probabilistic view generation (paper Fig. 7).
+
+The paper's offline mode lets users create probabilistic views with a
+declarative query::
+
+    CREATE VIEW prob_view AS DENSITY r OVER t
+        OMEGA delta=2, n=2
+        FROM raw_values
+        WHERE t >= 1 AND t <= 3
+
+This module implements a tokenizer and recursive-descent parser for that
+syntax plus the natural extensions the framework needs (all optional):
+
+* ``METRIC arma_garch (p=1, kappa=3.0)`` — which dynamic density metric to
+  use and its parameters (default: ``arma_garch``);
+* ``WINDOW 60``                        — sliding-window size ``H``;
+* ``CACHE (distance=0.01)`` / ``CACHE (memory=32)`` — sigma-cache
+  constraints (omitting the clause disables the cache).
+
+Keywords are case-insensitive; identifiers and numbers follow Python rules.
+Parsing produces an inert :class:`ViewQuery`; execution belongs to
+:class:`repro.db.engine.Database`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.exceptions import ParseError
+
+__all__ = ["ViewQuery", "parse_view_query"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>[-+]?\d+(?:\.\d*)?(?:[eE][-+]?\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.\-]*)
+  | (?P<op><=|>=|=|,|\(|\)|<|>)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "create", "view", "as", "density", "over", "omega", "metric",
+    "window", "cache", "from", "where", "and", "between",
+}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # "number" | "ident" | "op" | "end"
+    text: str
+    position: int
+
+    @property
+    def lowered(self) -> str:
+        return self.text.lower()
+
+
+@dataclass
+class ViewQuery:
+    """Parsed form of a ``CREATE VIEW ... AS DENSITY ...`` statement."""
+
+    view_name: str
+    value_column: str
+    time_column: str
+    delta: float
+    n: int
+    table_name: str
+    metric_name: str = "arma_garch"
+    metric_params: dict[str, Any] = field(default_factory=dict)
+    window: int | None = None
+    cache_distance: float | None = None
+    cache_memory: int | None = None
+    time_lo: float | None = None
+    time_hi: float | None = None
+
+    @property
+    def uses_cache(self) -> bool:
+        return self.cache_distance is not None or self.cache_memory is not None
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {text[position]!r} at offset {position}",
+                position,
+            )
+        if match.lastgroup != "ws":
+            kind = match.lastgroup or "op"
+            tokens.append(_Token(kind, match.group(), position))
+        position = match.end()
+    tokens.append(_Token("end", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token plumbing -------------------------------------------------
+    def peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        if token.kind != "end":
+            self.index += 1
+        return token
+
+    def expect_keyword(self, keyword: str) -> _Token:
+        token = self.advance()
+        if token.kind != "ident" or token.lowered != keyword:
+            raise ParseError(
+                f"expected keyword {keyword.upper()!r}, got {token.text!r}",
+                token.position,
+            )
+        return token
+
+    def accept_keyword(self, keyword: str) -> bool:
+        token = self.peek()
+        if token.kind == "ident" and token.lowered == keyword:
+            self.advance()
+            return True
+        return False
+
+    def expect_ident(self, what: str) -> str:
+        token = self.advance()
+        if token.kind != "ident" or token.lowered in _KEYWORDS:
+            raise ParseError(
+                f"expected {what}, got {token.text!r}", token.position
+            )
+        return token.text
+
+    def expect_op(self, op: str) -> None:
+        token = self.advance()
+        if token.kind != "op" or token.text != op:
+            raise ParseError(f"expected {op!r}, got {token.text!r}", token.position)
+
+    def expect_number(self, what: str) -> float:
+        token = self.advance()
+        if token.kind != "number":
+            raise ParseError(
+                f"expected a number for {what}, got {token.text!r}", token.position
+            )
+        return float(token.text)
+
+    def expect_int(self, what: str) -> int:
+        value = self.expect_number(what)
+        if value != int(value):
+            raise ParseError(f"{what} must be an integer, got {value}")
+        return int(value)
+
+    # -- grammar --------------------------------------------------------
+    def parse(self) -> ViewQuery:
+        self.expect_keyword("create")
+        self.expect_keyword("view")
+        view_name = self.expect_ident("view name")
+        self.expect_keyword("as")
+        self.expect_keyword("density")
+        value_column = self.expect_ident("value column")
+        self.expect_keyword("over")
+        time_column = self.expect_ident("time column")
+        self.expect_keyword("omega")
+        delta, n = self._parse_omega()
+        metric_name, metric_params = "arma_garch", {}
+        window: int | None = None
+        cache_distance: float | None = None
+        cache_memory: int | None = None
+        while True:
+            if self.accept_keyword("metric"):
+                metric_name, metric_params = self._parse_metric()
+            elif self.accept_keyword("window"):
+                window = self.expect_int("window size")
+            elif self.accept_keyword("cache"):
+                cache_distance, cache_memory = self._parse_cache()
+            else:
+                break
+        self.expect_keyword("from")
+        table_name = self.expect_ident("table name")
+        time_lo: float | None = None
+        time_hi: float | None = None
+        if self.accept_keyword("where"):
+            time_lo, time_hi = self._parse_where(time_column)
+        tail = self.peek()
+        if tail.kind != "end":
+            raise ParseError(
+                f"unexpected trailing input {tail.text!r}", tail.position
+            )
+        return ViewQuery(
+            view_name=view_name,
+            value_column=value_column,
+            time_column=time_column,
+            delta=delta,
+            n=n,
+            table_name=table_name,
+            metric_name=metric_name,
+            metric_params=metric_params,
+            window=window,
+            cache_distance=cache_distance,
+            cache_memory=cache_memory,
+            time_lo=time_lo,
+            time_hi=time_hi,
+        )
+
+    def _parse_omega(self) -> tuple[float, int]:
+        """``delta=<number>, n=<int>`` in either order."""
+        delta: float | None = None
+        n: int | None = None
+        for _ in range(2):
+            name = self.expect_ident("omega parameter").lower()
+            self.expect_op("=")
+            if name == "delta":
+                delta = self.expect_number("delta")
+            elif name == "n":
+                n = self.expect_int("n")
+            else:
+                raise ParseError(f"unknown OMEGA parameter {name!r}")
+            if not (self.peek().kind == "op" and self.peek().text == ","):
+                break
+            self.advance()
+        if delta is None or n is None:
+            raise ParseError("OMEGA clause requires both delta and n")
+        return delta, n
+
+    def _parse_metric(self) -> tuple[str, dict[str, Any]]:
+        """``<name> [( key = value {, key = value} )]``."""
+        token = self.advance()
+        if token.kind != "ident":
+            raise ParseError(
+                f"expected metric name, got {token.text!r}", token.position
+            )
+        name = token.text
+        params: dict[str, Any] = {}
+        if self.peek().kind == "op" and self.peek().text == "(":
+            self.advance()
+            while True:
+                key = self.expect_ident("metric parameter name")
+                self.expect_op("=")
+                params[key] = self._parse_value()
+                token = self.advance()
+                if token.kind == "op" and token.text == ")":
+                    break
+                if not (token.kind == "op" and token.text == ","):
+                    raise ParseError(
+                        f"expected ',' or ')' in metric parameters, got "
+                        f"{token.text!r}",
+                        token.position,
+                    )
+        return name, params
+
+    def _parse_value(self) -> Any:
+        token = self.advance()
+        if token.kind == "number":
+            value = float(token.text)
+            return int(value) if value == int(value) else value
+        if token.kind == "ident":
+            lowered = token.lowered
+            if lowered in ("true", "false"):
+                return lowered == "true"
+            return token.text
+        raise ParseError(f"expected a value, got {token.text!r}", token.position)
+
+    def _parse_cache(self) -> tuple[float | None, int | None]:
+        """``( distance = <number> | memory = <int> {, ...} )``."""
+        self.expect_op("(")
+        distance: float | None = None
+        memory: int | None = None
+        while True:
+            key = self.expect_ident("cache parameter").lower()
+            self.expect_op("=")
+            if key == "distance":
+                distance = self.expect_number("cache distance")
+            elif key == "memory":
+                memory = self.expect_int("cache memory")
+            else:
+                raise ParseError(
+                    f"unknown CACHE parameter {key!r}; use distance or memory"
+                )
+            token = self.advance()
+            if token.kind == "op" and token.text == ")":
+                break
+            if not (token.kind == "op" and token.text == ","):
+                raise ParseError(
+                    f"expected ',' or ')' in CACHE clause, got {token.text!r}",
+                    token.position,
+                )
+        return distance, memory
+
+    def _parse_where(self, time_column: str) -> tuple[float | None, float | None]:
+        """``t >= a AND t <= b`` (either order) or ``t BETWEEN a AND b``."""
+        lo: float | None = None
+        hi: float | None = None
+        column = self.expect_ident("time column in WHERE")
+        if column != time_column:
+            raise ParseError(
+                f"WHERE must constrain the time column {time_column!r}, "
+                f"got {column!r}"
+            )
+        if self.accept_keyword("between"):
+            lo = self.expect_number("lower time bound")
+            self.expect_keyword("and")
+            hi = self.expect_number("upper time bound")
+            return lo, hi
+        lo, hi = self._apply_comparison(lo, hi)
+        if self.accept_keyword("and"):
+            column = self.expect_ident("time column in WHERE")
+            if column != time_column:
+                raise ParseError(
+                    f"WHERE must constrain the time column {time_column!r}, "
+                    f"got {column!r}"
+                )
+            lo, hi = self._apply_comparison(lo, hi)
+        return lo, hi
+
+    def _apply_comparison(
+        self, lo: float | None, hi: float | None
+    ) -> tuple[float | None, float | None]:
+        token = self.advance()
+        if token.kind != "op" or token.text not in (">=", "<=", ">", "<"):
+            raise ParseError(
+                f"expected a comparison operator, got {token.text!r}",
+                token.position,
+            )
+        value = self.expect_number("time bound")
+        if token.text in (">=", ">"):
+            if lo is not None:
+                raise ParseError("duplicate lower time bound in WHERE")
+            return value, hi
+        if hi is not None:
+            raise ParseError("duplicate upper time bound in WHERE")
+        return lo, value
+
+
+def parse_view_query(text: str) -> ViewQuery:
+    """Parse a ``CREATE VIEW ... AS DENSITY ...`` statement.
+
+    >>> query = parse_view_query(
+    ...     "CREATE VIEW prob_view AS DENSITY r OVER t "
+    ...     "OMEGA delta=2, n=2 FROM raw_values WHERE t >= 1 AND t <= 3")
+    >>> query.view_name, query.delta, query.n, query.time_lo, query.time_hi
+    ('prob_view', 2.0, 2, 1.0, 3.0)
+    """
+    if not text or not text.strip():
+        raise ParseError("empty query")
+    return _Parser(text).parse()

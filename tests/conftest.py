@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import campus_temperature, car_gps
+from repro.distributions.gaussian import Gaussian
+from repro.metrics.base import DensityForecast, DensitySeries
+from repro.timeseries.series import TimeSeries
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator; tests that need randomness share this seed."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def campus_series() -> TimeSeries:
+    """A small campus-data slice shared (read-only) across the session."""
+    return campus_temperature(600, rng=0)
+
+
+@pytest.fixture(scope="session")
+def car_series() -> TimeSeries:
+    """A small car-data slice shared (read-only) across the session."""
+    return car_gps(600, rng=0)
+
+
+@pytest.fixture
+def simple_series() -> TimeSeries:
+    """A short deterministic trend + wiggle series for metric tests."""
+    t = np.arange(120, dtype=float)
+    values = 10.0 + 0.05 * t + np.sin(t / 5.0)
+    return TimeSeries(values, name="simple")
+
+
+@pytest.fixture
+def gaussian_forecasts() -> DensitySeries:
+    """Five hand-built Gaussian forecasts with varied volatility."""
+    forecasts = []
+    for index, (mean, sigma) in enumerate(
+        [(10.0, 0.5), (10.5, 0.8), (11.0, 1.2), (10.8, 0.6), (10.2, 2.0)]
+    ):
+        forecasts.append(
+            DensityForecast(
+                t=60 + index,
+                mean=mean,
+                distribution=Gaussian(mean, sigma**2),
+                lower=mean - 3 * sigma,
+                upper=mean + 3 * sigma,
+                volatility=sigma,
+            )
+        )
+    return DensitySeries(forecasts)

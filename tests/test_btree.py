@@ -1,0 +1,172 @@
+"""Tests for the B-tree sorted map backing the sigma-cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.util.btree import BTreeMap
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = BTreeMap()
+        assert len(tree) == 0
+        assert not tree
+        assert 1.0 not in tree
+        assert tree.get(1.0) is None
+        assert tree.get(1.0, "fallback") == "fallback"
+
+    def test_single_insert_and_lookup(self):
+        tree = BTreeMap()
+        tree[3.5] = "x"
+        assert len(tree) == 1
+        assert tree[3.5] == "x"
+        assert 3.5 in tree
+
+    def test_getitem_missing_raises_keyerror(self):
+        tree = BTreeMap()
+        tree[1.0] = "a"
+        with pytest.raises(KeyError):
+            tree[2.0]
+
+    def test_replace_existing_key_keeps_size(self):
+        tree = BTreeMap()
+        tree[1.0] = "a"
+        tree[1.0] = "b"
+        assert len(tree) == 1
+        assert tree[1.0] == "b"
+
+    def test_stored_none_distinct_from_absent(self):
+        tree = BTreeMap()
+        tree[1.0] = None
+        assert 1.0 in tree
+        assert tree.get(1.0, "fallback") is None
+
+    def test_min_degree_validation(self):
+        with pytest.raises(InvalidParameterError):
+            BTreeMap(min_degree=1)
+
+    def test_min_max_on_empty_raise(self):
+        tree = BTreeMap()
+        with pytest.raises(KeyError):
+            tree.min_item()
+        with pytest.raises(KeyError):
+            tree.max_item()
+
+
+class TestOrderedAccess:
+    def setup_method(self):
+        self.tree = BTreeMap(min_degree=2)  # Small degree forces splits.
+        self.keys = [5.0, 1.0, 9.0, 3.0, 7.0, 2.0, 8.0, 4.0, 6.0, 0.0]
+        for key in self.keys:
+            self.tree[key] = f"v{key}"
+
+    def test_iteration_is_sorted(self):
+        assert list(self.tree.keys()) == sorted(self.keys)
+
+    def test_items_pairs_match(self):
+        for key, value in self.tree.items():
+            assert value == f"v{key}"
+
+    def test_min_max(self):
+        assert self.tree.min_item() == (0.0, "v0.0")
+        assert self.tree.max_item() == (9.0, "v9.0")
+
+    def test_floor_exact(self):
+        assert self.tree.floor_item(5.0) == (5.0, "v5.0")
+
+    def test_floor_between_keys(self):
+        assert self.tree.floor_item(5.5) == (5.0, "v5.0")
+
+    def test_floor_below_minimum_is_none(self):
+        assert self.tree.floor_item(-0.5) is None
+
+    def test_floor_above_maximum_is_max(self):
+        assert self.tree.floor_item(100.0) == (9.0, "v9.0")
+
+    def test_ceiling_exact(self):
+        assert self.tree.ceiling_item(5.0) == (5.0, "v5.0")
+
+    def test_ceiling_between_keys(self):
+        assert self.tree.ceiling_item(5.5) == (6.0, "v6.0")
+
+    def test_ceiling_above_maximum_is_none(self):
+        assert self.tree.ceiling_item(9.5) is None
+
+    def test_ceiling_below_minimum_is_min(self):
+        assert self.tree.ceiling_item(-10.0) == (0.0, "v0.0")
+
+    def test_invariants_hold_after_splits(self):
+        self.tree.check_invariants()
+        assert self.tree.height() > 1  # Ten keys at degree 2 must split.
+
+
+class TestScale:
+    def test_many_sequential_inserts(self):
+        tree = BTreeMap(min_degree=3)
+        n = 2000
+        for i in range(n):
+            tree[float(i)] = i
+        assert len(tree) == n
+        tree.check_invariants()
+        assert list(tree.keys()) == [float(i) for i in range(n)]
+
+    def test_many_random_inserts_with_duplicates(self):
+        rng = np.random.default_rng(0)
+        tree = BTreeMap(min_degree=4)
+        reference: dict[float, int] = {}
+        for i, raw in enumerate(rng.integers(0, 500, size=3000)):
+            key = float(raw)
+            tree[key] = i
+            reference[key] = i
+        assert len(tree) == len(reference)
+        tree.check_invariants()
+        for key, value in reference.items():
+            assert tree[key] == value
+
+    def test_height_is_logarithmic(self):
+        tree = BTreeMap(min_degree=16)
+        for i in range(10000):
+            tree[float(i)] = i
+        # Degree 16 -> at least 16 keys per internal node: height <= 4.
+        assert tree.height() <= 4
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=-10000, max_value=10000), min_size=0, max_size=300))
+def test_btree_matches_dict_reference(keys):
+    """Insertions match a dict + sorted() reference implementation."""
+    tree = BTreeMap(min_degree=2)
+    reference: dict[int, int] = {}
+    for index, key in enumerate(keys):
+        tree[key] = index
+        reference[key] = index
+    assert len(tree) == len(reference)
+    assert list(tree.keys()) == sorted(reference)
+    for key, value in reference.items():
+        assert tree[key] == value
+    tree.check_invariants()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=200,
+             unique=True),
+    st.integers(min_value=-100, max_value=1100),
+)
+def test_btree_floor_ceiling_match_reference(keys, probe):
+    """floor/ceiling agree with a brute-force scan of the sorted keys."""
+    tree = BTreeMap(min_degree=2)
+    for key in keys:
+        tree[key] = key
+    sorted_keys = sorted(keys)
+    floor_expected = max((k for k in sorted_keys if k <= probe), default=None)
+    ceil_expected = min((k for k in sorted_keys if k >= probe), default=None)
+    floor_actual = tree.floor_item(probe)
+    ceil_actual = tree.ceiling_item(probe)
+    assert (floor_actual[0] if floor_actual else None) == floor_expected
+    assert (ceil_actual[0] if ceil_actual else None) == ceil_expected

@@ -1,0 +1,151 @@
+"""Tests for the Omega-view builder (eq. 9) and its cached path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions.gaussian import Gaussian
+from repro.distributions.uniform import Uniform
+from repro.exceptions import InvalidParameterError
+from repro.metrics.base import DensityForecast, DensitySeries
+from repro.view.builder import ViewBuilder
+from repro.view.omega import OmegaGrid, OmegaRange
+from repro.view.sigma_cache import SigmaCache
+
+
+def _gaussian_forecast(t=0, mean=10.0, sigma=1.0):
+    return DensityForecast(
+        t=t, mean=mean, distribution=Gaussian(mean, sigma**2),
+        lower=mean - 3 * sigma, upper=mean + 3 * sigma, volatility=sigma,
+    )
+
+
+class TestNaivePath:
+    def test_row_matches_eq9(self):
+        """rho_lambda = P(edge_{lambda+1}) - P(edge_lambda)."""
+        grid = OmegaGrid(delta=1.0, n=4)
+        forecast = _gaussian_forecast(mean=5.0, sigma=2.0)
+        row = ViewBuilder(grid).build_row(forecast)
+        g = forecast.distribution
+        expected = [
+            g.prob(3.0, 4.0), g.prob(4.0, 5.0), g.prob(5.0, 6.0), g.prob(6.0, 7.0)
+        ]
+        np.testing.assert_allclose(row.probabilities, expected, atol=1e-12)
+
+    def test_probabilities_sum_below_one(self):
+        grid = OmegaGrid(delta=0.5, n=4)  # Narrow grid truncates tails.
+        row = ViewBuilder(grid).build_row(_gaussian_forecast(sigma=3.0))
+        assert 0.0 < row.total_mass < 1.0
+
+    def test_wide_grid_captures_nearly_all_mass(self):
+        grid = OmegaGrid(delta=1.0, n=12)  # +/- 6 sigma.
+        row = ViewBuilder(grid).build_row(_gaussian_forecast(sigma=1.0))
+        assert row.total_mass == pytest.approx(1.0, abs=1e-6)
+
+    def test_symmetric_distribution_symmetric_row(self):
+        grid = OmegaGrid(delta=0.5, n=6)
+        row = ViewBuilder(grid).build_row(_gaussian_forecast(mean=0.0, sigma=1.0))
+        np.testing.assert_allclose(
+            row.probabilities, row.probabilities[::-1], atol=1e-12
+        )
+
+    def test_uniform_forecast_supported(self):
+        grid = OmegaGrid(delta=0.5, n=4)
+        forecast = DensityForecast(
+            t=0, mean=2.0, distribution=Uniform(1.0, 3.0),
+            lower=1.0, upper=3.0, volatility=Uniform(1.0, 3.0).std(),
+        )
+        row = ViewBuilder(grid).build_row(forecast)
+        assert row.total_mass == pytest.approx(1.0, abs=1e-12)
+
+    def test_rows_for_series(self, gaussian_forecasts):
+        rows = ViewBuilder(OmegaGrid(0.5, 6)).build_rows(gaussian_forecasts)
+        assert len(rows) == len(gaussian_forecasts)
+        assert [r.t for r in rows] == list(gaussian_forecasts.times)
+
+
+class TestCachedPath:
+    def test_cache_grid_mismatch_rejected(self):
+        cache = SigmaCache(OmegaGrid(0.5, 4), 0.5, 5.0, distance_constraint=0.05)
+        with pytest.raises(InvalidParameterError):
+            ViewBuilder(OmegaGrid(0.5, 6), cache)
+
+    def test_cached_rows_close_to_naive(self, gaussian_forecasts):
+        grid = OmegaGrid(delta=0.5, n=6)
+        naive = ViewBuilder(grid)
+        cached = naive.with_cache_for(gaussian_forecasts, distance_constraint=0.005)
+        for forecast in gaussian_forecasts:
+            exact = naive.build_row(forecast).probabilities
+            approx = cached.build_row(forecast).probabilities
+            # A tight Hellinger constraint implies close probability rows.
+            np.testing.assert_allclose(approx, exact, atol=0.02)
+
+    def test_cached_row_errors_shrink_with_constraint(self, gaussian_forecasts):
+        grid = OmegaGrid(delta=0.5, n=6)
+        naive = ViewBuilder(grid)
+
+        def max_error(constraint):
+            cached = naive.with_cache_for(
+                gaussian_forecasts, distance_constraint=constraint
+            )
+            worst = 0.0
+            for forecast in gaussian_forecasts:
+                exact = naive.build_row(forecast).probabilities
+                approx = cached.build_row(forecast).probabilities
+                worst = max(worst, float(np.max(np.abs(approx - exact))))
+            return worst
+
+        assert max_error(0.001) <= max_error(0.1) + 1e-12
+
+    def test_non_gaussian_forecast_falls_back_to_naive(self):
+        grid = OmegaGrid(delta=0.5, n=4)
+        forecasts = DensitySeries([_gaussian_forecast(t=0)])
+        builder = ViewBuilder(grid).with_cache_for(
+            forecasts, distance_constraint=0.05
+        )
+        uniform_forecast = DensityForecast(
+            t=1, mean=2.0, distribution=Uniform(1.0, 3.0),
+            lower=1.0, upper=3.0, volatility=Uniform(1.0, 3.0).std(),
+        )
+        row = builder.build_row(uniform_forecast)
+        assert row.total_mass == pytest.approx(1.0, abs=1e-12)
+
+    def test_with_cache_for_sizes_from_forecasts(self, gaussian_forecasts):
+        grid = OmegaGrid(delta=0.5, n=6)
+        builder = ViewBuilder(grid).with_cache_for(
+            gaussian_forecasts, distance_constraint=0.01
+        )
+        sigmas = gaussian_forecasts.volatilities
+        assert builder.cache.min_sigma == pytest.approx(float(sigmas.min()))
+        assert builder.cache.max_sigma == pytest.approx(float(sigmas.max()))
+
+
+class TestCustomRanges:
+    def test_room_probabilities(self):
+        """The Fig. 1 scenario: probability of each room for a position."""
+        forecast = _gaussian_forecast(mean=1.0, sigma=1.0)
+        rooms = [
+            OmegaRange(-2.0, 0.0, label="room 1"),
+            OmegaRange(0.0, 2.0, label="room 2"),
+            OmegaRange(2.0, 4.0, label="room 3"),
+        ]
+        probabilities = ViewBuilder.probabilities_for_ranges(forecast, rooms)
+        assert probabilities["room 2"] > probabilities["room 1"]
+        assert probabilities["room 2"] > probabilities["room 3"]
+        assert sum(probabilities.values()) <= 1.0 + 1e-9
+
+    def test_unlabelled_ranges_get_indices(self):
+        forecast = _gaussian_forecast()
+        out = ViewBuilder.probabilities_for_ranges(
+            forecast, [OmegaRange(9.0, 10.0), OmegaRange(10.0, 11.0)]
+        )
+        assert set(out) == {"omega_0", "omega_1"}
+
+    def test_iter_rows_lazy_equivalent(self, gaussian_forecasts):
+        builder = ViewBuilder(OmegaGrid(0.5, 4))
+        eager = builder.build_rows(gaussian_forecasts)
+        lazy = list(builder.iter_rows(gaussian_forecasts))
+        assert len(eager) == len(lazy)
+        for a, b in zip(eager, lazy):
+            np.testing.assert_array_equal(a.probabilities, b.probabilities)

@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_names_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["query", "CREATE ..."])
+        assert args.data == "campus"
+        assert args.head == 12
+
+
+class TestCommands:
+    def test_experiment_prints_table(self, capsys):
+        exit_code = main(["experiment", "fig14b"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "max ratio Ds" in captured.out
+
+    def test_generate_and_query_roundtrip(self, tmp_path, capsys):
+        csv_path = str(tmp_path / "data.csv")
+        assert main(["generate", "campus", csv_path, "--scale", "0.03"]) == 0
+        capsys.readouterr()
+        exit_code = main([
+            "query",
+            "CREATE VIEW v AS DENSITY r OVER t OMEGA delta=0.5, n=4 "
+            "METRIC vt WINDOW 40 FROM raw_values",
+            "--data", csv_path,
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "created ProbabilisticView" in captured.out
+        assert "lambda=" in captured.out
+
+    def test_query_reports_errors_cleanly(self, capsys):
+        exit_code = main([
+            "query", "CREATE GARBAGE", "--data", "campus", "--scale", "0.03",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "error:" in captured.err
+
+    def test_arch_test_runs(self, capsys):
+        exit_code = main([
+            "arch-test", "--data", "campus", "--scale", "0.03", "--max-lag", "2",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Phi(m)" in captured.out
+
+    def test_generate_humidity(self, tmp_path, capsys):
+        csv_path = str(tmp_path / "humidity.csv")
+        assert main(["generate", "humidity", csv_path, "--scale", "0.03"]) == 0
+        captured = capsys.readouterr()
+        assert "campus-humidity" in captured.out

@@ -1,0 +1,181 @@
+"""Tests for the synthetic datasets, error injection and loaders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.errors import inject_errors
+from repro.data.loaders import dataset_summary, load_series_csv, save_series_csv
+from repro.data.synthetic import (
+    CAMPUS_SAMPLES,
+    CAR_SAMPLES,
+    campus_temperature,
+    car_gps,
+    make_dataset,
+)
+from repro.exceptions import InvalidParameterError
+from repro.timeseries.stats import rolling_variance
+
+
+class TestCampusData:
+    def test_shape_and_interval(self):
+        series = campus_temperature(1000, rng=0)
+        assert len(series) == 1000
+        np.testing.assert_allclose(np.diff(series.timestamps), 120.0)
+
+    def test_plausible_temperature_range(self):
+        series = campus_temperature(3000, rng=0)
+        assert -20.0 < series.values.min() < series.values.max() < 50.0
+
+    def test_diurnal_cycle_present(self):
+        series = campus_temperature(1440, rng=0)  # Two days.
+        day = 720  # Samples per day at 2 minutes.
+        first, second = series.values[:day], series.values[day : 2 * day]
+        # Same-phase correlation across days must be strongly positive.
+        corr = np.corrcoef(first, second)[0, 1]
+        assert corr > 0.5
+
+    def test_volatility_regimes_exist(self):
+        series = campus_temperature(3000, rng=0)
+        variances = rolling_variance(series.values, 30)
+        assert np.percentile(variances, 90) > 3.0 * np.percentile(variances, 10)
+
+    def test_reproducible(self):
+        a = campus_temperature(100, rng=5).values
+        b = campus_temperature(100, rng=5).values
+        np.testing.assert_array_equal(a, b)
+
+    def test_default_size_matches_table2(self):
+        # Do not generate the full series here; just check the constant.
+        assert CAMPUS_SAMPLES == 18031
+
+
+class TestCarData:
+    def test_shape_and_mixed_intervals(self):
+        series = car_gps(1000, rng=0)
+        assert len(series) == 1000
+        intervals = np.diff(series.timestamps)
+        assert set(np.unique(intervals)).issubset({1.0, 2.0})
+
+    def test_contains_stops(self):
+        """The drive model must produce near-zero-velocity stretches."""
+        series = car_gps(3000, rng=0)
+        speed = np.abs(np.diff(series.values))
+        smoothed = np.convolve(speed, np.ones(20) / 20.0, mode="valid")
+        # During a stop only GPS noise moves the fix: mean |diff of noise|
+        # is about 2 * sigma_gps / sqrt(pi) ~ 3.8 m at +-10 m accuracy.
+        assert smoothed.min() < 5.0  # A stop (GPS noise only).
+        assert smoothed.max() > 8.0  # A cruise segment.
+
+    def test_default_size_matches_table2(self):
+        assert CAR_SAMPLES == 10473
+
+
+class TestMakeDataset:
+    def test_scaling(self):
+        series = make_dataset("campus", scale=0.1, rng=0)
+        assert len(series) == int(CAMPUS_SAMPLES * 0.1)
+
+    def test_name_normalisation(self):
+        assert make_dataset("campus-data", scale=0.05).name == "campus-data"
+        assert make_dataset("CAR", scale=0.05).name == "car-data"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            make_dataset("weather")
+
+    def test_scale_domain(self):
+        with pytest.raises(InvalidParameterError):
+            make_dataset("campus", scale=0.0)
+        with pytest.raises(InvalidParameterError):
+            make_dataset("campus", scale=1.5)
+
+    def test_minimum_size_floor(self):
+        assert len(make_dataset("campus", scale=0.001)) >= 400
+
+
+class TestInjectErrors:
+    def test_count_and_indices(self):
+        series = campus_temperature(500, rng=0)
+        result = inject_errors(series, 10, rng=1)
+        assert result.error_indices.size == 10
+        assert result.series.name.endswith("+errors")
+
+    def test_spikes_are_large(self):
+        series = campus_temperature(500, rng=0)
+        result = inject_errors(series, 5, magnitude=10.0, rng=2)
+        spread = np.std(series.values, ddof=1)
+        deviations = np.abs(
+            result.series.values[result.error_indices]
+            - np.mean(series.values)
+        )
+        assert np.all(deviations > 5.0 * spread)
+
+    def test_originals_recorded(self):
+        series = campus_temperature(300, rng=0)
+        result = inject_errors(series, 4, rng=3)
+        np.testing.assert_array_equal(
+            result.original_values, series.values[result.error_indices]
+        )
+
+    def test_protect_prefix_respected(self):
+        series = campus_temperature(300, rng=0)
+        result = inject_errors(series, 20, rng=4, protect_prefix=100)
+        assert np.all(result.error_indices >= 100)
+
+    def test_bursts_are_consecutive(self):
+        series = campus_temperature(2000, rng=0)
+        result = inject_errors(series, 40, max_burst=4, rng=5)
+        assert result.error_indices.size == 40
+        gaps = np.diff(result.error_indices)
+        assert np.any(gaps == 1)  # At least one multi-value burst.
+
+    def test_burst_signs_consistent(self):
+        series = campus_temperature(2000, rng=0)
+        result = inject_errors(series, 30, max_burst=5, rng=6)
+        center = float(np.mean(series.values))
+        corrupted = result.series.values
+        indices = result.error_indices
+        for left, right in zip(indices, indices[1:]):
+            if right - left == 1:  # Same burst.
+                assert np.sign(corrupted[left] - center) == np.sign(
+                    corrupted[right] - center
+                )
+
+    def test_too_many_errors_rejected(self):
+        series = campus_temperature(400, rng=0)
+        with pytest.raises(InvalidParameterError):
+            inject_errors(series, 500, rng=7)
+
+    def test_validation(self):
+        series = campus_temperature(400, rng=0)
+        with pytest.raises(InvalidParameterError):
+            inject_errors(series, 0)
+        with pytest.raises(InvalidParameterError):
+            inject_errors(series, 1, magnitude=0.0)
+        with pytest.raises(InvalidParameterError):
+            inject_errors(series, 1, max_burst=0)
+
+    def test_original_series_untouched(self):
+        series = campus_temperature(300, rng=0)
+        before = series.values.copy()
+        inject_errors(series, 5, rng=8)
+        np.testing.assert_array_equal(series.values, before)
+
+
+class TestLoaders:
+    def test_series_roundtrip(self, tmp_path):
+        series = campus_temperature(50, rng=0)
+        path = tmp_path / "series.csv"
+        save_series_csv(series, path)
+        loaded = load_series_csv(path, name="campus-data")
+        np.testing.assert_array_equal(loaded.values, series.values)
+        np.testing.assert_array_equal(loaded.timestamps, series.timestamps)
+
+    def test_dataset_summary_rows(self):
+        rows = dataset_summary(scale=0.03)
+        assert len(rows) == 2
+        assert rows[0]["dataset"] == "campus-data"
+        assert rows[1]["dataset"] == "car-data"
+        assert all("accuracy" in row for row in rows)

@@ -1,0 +1,265 @@
+"""Tests for tables, probabilistic views, queries, storage and the engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db.engine import Database
+from repro.db.prob_view import ProbTuple, ProbabilisticView
+from repro.db.queries import (
+    expected_value_query,
+    most_probable_range_query,
+    range_probability_query,
+    threshold_query,
+)
+from repro.db.storage import (
+    load_table_csv,
+    load_view_csv,
+    save_table_csv,
+    save_view_csv,
+)
+from repro.db.table import Table
+from repro.exceptions import DataError, InvalidParameterError, QueryError
+
+
+def _sample_view() -> ProbabilisticView:
+    """Two times x three ranges, like a tiny prob_view from Fig. 1."""
+    tuples = [
+        ProbTuple(t=1, low=0.0, high=1.0, probability=0.5, label="room 1"),
+        ProbTuple(t=1, low=1.0, high=2.0, probability=0.3, label="room 2"),
+        ProbTuple(t=1, low=2.0, high=3.0, probability=0.2, label="room 3"),
+        ProbTuple(t=2, low=0.0, high=1.0, probability=0.1, label="room 1"),
+        ProbTuple(t=2, low=1.0, high=2.0, probability=0.6, label="room 2"),
+        ProbTuple(t=2, low=2.0, high=3.0, probability=0.3, label="room 3"),
+    ]
+    return ProbabilisticView("prob_view", tuples)
+
+
+class TestTable:
+    def test_insert_mapping_and_sequence(self):
+        table = Table("raw_values", ["t", "r"])
+        table.insert({"t": 1.0, "r": 4.2})
+        table.insert((2.0, 5.9))
+        assert len(table) == 2
+        np.testing.assert_array_equal(table.column("r"), [4.2, 5.9])
+
+    def test_insert_missing_column_rejected(self):
+        table = Table("x", ["a", "b"])
+        with pytest.raises(DataError, match="missing"):
+            table.insert({"a": 1.0})
+
+    def test_insert_wrong_arity_rejected(self):
+        table = Table("x", ["a", "b"])
+        with pytest.raises(DataError):
+            table.insert((1.0,))
+
+    def test_insert_nan_rejected(self):
+        table = Table("x", ["a"])
+        with pytest.raises(DataError):
+            table.insert({"a": float("nan")})
+
+    def test_unknown_column_rejected(self):
+        table = Table("x", ["a"])
+        with pytest.raises(QueryError, match="no column"):
+            table.column("b")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Table("x", ["a", "a"])
+
+    def test_select_range(self):
+        table = Table("x", ["t", "r"])
+        table.insert_many([(float(i), float(i * 10)) for i in range(10)])
+        subset = table.select(where_column="t", low=3.0, high=6.0)
+        np.testing.assert_array_equal(subset.column("t"), [3.0, 4.0, 5.0, 6.0])
+
+    def test_select_open_bounds(self):
+        table = Table("x", ["t"])
+        table.insert_many([(float(i),) for i in range(5)])
+        assert len(table.select(where_column="t", low=3.0)) == 2
+        assert len(table.select(where_column="t", high=1.0)) == 2
+        assert len(table.select()) == 5
+
+    def test_to_series_sorts_by_time(self):
+        table = Table("x", ["t", "r"], data={
+            "t": np.array([3.0, 1.0, 2.0]),
+            "r": np.array([30.0, 10.0, 20.0]),
+        })
+        series = table.to_series("r", "t")
+        np.testing.assert_array_equal(series.values, [10.0, 20.0, 30.0])
+
+    def test_rows_iteration(self):
+        table = Table("x", ["a", "b"])
+        table.insert((1.0, 2.0))
+        assert list(table.rows()) == [{"a": 1.0, "b": 2.0}]
+
+    def test_initial_data_length_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            Table("x", ["a", "b"], data={"a": np.zeros(2), "b": np.zeros(3)})
+
+
+class TestProbabilisticView:
+    def test_times_and_tuples_at(self):
+        view = _sample_view()
+        assert view.times == [1, 2]
+        assert len(view.tuples_at(1)) == 3
+
+    def test_missing_time_rejected(self):
+        with pytest.raises(QueryError):
+            _sample_view().tuples_at(99)
+
+    def test_probability_at_value(self):
+        view = _sample_view()
+        assert view.probability_at(1, 0.5) == pytest.approx(0.5)
+        assert view.probability_at(2, 1.5) == pytest.approx(0.6)
+        assert view.probability_at(1, 10.0) == 0.0
+
+    def test_total_mass(self):
+        assert _sample_view().total_mass_at(1) == pytest.approx(1.0)
+
+    def test_mass_above_one_rejected(self):
+        tuples = [
+            ProbTuple(t=1, low=0.0, high=1.0, probability=0.8),
+            ProbTuple(t=1, low=1.0, high=2.0, probability=0.8),
+        ]
+        with pytest.raises(DataError, match="sum"):
+            ProbabilisticView("bad", tuples)
+
+    def test_tuple_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ProbTuple(t=0, low=1.0, high=0.0, probability=0.5)
+        with pytest.raises(InvalidParameterError):
+            ProbTuple(t=0, low=0.0, high=1.0, probability=1.5)
+
+
+class TestQueries:
+    def test_threshold_query(self):
+        hits = threshold_query(_sample_view(), 0.5)
+        assert {(tup.t, tup.label) for tup in hits} == {
+            (1, "room 1"), (2, "room 2"),
+        }
+
+    def test_threshold_validation(self):
+        with pytest.raises(InvalidParameterError):
+            threshold_query(_sample_view(), 1.5)
+
+    def test_most_probable_range(self):
+        modal = most_probable_range_query(_sample_view())
+        assert modal[1].label == "room 1"
+        assert modal[2].label == "room 2"
+
+    def test_range_probability_full_overlap(self):
+        out = range_probability_query(_sample_view(), 0.0, 3.0)
+        assert out[1] == pytest.approx(1.0)
+
+    def test_range_probability_partial_overlap(self):
+        out = range_probability_query(_sample_view(), 0.5, 1.0)
+        # Half of room 1's range at t=1: 0.5 * 0.5.
+        assert out[1] == pytest.approx(0.25)
+
+    def test_range_probability_validation(self):
+        with pytest.raises(InvalidParameterError):
+            range_probability_query(_sample_view(), 2.0, 1.0)
+
+    def test_expected_value(self):
+        out = expected_value_query(_sample_view())
+        expected_t1 = 0.5 * 0.5 + 0.3 * 1.5 + 0.2 * 2.5
+        assert out[1] == pytest.approx(expected_t1)
+
+
+class TestStorage:
+    def test_table_roundtrip(self, tmp_path):
+        table = Table("raw", ["t", "r"])
+        table.insert_many([(1.0, 2.5), (2.0, 3.25)])
+        path = tmp_path / "raw.csv"
+        save_table_csv(table, path)
+        loaded = load_table_csv(path)
+        assert loaded.columns == ("t", "r")
+        np.testing.assert_array_equal(loaded.column("r"), [2.5, 3.25])
+
+    def test_view_roundtrip(self, tmp_path):
+        view = _sample_view()
+        path = tmp_path / "view.csv"
+        save_view_csv(view, path)
+        loaded = load_view_csv(path)
+        assert len(loaded) == len(view)
+        assert loaded.tuples_at(1)[0].label == "room 1"
+
+    def test_load_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("nonsense,header\n1,2\n")
+        with pytest.raises(DataError):
+            load_view_csv(path)
+
+    def test_load_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataError):
+            load_table_csv(path)
+
+
+class TestEngine:
+    @pytest.fixture
+    def db(self, campus_series):
+        database = Database()
+        table = Table("raw_values", ["t", "r"])
+        table.insert_many(
+            zip(campus_series.timestamps.tolist(), campus_series.values.tolist())
+        )
+        database.register_table(table)
+        return database
+
+    def test_end_to_end_view_creation(self, db):
+        view = db.execute(
+            "CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=0.5, n=6 "
+            "METRIC variable_threshold WINDOW 40 FROM raw_values"
+        )
+        assert view.name == "pv"
+        assert len(view) > 0
+        assert db.view("pv") is view
+        assert all(0.0 <= tup.probability <= 1.0 for tup in view)
+
+    def test_where_clause_limits_rows(self, db, campus_series):
+        hi = float(campus_series.timestamps[200])
+        view = db.execute(
+            f"CREATE VIEW pv2 AS DENSITY r OVER t OMEGA delta=0.5, n=4 "
+            f"METRIC variable_threshold WINDOW 50 FROM raw_values "
+            f"WHERE t >= 0 AND t <= {hi}"
+        )
+        # 201 rows matched, window 50 -> 151 inference times x 4 ranges.
+        assert len(view) == 151 * 4
+
+    def test_cache_clause_used(self, db):
+        view = db.execute(
+            "CREATE VIEW pv3 AS DENSITY r OVER t OMEGA delta=0.5, n=6 "
+            "METRIC variable_threshold WINDOW 40 CACHE (distance=0.01) "
+            "FROM raw_values"
+        )
+        assert len(view) > 0
+
+    def test_unknown_table_rejected(self, db):
+        with pytest.raises(QueryError, match="unknown table"):
+            db.execute(
+                "CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1, n=2 "
+                "FROM no_such_table"
+            )
+
+    def test_unknown_view_rejected(self, db):
+        with pytest.raises(QueryError, match="unknown view"):
+            db.view("nope")
+
+    def test_too_narrow_where_rejected(self, db):
+        with pytest.raises(QueryError, match="not enough"):
+            db.execute(
+                "CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1, n=2 "
+                "WINDOW 100 FROM raw_values WHERE t >= 0 AND t <= 10"
+            )
+
+    def test_list_catalog(self, db):
+        assert db.list_tables() == ["raw_values"]
+        db.execute(
+            "CREATE VIEW zz AS DENSITY r OVER t OMEGA delta=1, n=2 "
+            "METRIC variable_threshold WINDOW 30 FROM raw_values"
+        )
+        assert "zz" in db.list_views()

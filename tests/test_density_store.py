@@ -1,0 +1,146 @@
+"""Tests for the density store (persisted p_t(R_t))."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import campus_temperature
+from repro.db.density_store import DensityStore, StoredDensity
+from repro.distributions.gaussian import Gaussian
+from repro.distributions.histogram import HistogramDistribution
+from repro.distributions.uniform import Uniform
+from repro.exceptions import DataError, InvalidParameterError, QueryError
+from repro.metrics.base import DensityForecast
+from repro.metrics.uniform_threshold import UniformThresholdingMetric
+from repro.metrics.variable_threshold import VariableThresholdingMetric
+from repro.view.builder import ViewBuilder
+from repro.view.omega import OmegaGrid
+
+
+def _gaussian_forecast(t, mean=10.0, sigma=1.0):
+    return DensityForecast(
+        t=t, mean=mean, distribution=Gaussian(mean, sigma**2),
+        lower=mean - 3 * sigma, upper=mean + 3 * sigma, volatility=sigma,
+    )
+
+
+class TestAppend:
+    def test_gaussian_roundtrip(self):
+        store = DensityStore()
+        store.append(_gaussian_forecast(5, mean=2.0, sigma=0.5))
+        row = store.at(5)
+        dist = row.to_distribution()
+        assert isinstance(dist, Gaussian)
+        assert dist.mu == 2.0
+        assert dist.std() == pytest.approx(0.5)
+
+    def test_uniform_roundtrip(self):
+        store = DensityStore()
+        forecast = DensityForecast(
+            t=3, mean=1.0, distribution=Uniform(0.0, 2.0),
+            lower=0.0, upper=2.0, volatility=Uniform(0.0, 2.0).std(),
+        )
+        store.append(forecast)
+        dist = store.at(3).to_distribution()
+        assert isinstance(dist, Uniform)
+        assert (dist.low, dist.high) == (0.0, 2.0)
+
+    def test_times_must_increase(self):
+        store = DensityStore()
+        store.append(_gaussian_forecast(5))
+        with pytest.raises(InvalidParameterError):
+            store.append(_gaussian_forecast(5))
+        with pytest.raises(InvalidParameterError):
+            store.append(_gaussian_forecast(4))
+
+    def test_unsupported_family_rejected(self):
+        hist = HistogramDistribution.from_samples(np.arange(10.0), n_bins=5)
+        forecast = DensityForecast(
+            t=0, mean=hist.mean(), distribution=hist,
+            lower=0.0, upper=9.0, volatility=hist.std(),
+        )
+        with pytest.raises(InvalidParameterError, match="family"):
+            DensityStore().append(forecast)
+
+    def test_append_series(self, campus_series):
+        store = DensityStore()
+        forecasts = VariableThresholdingMetric().run(campus_series, 40, step=5)
+        store.append_series(forecasts)
+        assert len(store) == len(forecasts)
+
+
+class TestQuerying:
+    def setup_method(self):
+        self.store = DensityStore()
+        for t in (10, 20, 30, 40):
+            self.store.append(_gaussian_forecast(t, mean=float(t), sigma=t / 10.0))
+
+    def test_between_range(self):
+        series = self.store.between(15, 35)
+        assert list(series.times) == [20, 30]
+
+    def test_between_empty_rejected(self):
+        with pytest.raises(QueryError):
+            self.store.between(100, 200)
+
+    def test_at_missing_time(self):
+        with pytest.raises(QueryError):
+            self.store.at(15)
+
+    def test_all_rehydrates_everything(self):
+        series = self.store.all()
+        assert len(series) == 4
+        np.testing.assert_allclose(series.means, [10.0, 20.0, 30.0, 40.0])
+
+    def test_volatility_extremes(self):
+        lo, hi = self.store.volatility_extremes()
+        assert lo == pytest.approx(1.0)
+        assert hi == pytest.approx(4.0)
+
+    def test_empty_store_queries_rejected(self):
+        empty = DensityStore()
+        with pytest.raises(QueryError):
+            empty.all()
+        with pytest.raises(QueryError):
+            empty.volatility_extremes()
+
+
+class TestPersistence:
+    def test_csv_roundtrip(self, tmp_path, campus_series):
+        metric = UniformThresholdingMetric(threshold=0.4)
+        forecasts = metric.run(campus_series, 40, step=20)
+        store = DensityStore()
+        store.append_series(forecasts)
+        path = tmp_path / "densities.csv"
+        store.save_csv(path)
+        loaded = DensityStore.load_csv(path)
+        assert len(loaded) == len(store)
+        original = store.all()
+        restored = loaded.all()
+        np.testing.assert_allclose(restored.means, original.means)
+        np.testing.assert_allclose(
+            restored.volatilities, original.volatilities
+        )
+
+    def test_load_rejects_wrong_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(DataError):
+            DensityStore.load_csv(path)
+
+
+class TestViewsFromStore:
+    def test_store_feeds_builder_identically(self, campus_series):
+        """Views from stored densities equal views from live forecasts."""
+        metric = VariableThresholdingMetric()
+        forecasts = metric.run(campus_series, 40, step=10)
+        store = DensityStore()
+        store.append_series(forecasts)
+        grid = OmegaGrid(0.5, 6)
+        builder = ViewBuilder(grid)
+        live_rows = builder.build_rows(forecasts)
+        stored_rows = builder.build_rows(store.all())
+        for a, b in zip(live_rows, stored_rows):
+            np.testing.assert_allclose(a.probabilities, b.probabilities,
+                                       atol=1e-12)

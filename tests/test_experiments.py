@@ -1,0 +1,125 @@
+"""Smoke + shape tests for the experiment harness at tiny scale.
+
+Each experiment must return a well-formed table whose qualitative shape
+matches the paper's claim; the full-size runs live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.experiments import (
+    get_scale,
+    run_fig04,
+    run_fig05,
+    run_fig12,
+    run_fig14a,
+    run_fig14b,
+    run_fig15,
+    run_table02,
+)
+from repro.experiments.common import ExperimentTable, steps_for
+
+TINY = 0.03
+
+
+class TestCommon:
+    def test_scale_resolution_priority(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert get_scale() == 0.5
+        assert get_scale(0.25) == 0.25
+        monkeypatch.delenv("REPRO_SCALE")
+        assert 0.0 < get_scale() <= 1.0
+
+    def test_scale_domain(self):
+        with pytest.raises(InvalidParameterError):
+            get_scale(0.0)
+        with pytest.raises(InvalidParameterError):
+            get_scale(2.0)
+
+    def test_steps_for(self):
+        assert steps_for(1000, 100) == 10
+        assert steps_for(5, 100) == 1
+        with pytest.raises(InvalidParameterError):
+            steps_for(100, 0)
+
+    def test_table_add_row_arity_checked(self):
+        table = ExperimentTable("X", "t", ["a", "b"])
+        with pytest.raises(InvalidParameterError):
+            table.add_row(1)
+
+    def test_table_column_extraction(self):
+        table = ExperimentTable("X", "t", ["a", "b"])
+        table.add_row(1, 2)
+        table.add_row(3, 4)
+        assert table.column("b") == [2, 4]
+        with pytest.raises(InvalidParameterError):
+            table.column("c")
+
+    def test_render_contains_title_and_notes(self):
+        table = ExperimentTable("Fig. X", "demo", ["a"], notes="hello")
+        table.add_row(1)
+        text = table.render()
+        assert "Fig. X" in text and "hello" in text
+
+
+class TestTable02:
+    def test_two_dataset_rows(self):
+        table = run_table02(TINY)
+        assert len(table.rows) == 2
+        assert table.column("dataset") == ["campus-data", "car-data"]
+
+
+class TestFig04:
+    def test_regimes_present_in_both_datasets(self):
+        table = run_fig04(TINY)
+        assert all(table.column("regimes present"))
+
+
+class TestFig05:
+    def test_cgarch_bounds_far_tighter_than_garch(self):
+        table = run_fig05(TINY)
+        widths = dict(zip(table.column("model"), table.column("max bound width")))
+        assert widths["C-GARCH"] < widths["ARMA-GARCH"]
+
+    def test_cgarch_flags_errors(self):
+        table = run_fig05(TINY)
+        flagged = dict(zip(table.column("model"), table.column("errors flagged")))
+        assert flagged["C-GARCH"] > 0
+
+
+class TestFig12:
+    def test_arma_garch_degrades_with_order(self):
+        table = run_fig12(TINY, orders=(2, 8))
+        dd = table.column("ARMA-GARCH")
+        assert all(d > 0 for d in dd)
+        # At tiny scale the trend is noisy; require only that p=8 is not
+        # dramatically better (the paper's shape, with slack).
+        assert dd[-1] > dd[0] * 0.6
+
+
+class TestFig14:
+    def test_cache_speedup_above_one(self):
+        table = run_fig14a(sizes=(2000, 4000))
+        assert all(s > 1.0 for s in table.column("speedup"))
+
+    def test_cache_size_grows_logarithmically(self):
+        table = run_fig14b(ratios=(100.0, 10000.0))
+        counts = table.column("distributions")
+        # 100x ratio increase adds only a constant factor ~2 of rows.
+        assert counts[1] < counts[0] * 3
+
+
+class TestFig15:
+    def test_campus_rejects_harder_than_car(self):
+        table = run_fig15(TINY, lags=(1, 2))
+        margins = {}
+        for row in table.rows:
+            margins.setdefault(row[0], []).append(row[5])
+        assert min(margins["campus-data"]) > max(margins["car-data"]) * 0.8
+
+    def test_campus_rejects_at_small_lags(self):
+        table = run_fig15(TINY, lags=(1,))
+        campus_rows = [r for r in table.rows if r[0] == "campus-data"]
+        assert campus_rows[0][4] is True

@@ -1,0 +1,176 @@
+"""Tests for GARCH estimation, filtering, forecasting and the gradient."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError, InvalidParameterError, NotFittedError
+from repro.timeseries.garch import GARCHModel, GARCHParams
+
+
+def _make_params(omega=0.2, alpha=0.15, beta=0.7) -> GARCHParams:
+    return GARCHParams(
+        omega=omega, alpha=np.array([alpha]), beta=np.array([beta])
+    )
+
+
+class TestParams:
+    def test_persistence(self):
+        assert _make_params().persistence == pytest.approx(0.85)
+
+    def test_unconditional_variance(self):
+        params = _make_params(omega=0.3, alpha=0.1, beta=0.6)
+        assert params.unconditional_variance == pytest.approx(0.3 / 0.3)
+
+    def test_unconditional_variance_nonstationary_is_inf(self):
+        params = _make_params(alpha=0.5, beta=0.6)
+        assert params.unconditional_variance == float("inf")
+
+    def test_validate_rejects_bad_params(self):
+        with pytest.raises(InvalidParameterError):
+            _make_params(omega=0.0).validate()
+        with pytest.raises(InvalidParameterError):
+            _make_params(alpha=-0.1).validate()
+        with pytest.raises(InvalidParameterError):
+            _make_params(alpha=0.5, beta=0.6).validate()
+
+
+class TestFilterVariance:
+    def test_lfilter_matches_naive_recursion(self, rng):
+        """The vectorised s=1 path must equal the definition exactly."""
+        data = rng.standard_normal(60)
+        params = _make_params()
+        model = GARCHModel()
+        fast = model.filter_variance(data, params)
+        initial = float(np.var(data))
+        slow = np.empty(60)
+        for i in range(60):
+            a2 = data[i - 1] ** 2 if i >= 1 else initial
+            prev = slow[i - 1] if i >= 1 else initial
+            slow[i] = params.omega + params.alpha[0] * a2 + params.beta[0] * prev
+        np.testing.assert_allclose(fast, slow, rtol=1e-10)
+
+    def test_s0_pure_arch(self, rng):
+        data = rng.standard_normal(30)
+        params = GARCHParams(omega=0.1, alpha=np.array([0.3]), beta=np.empty(0))
+        variance = GARCHModel(m=1, s=0).filter_variance(data, params)
+        initial = float(np.var(data))
+        expected0 = 0.1 + 0.3 * initial
+        assert variance[0] == pytest.approx(expected0)
+        assert variance[5] == pytest.approx(0.1 + 0.3 * data[4] ** 2)
+
+    def test_s2_loop_path(self, rng):
+        data = rng.standard_normal(40)
+        params = GARCHParams(
+            omega=0.1, alpha=np.array([0.2]), beta=np.array([0.3, 0.2])
+        )
+        variance = GARCHModel(m=1, s=2).filter_variance(data, params)
+        assert variance.shape == (40,)
+        assert np.all(variance > 0)
+
+
+class TestGradient:
+    def test_gradient_matches_finite_differences(self, rng):
+        data = rng.standard_normal(80)
+        params = _make_params(omega=0.3, alpha=0.2, beta=0.5)
+        loglik, gradient = GARCHModel._loglik_and_grad_11(data, params)
+        model = GARCHModel()
+        eps = 1e-6
+        for index, delta in enumerate(
+            [(eps, 0, 0), (0, eps, 0), (0, 0, eps)]
+        ):
+            shifted = GARCHParams(
+                omega=params.omega + delta[0],
+                alpha=params.alpha + delta[1],
+                beta=params.beta + delta[2],
+            )
+            fd = (model._log_likelihood(data, shifted) - loglik) / eps
+            assert gradient[index] == pytest.approx(fd, rel=1e-3, abs=1e-4)
+
+
+class TestFit:
+    def test_recovers_parameters_on_long_sample(self):
+        true = _make_params(omega=0.2, alpha=0.15, beta=0.7)
+        shocks = GARCHModel.simulate(true, 4000, rng=0)
+        model = GARCHModel().fit(shocks)
+        assert model.params_.persistence == pytest.approx(0.85, abs=0.08)
+        assert model.params_.alpha[0] == pytest.approx(0.15, abs=0.08)
+
+    def test_stationarity_always_enforced(self, rng):
+        # Integrated-looking input should still give persistence < 1.
+        data = np.cumsum(rng.standard_normal(300)) * 0.2
+        model = GARCHModel().fit(data)
+        assert model.params_.persistence < 1.0
+
+    def test_constant_residuals_fall_back_to_flat_variance(self):
+        model = GARCHModel().fit(np.zeros(50))
+        assert model.params_.alpha[0] == 0.0
+        assert model.params_.beta[0] == 0.0
+        assert model.forecast_variance() > 0.0
+
+    def test_conditional_variance_aligned(self, rng):
+        data = rng.standard_normal(100)
+        model = GARCHModel().fit(data)
+        assert model.conditional_variance_.shape == data.shape
+        assert np.all(model.conditional_variance_ > 0)
+
+    def test_warm_start_reaches_similar_likelihood(self, rng):
+        shocks = GARCHModel.simulate(_make_params(), 300, rng=3)
+        cold = GARCHModel().fit(shocks)
+        warm = GARCHModel().fit(shocks, warm_start=cold.params_)
+        assert warm.loglik_ >= cold.loglik_ - 1.0
+
+    def test_warm_start_wrong_order_ignored(self, rng):
+        shocks = GARCHModel.simulate(_make_params(), 200, rng=4)
+        wrong = GARCHParams(
+            omega=0.1, alpha=np.array([0.1, 0.1]), beta=np.array([0.5])
+        )
+        model = GARCHModel(m=1, s=1).fit(shocks, warm_start=wrong)
+        assert model.params_.m == 1
+
+    def test_too_short_input_rejected(self):
+        with pytest.raises(Exception):
+            GARCHModel().fit(np.array([1.0]))
+
+
+class TestForecast:
+    def test_forecast_matches_eq6(self, rng):
+        data = rng.standard_normal(120)
+        model = GARCHModel().fit(data)
+        params = model.params_
+        expected = (
+            params.omega
+            + params.alpha[0] * data[-1] ** 2
+            + params.beta[0] * model.conditional_variance_[-1]
+        )
+        assert model.forecast_variance() == pytest.approx(expected)
+
+    def test_forecast_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            GARCHModel().forecast_variance()
+
+
+class TestSimulate:
+    def test_volatility_clustering_present(self):
+        shocks, variance = GARCHModel.simulate(
+            _make_params(alpha=0.25, beta=0.7), 4000, rng=5, return_variance=True
+        )
+        # Squared shocks must correlate with the generating variance.
+        corr = np.corrcoef(shocks**2, variance)[0, 1]
+        assert corr > 0.2
+
+    def test_nonstationary_params_rejected(self):
+        with pytest.raises((EstimationError, InvalidParameterError)):
+            GARCHModel.simulate(_make_params(alpha=0.6, beta=0.5), 100)
+
+    def test_reproducible(self):
+        a = GARCHModel.simulate(_make_params(), 50, rng=6)
+        b = GARCHModel.simulate(_make_params(), 50, rng=6)
+        np.testing.assert_array_equal(a, b)
+
+    def test_order_validation(self):
+        with pytest.raises(InvalidParameterError):
+            GARCHModel(m=0)
+        with pytest.raises(InvalidParameterError):
+            GARCHModel(s=-1)

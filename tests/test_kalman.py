@@ -1,0 +1,128 @@
+"""Tests for the local-level Kalman filter and its EM estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError, NotFittedError
+from repro.timeseries.kalman import FilterResult, KalmanFilter, KalmanParams
+
+
+def _simulate_local_level(n, state_std, obs_std, rng):
+    level = np.cumsum(rng.normal(0.0, state_std, size=n))
+    observed = level + rng.normal(0.0, obs_std, size=n)
+    return level, observed
+
+
+class TestParams:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            KalmanParams(state_variance=-1.0).validate()
+        with pytest.raises(InvalidParameterError):
+            KalmanParams(initial_variance=0.0).validate()
+        KalmanParams().validate()  # Defaults are valid.
+
+
+class TestFilter:
+    def test_requires_params(self):
+        with pytest.raises(NotFittedError):
+            KalmanFilter().filter(np.zeros(10))
+
+    def test_output_shapes(self, rng):
+        _level, observed = _simulate_local_level(50, 0.1, 1.0, rng)
+        result = KalmanFilter().filter(observed, KalmanParams())
+        assert isinstance(result, FilterResult)
+        for array in (
+            result.predicted_mean, result.predicted_variance,
+            result.filtered_mean, result.filtered_variance,
+        ):
+            assert array.shape == (50,)
+
+    def test_filtered_variance_below_predicted(self, rng):
+        """Conditioning on the observation can only reduce uncertainty."""
+        _level, observed = _simulate_local_level(100, 0.2, 1.0, rng)
+        result = KalmanFilter().filter(observed, KalmanParams())
+        assert np.all(result.filtered_variance <= result.predicted_variance + 1e-12)
+
+    def test_zero_obs_noise_tracks_observations(self, rng):
+        _level, observed = _simulate_local_level(50, 0.5, 0.0, rng)
+        params = KalmanParams(state_variance=0.25, obs_variance=1e-10)
+        result = KalmanFilter().filter(observed, params)
+        np.testing.assert_allclose(result.filtered_mean, observed, atol=1e-3)
+
+    def test_filter_reduces_noise_vs_raw(self, rng):
+        level, observed = _simulate_local_level(800, 0.05, 1.0, rng)
+        params = KalmanParams(state_variance=0.0025, obs_variance=1.0,
+                              initial_mean=observed[0])
+        result = KalmanFilter().filter(observed, params)
+        raw_error = float(np.mean((observed - level) ** 2))
+        filtered_error = float(np.mean((result.filtered_mean - level) ** 2))
+        assert filtered_error < raw_error * 0.5
+
+
+class TestSmoother:
+    def test_smoother_at_least_as_accurate_as_filter(self, rng):
+        level, observed = _simulate_local_level(600, 0.1, 1.0, rng)
+        params = KalmanParams(state_variance=0.01, obs_variance=1.0,
+                              initial_mean=observed[0])
+        kf = KalmanFilter()
+        forward = kf.filter(observed, params)
+        smoothed_mean, smoothed_variance, _lag1 = kf.smooth(observed, params)
+        filter_error = float(np.mean((forward.filtered_mean - level) ** 2))
+        smooth_error = float(np.mean((smoothed_mean - level) ** 2))
+        assert smooth_error <= filter_error * 1.05
+        assert np.all(smoothed_variance <= forward.filtered_variance + 1e-9)
+
+
+class TestEM:
+    def test_em_recovers_variance_ratio(self, rng):
+        _level, observed = _simulate_local_level(3000, 0.1, 1.0, rng)
+        kf = KalmanFilter().fit_em(observed, max_iter=60)
+        ratio = kf.params_.obs_variance / kf.params_.state_variance
+        # True ratio is 1.0 / 0.01 = 100; EM identification is coarse but the
+        # order of magnitude must be right.
+        assert 20 < ratio < 500
+
+    def test_em_monotone_likelihood(self, rng):
+        _level, observed = _simulate_local_level(300, 0.2, 0.8, rng)
+        kf = KalmanFilter()
+        # Run EM manually for a few iterations tracking the likelihood.
+        kf.fit_em(observed, max_iter=1)
+        first = kf.result_.loglik
+        kf.fit_em(observed, max_iter=20)
+        final = kf.result_.loglik
+        assert final >= first - 1e-6
+
+    def test_em_stops_within_max_iter(self, rng):
+        _level, observed = _simulate_local_level(200, 0.1, 1.0, rng)
+        kf = KalmanFilter().fit_em(observed, max_iter=5)
+        assert kf.em_iterations_ <= 5
+
+    def test_max_iter_validation(self, rng):
+        with pytest.raises(InvalidParameterError):
+            KalmanFilter().fit_em(np.zeros(10) + np.arange(10), max_iter=0)
+
+
+class TestPrediction:
+    def test_predict_next_extends_filtered_state(self, rng):
+        _level, observed = _simulate_local_level(200, 0.1, 0.5, rng)
+        kf = KalmanFilter().fit_em(observed, max_iter=20)
+        prediction = kf.predict_next()
+        assert prediction == pytest.approx(kf.result_.filtered_mean[-1], rel=1e-9)
+
+    def test_predict_with_c_constants(self, rng):
+        _level, observed = _simulate_local_level(200, 0.1, 0.5, rng)
+        kf = KalmanFilter().fit_em(observed, c1=0.9, c2=1.0, max_iter=10)
+        assert kf.predict_next() == pytest.approx(
+            0.9 * kf.result_.filtered_mean[-1], rel=1e-9
+        )
+
+    def test_fitted_means_alignment(self, rng):
+        _level, observed = _simulate_local_level(100, 0.1, 0.5, rng)
+        kf = KalmanFilter().fit_em(observed, max_iter=10)
+        assert kf.fitted_means().shape == observed.shape
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            KalmanFilter().predict_next()

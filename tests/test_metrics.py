@@ -1,0 +1,216 @@
+"""Tests for the dynamic density metrics (UT, VT, ARMA-GARCH, Kalman-GARCH)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions.gaussian import Gaussian
+from repro.distributions.uniform import Uniform
+from repro.exceptions import DataError, InvalidParameterError
+from repro.metrics.arma_garch import ARMAGARCHMetric
+from repro.metrics.base import DensityForecast, DensitySeries
+from repro.metrics.kalman_garch import KalmanGARCHMetric
+from repro.metrics.registry import available_metrics, create_metric, register_metric
+from repro.metrics.uniform_threshold import UniformThresholdingMetric
+from repro.metrics.variable_threshold import VariableThresholdingMetric
+from repro.timeseries.series import TimeSeries
+
+
+class TestDensityForecast:
+    def test_contains(self):
+        forecast = DensityForecast(
+            t=0, mean=1.0, distribution=Gaussian(1.0, 1.0),
+            lower=0.0, upper=2.0, volatility=1.0,
+        )
+        assert forecast.contains(1.5)
+        assert not forecast.contains(2.5)
+
+
+class TestDensitySeries:
+    def test_ordering_enforced(self):
+        make = lambda t: DensityForecast(
+            t=t, mean=0.0, distribution=Gaussian(0.0, 1.0),
+            lower=-3, upper=3, volatility=1.0,
+        )
+        with pytest.raises(DataError):
+            DensitySeries([make(5), make(5)])
+        with pytest.raises(DataError):
+            DensitySeries([make(5), make(3)])
+
+    def test_vector_views(self, gaussian_forecasts):
+        assert gaussian_forecasts.means.shape == (5,)
+        assert gaussian_forecasts.volatilities.shape == (5,)
+        assert list(gaussian_forecasts.times) == [60, 61, 62, 63, 64]
+
+    def test_pit_values_in_unit_interval(self, campus_series):
+        metric = VariableThresholdingMetric()
+        forecasts = metric.run(campus_series, 40, step=25)
+        z = forecasts.pit(campus_series)
+        assert np.all((z >= 0.0) & (z <= 1.0))
+
+    def test_pit_needs_realised_values(self):
+        forecast = DensityForecast(
+            t=100, mean=0.0, distribution=Gaussian(0.0, 1.0),
+            lower=-3, upper=3, volatility=1.0,
+        )
+        short = TimeSeries(np.zeros(10) + np.arange(10))
+        with pytest.raises(DataError):
+            DensitySeries([forecast]).pit(short)
+
+    def test_coverage(self, simple_series):
+        metric = VariableThresholdingMetric(kappa=3.0)
+        forecasts = metric.run(simple_series, 30)
+        # kappa=3 Gaussian bounds should cover nearly all realised values.
+        assert forecasts.coverage(simple_series) > 0.9
+
+
+class TestUniformThresholding:
+    def test_emits_uniform_centred_on_forecast(self, simple_series):
+        metric = UniformThresholdingMetric(threshold=0.5)
+        forecast = metric.infer(simple_series.values[:60], t=60)
+        assert isinstance(forecast.distribution, Uniform)
+        assert forecast.upper - forecast.lower == pytest.approx(1.0)
+        assert forecast.distribution.mean() == pytest.approx(forecast.mean)
+
+    def test_threshold_validation(self):
+        with pytest.raises(InvalidParameterError):
+            UniformThresholdingMetric(threshold=0.0)
+
+    def test_tracks_linear_trend(self):
+        values = np.arange(50, dtype=float)
+        metric = UniformThresholdingMetric(threshold=1.0)
+        forecast = metric.infer(values, t=50)
+        assert forecast.mean == pytest.approx(50.0, abs=0.5)
+
+
+class TestVariableThresholding:
+    def test_emits_gaussian_with_window_variance(self, rng):
+        window = rng.normal(10.0, 2.0, size=80)
+        metric = VariableThresholdingMetric()
+        forecast = metric.infer(window, t=80)
+        assert isinstance(forecast.distribution, Gaussian)
+        assert forecast.volatility == pytest.approx(np.std(window, ddof=1), rel=1e-6)
+
+    def test_constant_window_variance_floored(self):
+        metric = VariableThresholdingMetric()
+        forecast = metric.infer(np.full(30, 7.0), t=30)
+        assert forecast.volatility > 0.0
+
+    def test_kappa_bounds(self, rng):
+        window = rng.normal(size=60)
+        metric = VariableThresholdingMetric(kappa=2.0)
+        forecast = metric.infer(window, t=60)
+        assert forecast.upper - forecast.mean == pytest.approx(
+            2.0 * forecast.volatility
+        )
+
+
+class TestARMAGARCH:
+    def test_gaussian_output_with_positive_volatility(self, campus_series):
+        metric = ARMAGARCHMetric()
+        forecast = metric.infer(campus_series.values[:80], t=80)
+        assert isinstance(forecast.distribution, Gaussian)
+        assert forecast.volatility > 0.0
+        assert forecast.lower < forecast.mean < forecast.upper
+
+    def test_kappa_scaling_of_bounds(self, campus_series):
+        window = campus_series.values[:60]
+        narrow = ARMAGARCHMetric(kappa=1.0, warm_start=False).infer(window, 60)
+        wide = ARMAGARCHMetric(kappa=3.0, warm_start=False).infer(window, 60)
+        assert wide.upper - wide.lower == pytest.approx(
+            3.0 * (narrow.upper - narrow.lower), rel=1e-6
+        )
+
+    def test_volatility_responds_to_regime(self, rng):
+        """A turbulent window must yield a wider density than a calm one."""
+        calm = 10.0 + 0.01 * rng.standard_normal(60)
+        turbulent = 10.0 + 1.5 * rng.standard_normal(60)
+        metric = ARMAGARCHMetric(warm_start=False)
+        sigma_calm = metric.infer(calm, 60).volatility
+        metric.reset()
+        sigma_turbulent = metric.infer(turbulent, 60).volatility
+        assert sigma_turbulent > 5.0 * sigma_calm
+
+    def test_warm_start_does_not_change_quality_materially(self, campus_series):
+        from repro.evaluation.density_distance import density_distance
+
+        warm = ARMAGARCHMetric(warm_start=True).run(campus_series, 50, step=10)
+        cold = ARMAGARCHMetric(warm_start=False).run(campus_series, 50, step=10)
+        dd_warm = density_distance(warm, campus_series)
+        dd_cold = density_distance(cold, campus_series)
+        assert dd_warm == pytest.approx(dd_cold, abs=0.25)
+
+    def test_run_rejects_window_below_minimum(self, campus_series):
+        metric = ARMAGARCHMetric(p=2, q=2)
+        with pytest.raises(InvalidParameterError):
+            metric.run(campus_series, H=3)
+
+    def test_reset_clears_warm_state(self):
+        metric = ARMAGARCHMetric()
+        metric._last_garch_params = "sentinel"
+        metric.reset()
+        assert metric._last_garch_params is None
+
+
+class TestKalmanGARCH:
+    def test_gaussian_output(self, campus_series):
+        metric = KalmanGARCHMetric(em_max_iter=5)
+        forecast = metric.infer(campus_series.values[:60], t=60)
+        assert isinstance(forecast.distribution, Gaussian)
+        assert forecast.volatility > 0.0
+
+    def test_tracks_level(self, rng):
+        window = np.full(50, 20.0) + rng.normal(0, 0.1, 50)
+        metric = KalmanGARCHMetric(em_max_iter=10)
+        forecast = metric.infer(window, t=50)
+        assert forecast.mean == pytest.approx(20.0, abs=0.5)
+
+    def test_em_iter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            KalmanGARCHMetric(em_max_iter=0)
+
+
+class TestRunLoop:
+    def test_run_times_match_step(self, campus_series):
+        metric = VariableThresholdingMetric()
+        forecasts = metric.run(campus_series, 40, step=50)
+        times = list(forecasts.times)
+        assert times == list(range(40, len(campus_series), 50))
+
+    def test_run_empty_range_rejected(self, campus_series):
+        metric = VariableThresholdingMetric()
+        with pytest.raises(DataError):
+            metric.run(campus_series, 40, start=len(campus_series), stop=None)
+
+
+class TestRegistry:
+    def test_all_builtins_available(self):
+        names = available_metrics()
+        for expected in (
+            "uniform_threshold", "variable_threshold", "arma_garch",
+            "kalman_garch", "cgarch",
+        ):
+            assert expected in names
+
+    def test_create_with_params(self):
+        metric = create_metric("arma_garch", p=2, kappa=2.5)
+        assert metric.p == 2
+        assert metric.kappa == 2.5
+
+    def test_aliases(self):
+        assert isinstance(create_metric("ut", threshold=1.0), UniformThresholdingMetric)
+        assert isinstance(create_metric("VT"), VariableThresholdingMetric)
+        assert isinstance(create_metric("garch"), ARMAGARCHMetric)
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(InvalidParameterError, match="unknown metric"):
+            create_metric("no_such_metric")
+
+    def test_bad_params_reported(self):
+        with pytest.raises(InvalidParameterError, match="invalid parameters"):
+            create_metric("arma_garch", nonsense=True)
+
+    def test_custom_registration(self):
+        register_metric("custom_vt", VariableThresholdingMetric)
+        assert isinstance(create_metric("custom_vt"), VariableThresholdingMetric)

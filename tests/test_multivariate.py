@@ -1,0 +1,189 @@
+"""Tests for the multivariate extension (MultiSeries, regions, region views)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError, InvalidParameterError, QueryError
+from repro.metrics.variable_threshold import VariableThresholdingMetric
+from repro.multivariate.builder import RegionTuple, RegionViewBuilder
+from repro.multivariate.metric import VectorDensityMetric
+from repro.multivariate.regions import Region, RegionSet
+from repro.multivariate.series import MultiSeries
+
+
+@pytest.fixture
+def walk() -> MultiSeries:
+    """A diagonal walk from (1, 1) to (3, 3) with mild noise."""
+    rng = np.random.default_rng(0)
+    n = 160
+    return MultiSeries(
+        {
+            "x": np.linspace(1.0, 3.0, n) + rng.normal(0, 0.08, n),
+            "y": np.linspace(1.0, 3.0, n) + rng.normal(0, 0.08, n),
+        },
+        name="walk",
+    )
+
+
+@pytest.fixture
+def rooms() -> RegionSet:
+    return RegionSet.grid2d([0.0, 2.0, 4.0], [0.0, 2.0, 4.0],
+                            label_format="room({i},{j})")
+
+
+class TestMultiSeries:
+    def test_axes_and_lengths(self, walk):
+        assert walk.axes == ("x", "y")
+        assert len(walk) == 160
+        assert len(walk.axis("x")) == 160
+
+    def test_point_access(self):
+        ms = MultiSeries({"a": np.array([1.0, 2.0]), "b": np.array([3.0, 4.0])})
+        assert ms.point(1) == {"a": 2.0, "b": 4.0}
+
+    def test_iter_points(self):
+        ms = MultiSeries({"a": np.array([1.0, 2.0])})
+        assert list(ms.iter_points()) == [{"a": 1.0}, {"a": 2.0}]
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(DataError):
+            MultiSeries({"a": np.array([1.0]), "b": np.array([1.0, 2.0])})
+
+    def test_unknown_axis_rejected(self, walk):
+        with pytest.raises(InvalidParameterError):
+            walk.axis("z")
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MultiSeries({})
+
+    def test_slice_preserves_axes(self, walk):
+        sub = walk.slice(10, 20)
+        assert len(sub) == 10
+        assert sub.axes == walk.axes
+
+
+class TestRegion:
+    def test_contains(self):
+        region = Region("r", {"x": (0.0, 1.0), "y": (0.0, 1.0)})
+        assert region.contains({"x": 0.5, "y": 0.5})
+        assert not region.contains({"x": 1.5, "y": 0.5})
+
+    def test_contains_requires_bounded_axes(self):
+        region = Region("r", {"x": (0.0, 1.0)})
+        with pytest.raises(InvalidParameterError):
+            region.contains({"y": 0.5})
+
+    def test_overlap_detection(self):
+        a = Region("a", {"x": (0.0, 2.0)})
+        b = Region("b", {"x": (2.0, 4.0)})
+        c = Region("c", {"x": (1.0, 3.0)})
+        assert not a.overlaps(b)  # Touching boxes do not share volume.
+        assert a.overlaps(c)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            Region("", {"x": (0.0, 1.0)})
+        with pytest.raises(InvalidParameterError):
+            Region("r", {})
+        with pytest.raises(InvalidParameterError):
+            Region("r", {"x": (1.0, 1.0)})
+
+
+class TestRegionSet:
+    def test_grid2d_produces_cells(self, rooms):
+        assert len(rooms) == 4
+        assert rooms.by_label("room(0,0)").bounds["x"] == (0.0, 2.0)
+
+    def test_overlapping_regions_rejected(self):
+        with pytest.raises(DataError, match="overlap"):
+            RegionSet([
+                Region("a", {"x": (0.0, 2.0)}),
+                Region("b", {"x": (1.0, 3.0)}),
+            ])
+
+    def test_overlap_allowed_when_requested(self):
+        regions = RegionSet(
+            [Region("a", {"x": (0.0, 2.0)}), Region("b", {"x": (1.0, 3.0)})],
+            require_disjoint=False,
+        )
+        assert len(regions) == 2
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(InvalidParameterError, match="duplicate"):
+            RegionSet([
+                Region("a", {"x": (0.0, 1.0)}),
+                Region("a", {"x": (2.0, 3.0)}),
+            ])
+
+    def test_unknown_label(self, rooms):
+        with pytest.raises(InvalidParameterError):
+            rooms.by_label("lobby")
+
+
+class TestVectorMetric:
+    def test_shared_metric_across_axes(self, walk):
+        metric = VectorDensityMetric(VariableThresholdingMetric())
+        forecasts = metric.run(walk, H=30, step=10)
+        assert forecasts[0].axes == ("x", "y")
+        assert len(forecasts) == len(range(30, 160, 10))
+
+    def test_per_axis_metrics(self, walk):
+        metric = VectorDensityMetric({
+            "x": VariableThresholdingMetric(),
+            "y": VariableThresholdingMetric(kappa=2.0),
+        })
+        forecasts = metric.run(walk, H=30, step=20)
+        assert len(forecasts) > 0
+
+    def test_missing_axis_metric_rejected(self, walk):
+        metric = VectorDensityMetric({"x": VariableThresholdingMetric()})
+        with pytest.raises(InvalidParameterError):
+            metric.run(walk, H=30)
+
+    def test_region_probability_factorises(self, walk):
+        metric = VectorDensityMetric(VariableThresholdingMetric())
+        forecast = metric.run(walk, H=30, step=100)[0]
+        region = Region("r", {"x": (0.0, 2.0), "y": (0.0, 2.0)})
+        expected = (
+            forecast.marginals["x"].distribution.prob(0.0, 2.0)
+            * forecast.marginals["y"].distribution.prob(0.0, 2.0)
+        )
+        assert forecast.region_probability(region) == pytest.approx(expected)
+
+    def test_region_on_unknown_axis_rejected(self, walk):
+        metric = VectorDensityMetric(VariableThresholdingMetric())
+        forecast = metric.run(walk, H=30, step=100)[0]
+        with pytest.raises(InvalidParameterError):
+            forecast.region_probability(Region("r", {"z": (0.0, 1.0)}))
+
+
+class TestRegionView:
+    def test_fig1_trajectory(self, walk, rooms):
+        """The walk starts in room(0,0) and ends in room(1,1)."""
+        metric = VectorDensityMetric(VariableThresholdingMetric())
+        forecasts = metric.run(walk, H=30)
+        view = RegionViewBuilder(rooms).build_view(forecasts, "alice")
+        trajectory = view.trajectory()
+        assert trajectory[0].region == "room(0,0)"
+        assert trajectory[-1].region == "room(1,1)"
+
+    def test_per_time_mass_bounded(self, walk, rooms):
+        metric = VectorDensityMetric(VariableThresholdingMetric())
+        forecasts = metric.run(walk, H=30, step=15)
+        view = RegionViewBuilder(rooms).build_view(forecasts)
+        for t in view.times:
+            assert sum(view.probabilities_at(t).values()) <= 1.0 + 1e-6
+
+    def test_missing_time_rejected(self, walk, rooms):
+        metric = VectorDensityMetric(VariableThresholdingMetric())
+        forecasts = metric.run(walk, H=30, step=50)
+        view = RegionViewBuilder(rooms).build_view(forecasts)
+        with pytest.raises(QueryError):
+            view.probabilities_at(7)
+
+    def test_region_tuple_validation(self):
+        with pytest.raises(InvalidParameterError):
+            RegionTuple(t=0, region="r", probability=1.5)

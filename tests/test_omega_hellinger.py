@@ -1,0 +1,163 @@
+"""Tests for Omega range construction and the Hellinger/ratio theorems."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.view.hellinger import (
+    hellinger_distance,
+    ratio_threshold_for_distance,
+    ratio_threshold_for_memory,
+)
+from repro.view.omega import OmegaGrid, OmegaRange
+
+
+class TestOmegaRange:
+    def test_contains_and_width(self):
+        omega = OmegaRange(1.0, 3.0, label="room")
+        assert omega.contains(2.0)
+        assert not omega.contains(3.5)
+        assert omega.width == 2.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            OmegaRange(2.0, 1.0)
+        with pytest.raises(InvalidParameterError):
+            OmegaRange(0.0, float("inf"))
+
+
+class TestOmegaGrid:
+    def test_paper_example(self):
+        """Fig. 7's OMEGA delta=2, n=2 around r_hat=10."""
+        grid = OmegaGrid(delta=2.0, n=2)
+        ranges = grid.ranges_around(10.0)
+        assert [(r.low, r.high) for r in ranges] == [(8.0, 10.0), (10.0, 12.0)]
+
+    def test_edges_count_and_spacing(self):
+        grid = OmegaGrid(delta=0.5, n=6)
+        edges = grid.edges_around(0.0)
+        assert edges.size == 7
+        np.testing.assert_allclose(np.diff(edges), 0.5)
+
+    def test_lambda_range(self):
+        grid = OmegaGrid(delta=1.0, n=4)
+        assert grid.lambdas.tolist() == [-2, -1, 0, 1]
+
+    def test_ranges_are_contiguous(self):
+        grid = OmegaGrid(delta=0.3, n=10)
+        ranges = grid.ranges_around(5.0)
+        for left, right in zip(ranges, ranges[1:]):
+            assert left.high == pytest.approx(right.low)
+
+    def test_total_width(self):
+        assert OmegaGrid(delta=0.05, n=300).total_width() == pytest.approx(15.0)
+
+    def test_n_must_be_even_and_positive(self):
+        with pytest.raises(InvalidParameterError):
+            OmegaGrid(delta=1.0, n=3)
+        with pytest.raises(InvalidParameterError):
+            OmegaGrid(delta=1.0, n=0)
+
+    def test_delta_positive(self):
+        with pytest.raises(InvalidParameterError):
+            OmegaGrid(delta=0.0, n=2)
+
+    def test_equality(self):
+        assert OmegaGrid(1.0, 2) == OmegaGrid(1.0, 2)
+        assert OmegaGrid(1.0, 2) != OmegaGrid(1.0, 4)
+
+
+class TestHellingerDistance:
+    def test_zero_for_equal_sigmas(self):
+        assert hellinger_distance(2.0, 2.0) == 0.0
+
+    def test_symmetric(self):
+        assert hellinger_distance(1.0, 3.0) == pytest.approx(
+            hellinger_distance(3.0, 1.0)
+        )
+
+    def test_monotone_in_ratio(self):
+        distances = [hellinger_distance(1.0, r) for r in (1.5, 2.0, 4.0, 10.0)]
+        assert distances == sorted(distances)
+
+    def test_bounded_below_one(self):
+        assert hellinger_distance(1e-6, 1e6) < 1.0
+
+    def test_matches_eq10_closed_form(self):
+        sigma_t, sigma_p = 1.0, 2.5
+        expected = math.sqrt(
+            1.0 - math.sqrt(2 * sigma_t * sigma_p / (sigma_t**2 + sigma_p**2))
+        )
+        assert hellinger_distance(sigma_t, sigma_p) == pytest.approx(expected)
+
+    def test_positive_sigmas_required(self):
+        with pytest.raises(InvalidParameterError):
+            hellinger_distance(0.0, 1.0)
+
+
+class TestTheorem1:
+    def test_zero_constraint_gives_ratio_one(self):
+        assert ratio_threshold_for_distance(0.0) == 1.0
+
+    def test_ratio_monotone_in_constraint(self):
+        ratios = [ratio_threshold_for_distance(h) for h in (0.001, 0.01, 0.1, 0.3)]
+        assert ratios == sorted(ratios)
+        assert all(r >= 1.0 for r in ratios)
+
+    def test_constraint_domain(self):
+        with pytest.raises(InvalidParameterError):
+            ratio_threshold_for_distance(1.0)
+        with pytest.raises(InvalidParameterError):
+            ratio_threshold_for_distance(-0.1)
+
+    def test_theorem_guarantee_is_tight(self):
+        """At sigma' = d_s * sigma the Hellinger distance equals H' exactly."""
+        for constraint in (0.005, 0.01, 0.05, 0.2):
+            ratio = ratio_threshold_for_distance(constraint)
+            achieved = hellinger_distance(1.0, ratio)
+            assert achieved == pytest.approx(constraint, rel=1e-6)
+
+
+class TestTheorem2:
+    def test_closed_form(self):
+        assert ratio_threshold_for_memory(16.0, 4) == pytest.approx(2.0)
+        assert ratio_threshold_for_memory(1000.0, 3) == pytest.approx(10.0)
+
+    def test_q_count_bounded_by_memory(self):
+        max_ratio = 5000.0
+        for q_max in (4, 16, 64):
+            ratio = ratio_threshold_for_memory(max_ratio, q_max)
+            # The 1e-9 slack mirrors the cache's own sizing arithmetic.
+            implied_q = math.ceil(math.log(max_ratio) / math.log(ratio) - 1e-9)
+            assert implied_q <= q_max
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ratio_threshold_for_memory(0.5, 4)
+        with pytest.raises(InvalidParameterError):
+            ratio_threshold_for_memory(10.0, 0)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    sigma=st.floats(min_value=1e-3, max_value=1e3),
+    constraint=st.floats(min_value=1e-4, max_value=0.5),
+    fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_theorem1_property_any_sigma_within_ratio_is_within_distance(
+    sigma, constraint, fraction
+):
+    """Any sigma' in [sigma, d_s * sigma] stays within the distance bound.
+
+    This is the property the sigma-cache relies on: approximating from the
+    cached key below never violates the user's Hellinger constraint.
+    """
+    ratio = ratio_threshold_for_distance(constraint)
+    sigma_prime = sigma * (1.0 + fraction * (ratio - 1.0))
+    assert hellinger_distance(sigma, sigma_prime) <= constraint + 1e-9

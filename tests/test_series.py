@@ -1,0 +1,145 @@
+"""Tests for the TimeSeries container and sliding windows."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError, InvalidParameterError
+from repro.timeseries.series import TimeSeries
+
+
+class TestConstruction:
+    def test_default_timestamps(self):
+        series = TimeSeries([1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(series.timestamps, [0.0, 1.0, 2.0])
+
+    def test_explicit_timestamps(self):
+        series = TimeSeries([1.0, 2.0], [10.0, 20.0])
+        np.testing.assert_array_equal(series.timestamps, [10.0, 20.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DataError, match="equal length"):
+            TimeSeries([1.0, 2.0], [1.0])
+
+    def test_non_increasing_timestamps_rejected(self):
+        with pytest.raises(DataError, match="strictly increasing"):
+            TimeSeries([1.0, 2.0], [1.0, 1.0])
+
+    def test_nan_values_rejected(self):
+        with pytest.raises(DataError, match="non-finite"):
+            TimeSeries([1.0, float("nan")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            TimeSeries([])
+
+    def test_values_are_read_only(self):
+        series = TimeSeries([1.0, 2.0])
+        with pytest.raises(ValueError):
+            series.values[0] = 99.0
+
+    def test_indexing_and_len(self):
+        series = TimeSeries([5.0, 6.0, 7.0])
+        assert len(series) == 3
+        assert series[1] == 6.0
+        assert series[-1] == 7.0
+
+
+class TestWindows:
+    def setup_method(self):
+        self.series = TimeSeries(np.arange(10, dtype=float))
+
+    def test_window_ends_before_t(self):
+        """The paper's S^H_{t-1} convention: window for t excludes value t."""
+        window = self.series.window(t=5, H=3)
+        np.testing.assert_array_equal(window, [2.0, 3.0, 4.0])
+
+    def test_window_at_first_valid_t(self):
+        np.testing.assert_array_equal(self.series.window(t=3, H=3), [0, 1, 2])
+
+    def test_window_too_early_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            self.series.window(t=2, H=3)
+
+    def test_window_past_end_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            self.series.window(t=11, H=3)
+
+    def test_invalid_H_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            self.series.window(t=5, H=0)
+
+    def test_iter_windows_covers_all_times(self):
+        times = [t for t, _ in self.series.iter_windows(H=4)]
+        assert times == list(range(4, 10))
+
+    def test_iter_windows_step(self):
+        times = [t for t, _ in self.series.iter_windows(H=2, step=3)]
+        assert times == [2, 5, 8]
+
+    def test_iter_windows_start_stop(self):
+        times = [t for t, _ in self.series.iter_windows(H=2, start=5, stop=8)]
+        assert times == [5, 6, 7]
+
+    def test_iter_windows_start_below_H_clamped(self):
+        times = [t for t, _ in self.series.iter_windows(H=4, start=0)]
+        assert times[0] == 4
+
+    def test_iter_windows_bad_step(self):
+        with pytest.raises(InvalidParameterError):
+            list(self.series.iter_windows(H=2, step=0))
+
+
+class TestDerivedSeries:
+    def setup_method(self):
+        self.series = TimeSeries(
+            np.array([1.0, 2.0, 3.0, 4.0]), np.array([10.0, 20.0, 30.0, 40.0]),
+            name="s",
+        )
+
+    def test_slice(self):
+        sub = self.series.slice(1, 3)
+        np.testing.assert_array_equal(sub.values, [2.0, 3.0])
+        np.testing.assert_array_equal(sub.timestamps, [20.0, 30.0])
+
+    def test_slice_bounds_validated(self):
+        with pytest.raises(InvalidParameterError):
+            self.series.slice(3, 2)
+
+    def test_between_times_inclusive(self):
+        sub = self.series.between_times(20.0, 30.0)
+        np.testing.assert_array_equal(sub.values, [2.0, 3.0])
+
+    def test_between_times_empty_rejected(self):
+        with pytest.raises(DataError, match="no samples"):
+            self.series.between_times(100.0, 200.0)
+
+    def test_with_values_keeps_time_axis(self):
+        replaced = self.series.with_values([9.0, 8.0, 7.0, 6.0])
+        np.testing.assert_array_equal(replaced.timestamps, self.series.timestamps)
+        np.testing.assert_array_equal(replaced.values, [9.0, 8.0, 7.0, 6.0])
+
+    def test_with_values_length_checked(self):
+        with pytest.raises(DataError):
+            self.series.with_values([1.0])
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        series = TimeSeries(
+            np.array([1.0, 3.0, 5.0]), np.array([0.0, 2.0, 4.0]), name="x"
+        )
+        summary = series.summary()
+        assert summary.name == "x"
+        assert summary.count == 3
+        assert summary.mean == 3.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 5.0
+        assert summary.median_interval == 2.0
+
+    def test_summary_as_dict(self):
+        summary = TimeSeries([1.0, 2.0]).summary()
+        d = summary.as_dict()
+        assert d["count"] == 2
+        assert "median_interval" in d

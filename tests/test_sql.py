@@ -1,0 +1,161 @@
+"""Tests for the SQL-like view query language."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.view.sql import parse_view_query
+
+PAPER_QUERY = (
+    "CREATE VIEW prob_view AS DENSITY r OVER t "
+    "OMEGA delta=2, n=2 FROM raw_values WHERE t >= 1 AND t <= 3"
+)
+
+
+class TestPaperExample:
+    def test_fig7_query_parses(self):
+        query = parse_view_query(PAPER_QUERY)
+        assert query.view_name == "prob_view"
+        assert query.value_column == "r"
+        assert query.time_column == "t"
+        assert query.delta == 2.0
+        assert query.n == 2
+        assert query.table_name == "raw_values"
+        assert (query.time_lo, query.time_hi) == (1.0, 3.0)
+
+    def test_defaults(self):
+        query = parse_view_query(PAPER_QUERY)
+        assert query.metric_name == "arma_garch"
+        assert query.metric_params == {}
+        assert query.window is None
+        assert not query.uses_cache
+
+
+class TestClauses:
+    def test_metric_with_parameters(self):
+        query = parse_view_query(
+            "CREATE VIEW v AS DENSITY r OVER t OMEGA delta=0.5, n=10 "
+            "METRIC cgarch (p=2, kappa=2.5, oc_max=7) FROM raw"
+        )
+        assert query.metric_name == "cgarch"
+        assert query.metric_params == {"p": 2, "kappa": 2.5, "oc_max": 7}
+
+    def test_metric_without_parameters(self):
+        query = parse_view_query(
+            "CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1, n=2 "
+            "METRIC variable_threshold FROM raw"
+        )
+        assert query.metric_name == "variable_threshold"
+
+    def test_window_clause(self):
+        query = parse_view_query(
+            "CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1, n=2 "
+            "WINDOW 120 FROM raw"
+        )
+        assert query.window == 120
+
+    def test_cache_distance(self):
+        query = parse_view_query(
+            "CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1, n=2 "
+            "CACHE (distance=0.01) FROM raw"
+        )
+        assert query.cache_distance == 0.01
+        assert query.uses_cache
+
+    def test_cache_memory(self):
+        query = parse_view_query(
+            "CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1, n=2 "
+            "CACHE (memory=64) FROM raw"
+        )
+        assert query.cache_memory == 64
+
+    def test_cache_both(self):
+        query = parse_view_query(
+            "CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1, n=2 "
+            "CACHE (distance=0.05, memory=32) FROM raw"
+        )
+        assert query.cache_distance == 0.05
+        assert query.cache_memory == 32
+
+    def test_omega_order_free(self):
+        query = parse_view_query(
+            "CREATE VIEW v AS DENSITY r OVER t OMEGA n=4, delta=0.25 FROM raw"
+        )
+        assert (query.delta, query.n) == (0.25, 4)
+
+    def test_between_where(self):
+        query = parse_view_query(
+            "CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1, n=2 "
+            "FROM raw WHERE t BETWEEN 5 AND 10"
+        )
+        assert (query.time_lo, query.time_hi) == (5.0, 10.0)
+
+    def test_reversed_where_order(self):
+        query = parse_view_query(
+            "CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1, n=2 "
+            "FROM raw WHERE t <= 10 AND t >= 5"
+        )
+        assert (query.time_lo, query.time_hi) == (5.0, 10.0)
+
+    def test_single_bound_where(self):
+        query = parse_view_query(
+            "CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1, n=2 "
+            "FROM raw WHERE t >= 100"
+        )
+        assert query.time_lo == 100.0
+        assert query.time_hi is None
+
+    def test_keywords_case_insensitive(self):
+        query = parse_view_query(
+            "create view V as density R over T omega delta=1, n=2 from RAW"
+        )
+        assert query.view_name == "V"
+        assert query.table_name == "RAW"
+
+    def test_boolean_metric_parameter(self):
+        query = parse_view_query(
+            "CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1, n=2 "
+            "METRIC arma_garch (warm_start=false) FROM raw"
+        )
+        assert query.metric_params == {"warm_start": False}
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad_query, pattern",
+        [
+            ("", "empty"),
+            ("SELECT r FROM x", "CREATE"),
+            ("CREATE TABLE v AS DENSITY r OVER t OMEGA delta=1, n=2 FROM x",
+             "VIEW"),
+            ("CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1 FROM x",
+             "delta and n"),
+            ("CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1, n=2.5 FROM x",
+             "integer"),
+            ("CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1, n=2 FROM x "
+             "WHERE other >= 1", "time column"),
+            ("CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1, n=2 FROM x "
+             "WHERE t >= 1 AND t >= 2", "duplicate"),
+            ("CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1, n=2 "
+             "CACHE (budget=1) FROM x", "CACHE"),
+            ("CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1, n=2 FROM x "
+             "trailing garbage", "trailing"),
+            ("CREATE VIEW v AS DENSITY r OVER t OMEGA size=1, n=2 FROM x",
+             "OMEGA"),
+        ],
+    )
+    def test_malformed_queries_raise_parse_error(self, bad_query, pattern):
+        with pytest.raises(ParseError, match=pattern):
+            parse_view_query(bad_query)
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError) as info:
+            parse_view_query("CREATE VIEW v @ DENSITY")
+        assert info.value.position >= 0
+
+    def test_missing_from(self):
+        with pytest.raises(ParseError, match="FROM"):
+            parse_view_query(
+                "CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1, n=2"
+            )

@@ -1,0 +1,135 @@
+"""Tests for the Successive Variance Reduction filter (Algorithm 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cleaning.svr_filter import (
+    learn_sv_max,
+    successive_variance_reduction,
+)
+from repro.exceptions import DataError, InvalidParameterError
+
+
+class TestBasicCleaning:
+    def test_single_spike_removed_and_interpolated(self):
+        window = np.array([1.0, 1.1, 0.9, 50.0, 1.0, 1.05])
+        result = successive_variance_reduction(window, sv_max=0.5)
+        assert result.removed_indices == (3,)
+        assert result.cleaned[3] == pytest.approx(0.5 * (0.9 + 1.0))
+        assert result.final_variance <= 0.5
+
+    def test_two_spikes_removed_in_reduction_order(self):
+        """Fig. 6's scenario: the larger-variance-reduction point goes first."""
+        window = np.array([1.0, 30.0, 1.1, 0.9, -40.0, 1.0, 1.05])
+        result = successive_variance_reduction(window, sv_max=0.5)
+        assert set(result.removed_indices) == {1, 4}
+        assert result.removed_indices[0] == 4  # -40 reduces variance most.
+        assert result.final_variance <= 0.5
+
+    def test_clean_window_untouched(self):
+        window = np.array([1.0, 1.05, 0.95, 1.02, 0.98])
+        result = successive_variance_reduction(window, sv_max=1.0)
+        assert result.removed_indices == ()
+        np.testing.assert_array_equal(result.cleaned, window)
+
+    def test_input_not_mutated(self):
+        window = np.array([1.0, 1.0, 50.0, 1.0])
+        original = window.copy()
+        successive_variance_reduction(window, sv_max=0.1)
+        np.testing.assert_array_equal(window, original)
+
+
+class TestEdgeHandling:
+    def test_spike_at_start_extrapolated(self):
+        window = np.array([50.0, 1.0, 1.1, 0.9, 1.0])
+        result = successive_variance_reduction(window, sv_max=0.5)
+        assert 0 in result.removed_indices
+        # Linear extrapolation from the two nearest points: 2*1.0 - 1.1.
+        assert result.cleaned[0] == pytest.approx(0.9)
+
+    def test_spike_at_end_extrapolated(self):
+        window = np.array([1.0, 1.1, 0.9, 1.0, -50.0])
+        result = successive_variance_reduction(window, sv_max=0.5)
+        assert 4 in result.removed_indices
+        assert result.cleaned[4] == pytest.approx(2.0 * 1.0 - 0.9)
+
+    def test_unreachable_threshold_stops_at_cap(self, rng):
+        window = rng.normal(size=20)
+        result = successive_variance_reduction(window, sv_max=0.0)
+        # Cap leaves at least three original points untouched.
+        assert result.n_removed <= 17
+
+    def test_explicit_max_removals(self):
+        window = np.array([1.0, 30.0, 1.0, -30.0, 1.0, 25.0, 1.0])
+        result = successive_variance_reduction(window, sv_max=0.01, max_removals=1)
+        assert result.n_removed == 1
+
+    def test_flat_window_terminates(self):
+        result = successive_variance_reduction(np.full(10, 2.0), sv_max=0.0)
+        assert result.n_removed == 0
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            successive_variance_reduction(np.array([1.0, 2.0]), sv_max=1.0)
+        with pytest.raises(InvalidParameterError):
+            successive_variance_reduction(np.arange(5.0), sv_max=-1.0)
+
+
+class TestLearnSvMax:
+    def test_learned_threshold_covers_clean_windows(self, rng):
+        clean = np.sin(np.arange(200) / 10.0) + rng.normal(0, 0.05, 200)
+        sv_max = learn_sv_max(clean, window=8)
+        # Every window's variance is by construction <= the learned max.
+        result = successive_variance_reduction(clean[:8], sv_max)
+        assert result.n_removed == 0
+
+    def test_learned_threshold_flags_spikes(self, rng):
+        clean = rng.normal(0, 0.1, 100)
+        sv_max = learn_sv_max(clean, window=10)
+        dirty = clean[:10].copy()
+        dirty[4] = 25.0
+        result = successive_variance_reduction(dirty, sv_max)
+        assert 4 in result.removed_indices
+
+    def test_window_longer_than_sample_rejected(self):
+        with pytest.raises(DataError):
+            learn_sv_max(np.arange(5.0), window=10)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        min_size=4,
+        max_size=40,
+    ),
+    st.floats(min_value=0.0, max_value=50.0),
+)
+def test_svr_never_increases_variance(values, sv_max):
+    """Each removal strictly reduces variance; output variance <= input."""
+    window = np.asarray(values)
+    before = float(np.var(window, ddof=1))
+    result = successive_variance_reduction(window, sv_max)
+    assert result.final_variance <= before + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=-10, max_value=10, allow_nan=False),
+        min_size=4,
+        max_size=30,
+    )
+)
+def test_svr_idempotent_once_satisfied(values):
+    """Re-running the filter on its own output removes nothing new."""
+    window = np.asarray(values)
+    sv_max = 5.0
+    first = successive_variance_reduction(window, sv_max)
+    if first.final_variance <= sv_max:
+        second = successive_variance_reduction(first.cleaned, sv_max)
+        assert second.n_removed == 0

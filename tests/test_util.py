@@ -1,0 +1,127 @@
+"""Tests for validation helpers, RNG plumbing and table rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError, InvalidParameterError
+from repro.util.rng import DEFAULT_SEED, ensure_rng
+from repro.util.tables import format_table, rows_from_dicts
+from repro.util.validation import (
+    require_finite_array,
+    require_in_range,
+    require_positive,
+)
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        assert require_positive("x", 2.5) == 2.5
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(InvalidParameterError, match="x"):
+            require_positive("x", 0.0)
+
+    def test_accepts_zero_when_not_strict(self):
+        assert require_positive("x", 0.0, strict=False) == 0.0
+
+    def test_rejects_negative_even_when_not_strict(self):
+        with pytest.raises(InvalidParameterError):
+            require_positive("x", -1.0, strict=False)
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(InvalidParameterError):
+            require_positive("x", float("nan"))
+        with pytest.raises(InvalidParameterError):
+            require_positive("x", float("inf"))
+
+
+class TestRequireInRange:
+    def test_inclusive_bounds(self):
+        assert require_in_range("x", 0.0, 0.0, 1.0) == 0.0
+        assert require_in_range("x", 1.0, 0.0, 1.0) == 1.0
+
+    def test_exclusive_bounds_reject_edges(self):
+        with pytest.raises(InvalidParameterError):
+            require_in_range("x", 0.0, 0.0, 1.0, inclusive=False)
+
+    def test_out_of_range(self):
+        with pytest.raises(InvalidParameterError, match=r"\[0.*1"):
+            require_in_range("x", 2.0, 0.0, 1.0)
+
+
+class TestRequireFiniteArray:
+    def test_coerces_lists(self):
+        out = require_finite_array("x", [1, 2, 3])
+        assert out.dtype == float
+        assert out.tolist() == [1.0, 2.0, 3.0]
+
+    def test_rejects_2d(self):
+        with pytest.raises(DataError, match="one-dimensional"):
+            require_finite_array("x", np.zeros((2, 2)))
+
+    def test_rejects_short(self):
+        with pytest.raises(DataError, match="at least 3"):
+            require_finite_array("x", [1.0, 2.0], min_len=3)
+
+    def test_rejects_nan(self):
+        with pytest.raises(DataError, match="non-finite"):
+            require_finite_array("x", [1.0, float("nan")])
+
+
+class TestEnsureRng:
+    def test_none_uses_default_seed(self):
+        a = ensure_rng(None).standard_normal(4)
+        b = np.random.default_rng(DEFAULT_SEED).standard_normal(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_int_seed(self):
+        a = ensure_rng(7).standard_normal(4)
+        b = np.random.default_rng(7).standard_normal(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(1)
+        assert ensure_rng(generator) is generator
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "---" not in lines[0]
+        assert len(lines) == 4
+
+    def test_title_renders_with_underline(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert text.splitlines()[1] == "=" * len("My Table")
+
+    def test_bool_rendering(self):
+        text = format_table(["ok"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError, match="2 cells"):
+            format_table(["a"], [[1, 2]])
+
+    def test_float_format_respected(self):
+        text = format_table(["v"], [[3.14159]], float_format=".2f")
+        assert "3.14" in text and "3.142" not in text
+
+
+class TestRowsFromDicts:
+    def test_infers_headers_from_first_record(self):
+        headers, rows = rows_from_dicts([{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        assert headers == ["a", "b"]
+        assert rows == [[1, 2], [3, 4]]
+
+    def test_missing_keys_render_empty(self):
+        headers, rows = rows_from_dicts([{"a": 1}], headers=["a", "b"])
+        assert rows == [[1, ""]]
+
+    def test_empty_records(self):
+        headers, rows = rows_from_dicts([])
+        assert headers == [] and rows == []

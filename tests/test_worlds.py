@@ -1,0 +1,152 @@
+"""Tests for the possible-worlds sampler and Monte Carlo query engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db.prob_view import ProbTuple, ProbabilisticView
+from repro.db.worlds import (
+    WorldSampler,
+    conjunctive_range_query,
+    monte_carlo_query,
+)
+from repro.exceptions import InvalidParameterError
+
+
+def _view(p1=0.6, p2=0.4, leftover=0.0) -> ProbabilisticView:
+    """Two times, two ranges; optional residual mass outside the grid."""
+    scale = 1.0 - leftover
+    tuples = [
+        ProbTuple(t=1, low=0.0, high=1.0, probability=p1 * scale),
+        ProbTuple(t=1, low=1.0, high=2.0, probability=(1 - p1) * scale),
+        ProbTuple(t=2, low=0.0, high=1.0, probability=p2 * scale),
+        ProbTuple(t=2, low=1.0, high=2.0, probability=(1 - p2) * scale),
+    ]
+    return ProbabilisticView("w", tuples)
+
+
+class TestWorldSampler:
+    def test_world_has_value_per_time(self):
+        sampler = WorldSampler(_view())
+        world = sampler.sample(rng=0)
+        assert set(world.values) == {1, 2}
+
+    def test_values_fall_in_some_range(self):
+        sampler = WorldSampler(_view())
+        for seed in range(20):
+            world = sampler.sample(rng=seed)
+            for t in (1, 2):
+                value = world.value_at(t)
+                assert value is not None
+                assert 0.0 <= value <= 2.0
+
+    def test_leftover_mass_yields_outside_worlds(self):
+        sampler = WorldSampler(_view(leftover=0.5))
+        rng = np.random.default_rng(0)
+        outside = sum(
+            sampler.sample(rng).value_at(1) is None for _ in range(400)
+        )
+        assert outside / 400 == pytest.approx(0.5, abs=0.1)
+
+    def test_range_frequencies_match_probabilities(self):
+        sampler = WorldSampler(_view(p1=0.8))
+        rng = np.random.default_rng(1)
+        hits = sum(
+            sampler.sample(rng).in_range(1, 0.0, 1.0) for _ in range(1500)
+        )
+        assert hits / 1500 == pytest.approx(0.8, abs=0.05)
+
+    def test_world_unknown_time_rejected(self):
+        world = WorldSampler(_view()).sample(rng=0)
+        with pytest.raises(InvalidParameterError):
+            world.value_at(99)
+
+
+class TestMonteCarloQuery:
+    def test_indicator_matches_exact(self):
+        view = _view(p1=0.6, p2=0.4)
+        estimate = monte_carlo_query(
+            view,
+            lambda world: float(world.in_range(1, 0.0, 1.0)),
+            n_samples=3000,
+            rng=2,
+        )
+        assert estimate.mean == pytest.approx(0.6, abs=0.05)
+        low, high = estimate.confidence_interval()
+        assert low < 0.6 < high
+
+    def test_conjunction_matches_product(self):
+        view = _view(p1=0.6, p2=0.4)
+        estimate = monte_carlo_query(
+            view,
+            lambda world: float(
+                world.in_range(1, 0.0, 1.0) and world.in_range(2, 0.0, 1.0)
+            ),
+            n_samples=4000,
+            rng=3,
+        )
+        assert estimate.mean == pytest.approx(0.24, abs=0.04)
+
+    def test_aggregate_functional(self):
+        view = _view(p1=0.5, p2=0.5)
+        estimate = monte_carlo_query(
+            view,
+            lambda world: sum(
+                1.0 for value in world.values.values()
+                if value is not None and value >= 1.0
+            ),
+            n_samples=3000,
+            rng=4,
+        )
+        assert estimate.mean == pytest.approx(1.0, abs=0.1)
+
+    def test_standard_error_shrinks_with_samples(self):
+        view = _view()
+        indicator = lambda world: float(world.in_range(1, 0.0, 1.0))
+        small = monte_carlo_query(view, indicator, n_samples=100, rng=5)
+        large = monte_carlo_query(view, indicator, n_samples=6400, rng=5)
+        assert large.standard_error < small.standard_error
+
+    def test_n_samples_validation(self):
+        with pytest.raises(InvalidParameterError):
+            monte_carlo_query(_view(), lambda w: 0.0, n_samples=1)
+
+
+class TestConjunctiveRangeQuery:
+    def test_product_over_times(self):
+        view = _view(p1=0.6, p2=0.4)
+        probability = conjunctive_range_query(
+            view, {1: (0.0, 1.0), 2: (0.0, 1.0)}
+        )
+        assert probability == pytest.approx(0.24)
+
+    def test_partial_overlap_scales(self):
+        view = _view(p1=0.6)
+        probability = conjunctive_range_query(view, {1: (0.0, 0.5)})
+        assert probability == pytest.approx(0.3)
+
+    def test_disjoint_range_gives_zero(self):
+        view = _view()
+        assert conjunctive_range_query(view, {1: (5.0, 6.0)}) == 0.0
+
+    def test_agreement_with_monte_carlo(self):
+        view = _view(p1=0.7, p2=0.3)
+        predicates = {1: (0.0, 1.0), 2: (1.0, 2.0)}
+        exact = conjunctive_range_query(view, predicates)
+        estimate = monte_carlo_query(
+            view,
+            lambda world: float(
+                all(world.in_range(t, *bounds)
+                    for t, bounds in predicates.items())
+            ),
+            n_samples=5000,
+            rng=6,
+        )
+        assert estimate.mean == pytest.approx(exact, abs=0.04)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            conjunctive_range_query(_view(), {})
+        with pytest.raises(InvalidParameterError):
+            conjunctive_range_query(_view(), {1: (2.0, 1.0)})
