@@ -1,0 +1,177 @@
+"""Columnar-engine throughput: view construction and query rows/sec.
+
+Measures the batch data path (``build_matrix`` + ``from_matrix`` +
+vectorised queries) against reference implementations of the seed
+row-at-a-time path (one CDF call per forecast, one ``ProbTuple`` per
+range, Python loops per query) for ``T`` in {1e3, 1e4, 1e5} inference
+times, and records the trajectory in ``BENCH_columnar.json`` at the repo
+root.
+
+Run directly (``python benchmarks/bench_columnar_throughput.py``) or via
+pytest (``pytest benchmarks/bench_columnar_throughput.py``); the pytest
+entry also asserts the acceptance floors: >= 10x on Gaussian view
+construction and >= 5x on threshold / expected-value queries at T=1e5.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.db.prob_view import ProbTuple, ProbabilisticView
+from repro.db.queries import expected_value_query, threshold_query
+from repro.metrics.base import DensitySeries
+from repro.view.builder import ViewBuilder
+from repro.view.omega import OmegaGrid
+
+_SIZES = (1_000, 10_000, 100_000)
+_GRID = OmegaGrid(delta=0.5, n=8)
+_TAU = 0.5
+_OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_columnar.json"
+
+
+def _forecasts(count: int) -> DensitySeries:
+    rng = np.random.default_rng(count)
+    means = 20.0 + np.cumsum(rng.normal(0.0, 0.25, size=count))
+    sigmas = rng.uniform(0.5, 2.0, size=count)
+    return DensitySeries.from_columns(
+        np.arange(count, dtype=np.int64),
+        means,
+        sigmas,
+        means - 3.0 * sigmas,
+        means + 3.0 * sigmas,
+        family="gaussian",
+    )
+
+
+def _time(function, *, repeat: int = 1):
+    """Best-of-``repeat`` wall time and the last return value."""
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = function()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+# ----------------------------------------------------------------------
+# Seed reference implementations (the pre-columnar code path).
+# ----------------------------------------------------------------------
+def _seed_build(forecasts: DensitySeries, builder: ViewBuilder) -> ProbabilisticView:
+    tuples = []
+    for forecast in forecasts:
+        row = builder.build_row(forecast)
+        for omega, probability in zip(_GRID.ranges_around(row.mean),
+                                      row.probabilities):
+            tuples.append(ProbTuple(
+                t=row.t, low=omega.low, high=omega.high,
+                probability=float(np.clip(probability, 0.0, 1.0)),
+                label=omega.label,
+            ))
+    return ProbabilisticView("seed", tuples)
+
+
+def _seed_threshold(view: ProbabilisticView, tau: float) -> list[ProbTuple]:
+    return [tup for tup in view if tup.probability >= tau]
+
+
+def _seed_expected_value(view: ProbabilisticView) -> dict[int, float]:
+    out: dict[int, float] = {}
+    for t in view.times:
+        tuples = view.tuples_at(t)
+        mass = sum(tup.probability for tup in tuples)
+        out[t] = sum(
+            tup.probability * 0.5 * (tup.low + tup.high) for tup in tuples
+        ) / mass
+    return out
+
+
+# ----------------------------------------------------------------------
+# The benchmark proper.
+# ----------------------------------------------------------------------
+def run_benchmark() -> dict:
+    results: dict = {
+        "grid": {"delta": _GRID.delta, "n": _GRID.n},
+        "tau": _TAU,
+        "python": platform.python_version(),
+        "sizes": {},
+    }
+    for count in _SIZES:
+        forecasts = _forecasts(count)
+        builder = ViewBuilder(_GRID)
+
+        columnar_s, columnar_view = _time(
+            lambda: ProbabilisticView.from_matrix(
+                "columnar", builder.build_matrix(forecasts), _GRID
+            ),
+            repeat=3,
+        )
+        seed_s, seed_view = _time(lambda: _seed_build(forecasts, builder))
+
+        # Query timings: the seed loops run on the fully materialised seed
+        # view, the vectorised queries on the columnar view.
+        seed_thr_s, seed_hits = _time(lambda: _seed_threshold(seed_view, _TAU))
+        col_thr_s, col_hits = _time(
+            lambda: threshold_query(columnar_view, _TAU), repeat=3
+        )
+        assert len(seed_hits) == len(col_hits)
+
+        seed_ev_s, seed_ev = _time(lambda: _seed_expected_value(seed_view))
+        col_ev_s, col_ev = _time(
+            lambda: expected_value_query(columnar_view), repeat=3
+        )
+        assert seed_ev.keys() == col_ev.keys()
+
+        tuples = len(columnar_view)
+        results["sizes"][str(count)] = {
+            "tuples": tuples,
+            "view_build": {
+                "seed_s": seed_s,
+                "columnar_s": columnar_s,
+                "speedup": seed_s / columnar_s,
+                "columnar_rows_per_s": tuples / columnar_s,
+            },
+            "threshold_query": {
+                "seed_s": seed_thr_s,
+                "columnar_s": col_thr_s,
+                "speedup": seed_thr_s / col_thr_s,
+                "columnar_rows_per_s": tuples / col_thr_s,
+            },
+            "expected_value_query": {
+                "seed_s": seed_ev_s,
+                "columnar_s": col_ev_s,
+                "speedup": seed_ev_s / col_ev_s,
+                "columnar_rows_per_s": tuples / col_ev_s,
+            },
+        }
+    _OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def test_columnar_throughput():
+    """Acceptance floors at T=1e5: 10x view build, 5x bulk queries."""
+    results = run_benchmark()
+    top = results["sizes"][str(_SIZES[-1])]
+    assert top["view_build"]["speedup"] >= 10.0
+    assert top["threshold_query"]["speedup"] >= 5.0
+    assert top["expected_value_query"]["speedup"] >= 5.0
+
+
+if __name__ == "__main__":
+    report = run_benchmark()
+    for count, entry in report["sizes"].items():
+        print(f"T={count} ({entry['tuples']} tuples)")
+        for key in ("view_build", "threshold_query", "expected_value_query"):
+            data = entry[key]
+            print(
+                f"  {key:22s} seed {data['seed_s']*1e3:9.2f} ms   "
+                f"columnar {data['columnar_s']*1e3:8.2f} ms   "
+                f"{data['speedup']:8.1f}x   "
+                f"{data['columnar_rows_per_s']:.3g} rows/s"
+            )
+    print(f"\nwrote {_OUTPUT}")

@@ -8,7 +8,7 @@ Alice in?" query of the paper's Fig. 1).
 """
 
 from repro.db.engine import Database
-from repro.db.prob_view import ProbabilisticView, ProbTuple
+from repro.db.prob_view import ProbabilisticView, ProbTuple, ViewColumns
 from repro.db.queries import (
     expected_value_query,
     most_probable_range_query,
@@ -23,6 +23,7 @@ __all__ = [
     "ProbTuple",
     "ProbabilisticView",
     "Table",
+    "ViewColumns",
     "expected_value_query",
     "load_table_csv",
     "most_probable_range_query",

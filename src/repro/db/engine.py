@@ -15,7 +15,6 @@ from repro.db.table import Table
 from repro.exceptions import QueryError
 from repro.metrics.registry import create_metric
 from repro.view.builder import ViewBuilder
-from repro.view.omega import OmegaGrid
 from repro.view.sql import ViewQuery, parse_view_query
 
 __all__ = ["Database"]
@@ -97,7 +96,7 @@ class Database:
                 f"window H={window}; widen the WHERE range or shrink WINDOW"
             )
         forecasts = metric.run(series, window)
-        grid = OmegaGrid(delta=query.delta, n=query.n)
+        grid = query.grid()
         builder = ViewBuilder(grid)
         if query.uses_cache:
             builder = builder.with_cache_for(
@@ -105,8 +104,8 @@ class Database:
                 distance_constraint=query.cache_distance,
                 memory_constraint=query.cache_memory,
             )
-        rows = builder.build_rows(forecasts)
-        view = ProbabilisticView.from_rows(query.view_name, rows, grid)
+        matrix = builder.build_matrix(forecasts)
+        view = ProbabilisticView.from_matrix(query.view_name, matrix, grid)
         self._views[query.view_name] = view
         return view
 

@@ -5,20 +5,32 @@ paper's Fig. 1 and Fig. 2.  Tuples at the same time are mutually exclusive
 alternatives (the ranges partition the value domain around ``r_hat_t``);
 tuples at different times are independent, the standard tuple-independent
 model the paper's Definition 2 targets.
+
+Columnar backing
+----------------
+The view stores its tuples as parallel numpy columns (``t``, ``low``,
+``high``, ``probability`` plus integer label codes) with a sorted per-time
+index for O(log T) time slicing; :class:`ProbTuple` objects are only
+materialised when individually accessed, so bulk consumers — the queries in
+:mod:`repro.db.queries` and :mod:`repro.db.stream_queries` — operate on the
+arrays directly via :attr:`ProbabilisticView.columns`.  Per-tuple mass and
+range validation happens in one vectorised pass at construction time.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
+from typing import NamedTuple
 
 import numpy as np
 
 from repro.exceptions import DataError, InvalidParameterError, QueryError
-from repro.view.builder import ProbabilityRow
+from repro.view.builder import ProbabilityMatrix, ProbabilityRow
+from repro.util.arrays import readonly_view
 from repro.view.omega import OmegaGrid
 
-__all__ = ["ProbTuple", "ProbabilisticView"]
+__all__ = ["ProbTuple", "ProbabilisticView", "ViewColumns"]
 
 #: Tolerance when validating that per-time probabilities do not exceed one.
 _MASS_TOLERANCE = 1e-6
@@ -33,7 +45,8 @@ class ProbTuple:
     t:
         Inference time index.
     low, high:
-        The range ``omega = [low, high]`` this tuple asserts.
+        The range ``omega = [low, high)`` this tuple asserts (the uppermost
+        range of a time additionally owns its closing edge).
     probability:
         ``rho_omega`` — probability that the true value lies in the range.
     label:
@@ -58,98 +71,398 @@ class ProbTuple:
             )
 
 
+class ViewColumns(NamedTuple):
+    """Read-only columnar exposure of a view's tuples (the batch API).
+
+    ``t`` / ``low`` / ``high`` / ``probability`` / ``label_code`` are
+    parallel arrays in the view's tuple order; ``labels`` decodes the label
+    codes.  ``order`` is the stable by-time sort (sorted position →
+    tuple index), ``times`` the distinct times ascending, and ``starts`` /
+    ``counts`` delimit each time's group inside ``order`` — together they
+    give vectorised consumers O(1) per-time slicing.
+    """
+
+    t: np.ndarray
+    low: np.ndarray
+    high: np.ndarray
+    probability: np.ndarray
+    label_code: np.ndarray
+    labels: tuple[str, ...]
+    order: np.ndarray
+    times: np.ndarray
+    starts: np.ndarray
+    counts: np.ndarray
+
+
+def _check_probability_column(probability: np.ndarray) -> None:
+    """Vectorised form of the :class:`ProbTuple` probability check.
+
+    The negated-interval formulation matches the scalar ``__post_init__``
+    exactly, so NaN probabilities are rejected here too rather than
+    surfacing later during lazy materialisation.
+    """
+    bad = ~(
+        (probability >= -_MASS_TOLERANCE)
+        & (probability <= 1.0 + _MASS_TOLERANCE)
+    )
+    if np.any(bad):
+        index = int(np.argmax(bad))
+        raise InvalidParameterError(
+            f"tuple probability must be in [0, 1], got {probability[index]}"
+        )
+
+
 class ProbabilisticView:
     """An ordered collection of :class:`ProbTuple` grouped by time.
 
-    Construct directly from tuples or from builder output via
-    :meth:`from_rows`.  Provides the per-time access patterns the
+    Construct directly from tuples, from builder output via
+    :meth:`from_rows` / :meth:`from_matrix`, or from raw arrays via
+    :meth:`from_columns`.  Provides the per-time access patterns the
     probabilistic queries in :mod:`repro.db.queries` build on.
     """
 
     def __init__(self, name: str, tuples: Sequence[ProbTuple]) -> None:
-        if not name:
-            raise InvalidParameterError("view name must be non-empty")
-        self.name = str(name)
-        self._tuples = list(tuples)
-        self._by_time: dict[int, list[ProbTuple]] = {}
-        for item in self._tuples:
-            self._by_time.setdefault(item.t, []).append(item)
-        for t, group in self._by_time.items():
-            mass = sum(tup.probability for tup in group)
-            if mass > 1.0 + _MASS_TOLERANCE * max(len(group), 1):
-                raise DataError(
-                    f"probabilities at time {t} sum to {mass:.6f} > 1"
-                )
+        tuples = list(tuples)
+        count = len(tuples)
+        t = np.empty(count, dtype=np.int64)
+        low = np.empty(count)
+        high = np.empty(count)
+        probability = np.empty(count)
+        label_code = np.empty(count, dtype=np.int64)
+        pool: dict[str, int] = {}
+        for index, item in enumerate(tuples):
+            t[index] = item.t
+            low[index] = item.low
+            high[index] = item.high
+            probability[index] = item.probability
+            label_code[index] = pool.setdefault(item.label, len(pool))
+        self._init_columns(
+            name, t, low, high, probability, label_code, tuple(pool),
+            tuples=tuples,
+        )
+
+    # ------------------------------------------------------------------
+    # Columnar constructors.
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_columns(
+        cls,
+        name: str,
+        t: np.ndarray,
+        low: np.ndarray,
+        high: np.ndarray,
+        probability: np.ndarray,
+        labels: Sequence[str] | None = None,
+    ) -> "ProbabilisticView":
+        """Build a view from parallel per-tuple arrays.
+
+        ``labels`` optionally carries one label string per tuple.  The
+        per-tuple checks of :class:`ProbTuple` run as one vectorised pass.
+        """
+        t = np.ascontiguousarray(t, dtype=np.int64)
+        low = np.ascontiguousarray(low, dtype=float)
+        high = np.ascontiguousarray(high, dtype=float)
+        probability = np.ascontiguousarray(probability, dtype=float)
+        if not (t.size == low.size == high.size == probability.size):
+            raise DataError("view columns must have equal length")
+        bad_range = high <= low
+        if np.any(bad_range):
+            index = int(np.argmax(bad_range))
+            raise InvalidParameterError(
+                f"tuple range upper bound must exceed lower, "
+                f"got [{low[index]}, {high[index]}]"
+            )
+        _check_probability_column(probability)
+        if labels is None:
+            label_code = np.zeros(t.size, dtype=np.int64)
+            pool: tuple[str, ...] = ("",)
+        else:
+            if len(labels) != t.size:
+                raise DataError("labels must have one entry per tuple")
+            mapping: dict[str, int] = {}
+            label_code = np.fromiter(
+                (mapping.setdefault(str(label), len(mapping)) for label in labels),
+                dtype=np.int64,
+                count=t.size,
+            )
+            pool = tuple(mapping) if mapping else ("",)
+        self = cls.__new__(cls)
+        self._init_columns(name, t, low, high, probability, label_code, pool)
+        return self
+
+    @classmethod
+    def from_matrix(
+        cls, name: str, matrix: ProbabilityMatrix, grid: OmegaGrid
+    ) -> "ProbabilisticView":
+        """Materialise :meth:`ViewBuilder.build_matrix` output into a view.
+
+        The fully columnar path: the ``(T, n)`` probability matrix expands
+        into per-tuple arrays without creating a single Python object per
+        tuple.
+        """
+        return cls._from_grid_layout(
+            name, matrix.t, matrix.mean, matrix.probabilities, grid
+        )
 
     @classmethod
     def from_rows(
-        cls, name: str, rows: Sequence[ProbabilityRow], grid: OmegaGrid
+        cls, name: str, rows: Sequence[ProbabilityRow] | ProbabilityMatrix,
+        grid: OmegaGrid,
     ) -> "ProbabilisticView":
         """Materialise builder output into a view.
 
         Each :class:`ProbabilityRow` expands into ``grid.n`` tuples whose
-        ranges are centred on the row's mean.
+        ranges are centred on the row's mean.  A :class:`ProbabilityMatrix`
+        is accepted too and routed through the columnar path.
         """
-        tuples: list[ProbTuple] = []
-        for row in rows:
-            ranges = grid.ranges_around(row.mean)
-            for omega, probability in zip(ranges, row.probabilities):
-                tuples.append(
-                    ProbTuple(
-                        t=row.t,
-                        low=omega.low,
-                        high=omega.high,
-                        probability=float(np.clip(probability, 0.0, 1.0)),
-                        label=omega.label,
-                    )
-                )
-        return cls(name, tuples)
+        if isinstance(rows, ProbabilityMatrix):
+            return cls.from_matrix(name, rows, grid)
+        rows = list(rows)
+        t = np.fromiter((row.t for row in rows), dtype=np.int64, count=len(rows))
+        mean = np.fromiter(
+            (row.mean for row in rows), dtype=float, count=len(rows)
+        )
+        if rows:
+            probabilities = np.vstack([row.probabilities for row in rows])
+        else:
+            probabilities = np.empty((0, grid.n))
+        return cls._from_grid_layout(name, t, mean, probabilities, grid)
+
+    @classmethod
+    def _from_grid_layout(
+        cls,
+        name: str,
+        t: np.ndarray,
+        mean: np.ndarray,
+        probabilities: np.ndarray,
+        grid: OmegaGrid,
+    ) -> "ProbabilisticView":
+        """Shared columnar expansion of per-time probability rows."""
+        count = t.size
+        n = grid.n
+        if probabilities.shape != (count, n):
+            raise DataError(
+                f"probability matrix of shape {probabilities.shape} does not "
+                f"match {count} times x {n} ranges"
+            )
+        edges = grid.edges_matrix(mean)
+        pool = tuple(f"lambda={int(lam)}" for lam in grid.lambdas)
+        clipped = np.clip(probabilities, 0.0, 1.0).ravel()
+        # np.clip passes NaN through; reject it like the scalar path would.
+        _check_probability_column(clipped)
+        self = cls.__new__(cls)
+        self._init_columns(
+            name,
+            np.repeat(np.ascontiguousarray(t, dtype=np.int64), n),
+            edges[:, :-1].ravel(),
+            edges[:, 1:].ravel(),
+            clipped,
+            np.tile(np.arange(n, dtype=np.int64), count),
+            pool,
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # Shared initialisation.
+    # ------------------------------------------------------------------
+    def _init_columns(
+        self,
+        name: str,
+        t: np.ndarray,
+        low: np.ndarray,
+        high: np.ndarray,
+        probability: np.ndarray,
+        label_code: np.ndarray,
+        label_pool: tuple[str, ...],
+        tuples: list[ProbTuple] | None = None,
+    ) -> None:
+        if not name:
+            raise InvalidParameterError("view name must be non-empty")
+        self.name = str(name)
+        self._t = t
+        self._low = low
+        self._high = high
+        self._prob = probability
+        self._label_code = label_code
+        self._label_pool = label_pool if label_pool else ("",)
+        self._tuples: list[ProbTuple | None] = (
+            tuples if tuples is not None else [None] * t.size
+        )
+        # Stable by-time ordering; builder output is already sorted, in
+        # which case the identity avoids the gather entirely.
+        if t.size > 1 and np.any(np.diff(t) < 0):
+            self._order = np.argsort(t, kind="stable")
+            t_sorted = t[self._order]
+        else:
+            self._order = np.arange(t.size, dtype=np.int64)
+            t_sorted = t
+        if t.size:
+            self._times, self._starts, self._counts = np.unique(
+                t_sorted, return_index=True, return_counts=True
+            )
+        else:
+            self._times = np.empty(0, dtype=np.int64)
+            self._starts = np.empty(0, dtype=np.int64)
+            self._counts = np.empty(0, dtype=np.int64)
+        self._prob_sorted = probability[self._order]
+        self._validate_mass()
+        self._columns: ViewColumns | None = None
+
+    def _validate_mass(self) -> None:
+        """Vectorised replacement of the per-group mass summation."""
+        if not self._times.size:
+            return
+        masses = np.add.reduceat(self._prob_sorted, self._starts)
+        limits = 1.0 + _MASS_TOLERANCE * np.maximum(self._counts, 1)
+        bad = masses > limits
+        if np.any(bad):
+            index = int(np.argmax(bad))
+            raise DataError(
+                f"probabilities at time {int(self._times[index])} sum to "
+                f"{masses[index]:.6f} > 1"
+            )
+
+    # ------------------------------------------------------------------
+    # Columnar access.
+    # ------------------------------------------------------------------
+    @property
+    def columns(self) -> ViewColumns:
+        """The view's tuples as read-only parallel arrays (batch API)."""
+        if self._columns is None:
+            self._columns = ViewColumns(
+                t=readonly_view(self._t),
+                low=readonly_view(self._low),
+                high=readonly_view(self._high),
+                probability=readonly_view(self._prob),
+                label_code=readonly_view(self._label_code),
+                labels=self._label_pool,
+                order=readonly_view(self._order),
+                times=readonly_view(self._times),
+                starts=readonly_view(self._starts),
+                counts=readonly_view(self._counts),
+            )
+        return self._columns
+
+    def _materialise(self, index: int) -> ProbTuple:
+        item = self._tuples[index]
+        if item is None:
+            item = ProbTuple(
+                t=int(self._t[index]),
+                low=float(self._low[index]),
+                high=float(self._high[index]),
+                probability=float(self._prob[index]),
+                label=self._label_pool[int(self._label_code[index])],
+            )
+            self._tuples[index] = item
+        return item
+
+    def take(self, indices: np.ndarray) -> list[ProbTuple]:
+        """Bulk tuple materialisation: the tuples at the given indices.
+
+        The columnar counterpart of repeated ``view[i]`` — gathers the
+        columns once and builds the dataclasses directly; the per-tuple
+        ``__post_init__`` checks already ran as a vectorised pass at
+        construction time, so they are safely skipped here.  Vectorised
+        queries use this to materialise only the tuples they return.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        tuples = self._tuples
+        pool = self._label_pool
+        out: list[ProbTuple] = []
+        new = ProbTuple.__new__
+        assign = object.__setattr__
+        for index, t, low, high, probability, code in zip(
+            indices.tolist(),
+            self._t[indices].tolist(),
+            self._low[indices].tolist(),
+            self._high[indices].tolist(),
+            self._prob[indices].tolist(),
+            self._label_code[indices].tolist(),
+        ):
+            item = tuples[index]
+            if item is None:
+                item = new(ProbTuple)
+                assign(item, "t", t)
+                assign(item, "low", low)
+                assign(item, "high", high)
+                assign(item, "probability", probability)
+                assign(item, "label", pool[code])
+                tuples[index] = item
+            out.append(item)
+        return out
+
+    def _group_position(self, t: int) -> int:
+        position = int(np.searchsorted(self._times, t))
+        if position >= self._times.size or self._times[position] != t:
+            lo = int(self._times[0]) if self._times.size else "-"
+            hi = int(self._times[-1]) if self._times.size else "-"
+            raise QueryError(
+                f"view {self.name!r} has no tuples at time {t}; "
+                f"times span [{lo}, {hi}]"
+            )
+        return position
+
+    def _group_indices(self, position: int) -> np.ndarray:
+        start = int(self._starts[position])
+        return self._order[start : start + int(self._counts[position])]
 
     # ------------------------------------------------------------------
     # Container protocol.
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._tuples)
+        return self._t.size
 
     def __iter__(self) -> Iterator[ProbTuple]:
-        return iter(self._tuples)
+        for index in range(len(self)):
+            yield self._materialise(index)
 
-    def __getitem__(self, index: int) -> ProbTuple:
-        return self._tuples[index]
+    def __getitem__(self, index: int | slice) -> ProbTuple | list[ProbTuple]:
+        if isinstance(index, slice):
+            return [self._materialise(i) for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        return self._materialise(index)
 
     @property
     def times(self) -> list[int]:
         """Distinct inference times, ascending."""
-        return sorted(self._by_time)
+        return self._times.tolist()
 
     def tuples_at(self, t: int) -> list[ProbTuple]:
         """All tuples asserted at time ``t`` (the alternatives)."""
-        if t not in self._by_time:
-            raise QueryError(
-                f"view {self.name!r} has no tuples at time {t}; "
-                f"times span [{min(self._by_time, default='-')}, "
-                f"{max(self._by_time, default='-')}]"
-            )
-        return list(self._by_time[t])
+        position = self._group_position(t)
+        return self.take(self._group_indices(position))
 
     def probability_at(self, t: int, value: float) -> float:
-        """Probability that the true value at ``t`` lies in a range covering ``value``.
+        """Probability that the true value at ``t`` lies in the range covering ``value``.
 
-        Sums the (disjoint) ranges containing ``value``; zero when the value
-        falls outside every range of the grid.
+        Ranges are treated as half-open ``[low, high)`` — adjacent grid
+        ranges share an edge, so closed intervals would double-count a
+        value landing exactly on it — except that the uppermost edge of the
+        time's range set is closed (the last range owns its upper bound).
+        Zero when the value falls outside every range.
         """
-        return sum(
-            tup.probability
-            for tup in self.tuples_at(t)
-            if tup.low <= value <= tup.high
-        )
+        position = self._group_position(t)
+        indices = self._group_indices(position)
+        low = self._low[indices]
+        high = self._high[indices]
+        inside = (low <= value) & (value < high)
+        top = np.max(high)
+        if value == top:
+            inside |= (high == top) & (low <= value)
+        return float(np.sum(self._prob[indices], where=inside))
 
     def total_mass_at(self, t: int) -> float:
         """Probability mass the view captures at ``t`` (tail loss = 1 - mass)."""
-        return sum(tup.probability for tup in self.tuples_at(t))
+        position = self._group_position(t)
+        start = int(self._starts[position])
+        stop = start + int(self._counts[position])
+        return float(np.sum(self._prob_sorted[start:stop]))
 
     def __repr__(self) -> str:
         return (
             f"ProbabilisticView(name={self.name!r}, tuples={len(self)}, "
-            f"times={len(self._by_time)})"
+            f"times={len(self._times)})"
         )

@@ -11,9 +11,17 @@ basic consumers used by the examples and integration tests:
   arbitrary interval, per time;
 * :func:`expected_value_query` — expected value under the discretised
   distribution, per time.
+
+All four run as column operations over
+:attr:`~repro.db.prob_view.ProbabilisticView.columns` — boolean masks,
+grouped ``np.add.reduceat`` reductions — and only materialise the
+:class:`ProbTuple` objects they actually return, so their signatures and
+return types are unchanged from the row-at-a-time implementations.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.db.prob_view import ProbTuple, ProbabilisticView
 from repro.exceptions import InvalidParameterError
@@ -34,7 +42,8 @@ def threshold_query(view: ProbabilisticView, tau: float) -> list[ProbTuple]:
     """
     if not 0.0 <= tau <= 1.0:
         raise InvalidParameterError(f"tau must be in [0, 1], got {tau}")
-    return [tup for tup in view if tup.probability >= tau]
+    hits = np.flatnonzero(view.columns.probability >= tau)
+    return view.take(hits)
 
 
 def most_probable_range_query(view: ProbabilisticView) -> dict[int, ProbTuple]:
@@ -43,10 +52,20 @@ def most_probable_range_query(view: ProbabilisticView) -> dict[int, ProbTuple]:
     Ties break toward the earlier (lower) range, matching the order the
     builder emits.
     """
-    out: dict[int, ProbTuple] = {}
-    for t in view.times:
-        out[t] = max(view.tuples_at(t), key=lambda tup: tup.probability)
-    return out
+    cols = view.columns
+    if not cols.times.size:
+        return {}
+    prob_sorted = cols.probability[cols.order]
+    maxima = np.maximum.reduceat(prob_sorted, cols.starts)
+    # First position of each group's maximum: flat indices of all maximal
+    # entries, then the earliest one at or after each group start.
+    is_max = prob_sorted == np.repeat(maxima, cols.counts)
+    max_positions = np.flatnonzero(is_max)
+    firsts = max_positions[np.searchsorted(max_positions, cols.starts)]
+    return {
+        int(t): view[int(cols.order[position])]
+        for t, position in zip(cols.times, firsts)
+    }
 
 
 def range_probability_query(
@@ -61,37 +80,35 @@ def range_probability_query(
         raise InvalidParameterError(
             f"query range upper bound must exceed lower, got [{low}, {high}]"
         )
-    out: dict[int, float] = {}
-    for t in view.times:
-        mass = 0.0
-        for tup in view.tuples_at(t):
-            overlap = min(high, tup.high) - max(low, tup.low)
-            if overlap <= 0:
-                continue
-            mass += tup.probability * (overlap / (tup.high - tup.low))
-        out[t] = min(mass, 1.0)
-    return out
+    cols = view.columns
+    overlap = np.minimum(high, cols.high) - np.maximum(low, cols.low)
+    fraction = np.clip(overlap, 0.0, None) / (cols.high - cols.low)
+    contribution = (cols.probability * fraction)[cols.order]
+    masses = np.minimum(np.add.reduceat(contribution, cols.starts), 1.0) \
+        if cols.times.size else np.empty(0)
+    return {int(t): float(mass) for t, mass in zip(cols.times, masses)}
 
 
 def expected_value_query(view: ProbabilisticView) -> dict[int, float]:
     """Expected value per time under the discretised distribution.
 
-    Each tuple contributes its range midpoint weighted by its probability;
-    the result is normalised by the captured mass so grids that truncate
-    the tails stay unbiased.
+    Each tuple contributes its range midpoint weighted by its probability
+    (one grouped ``np.add.reduceat`` over the columns); the result is
+    normalised by the captured mass so grids that truncate the tails stay
+    unbiased.
     """
-    out: dict[int, float] = {}
-    for t in view.times:
-        tuples = view.tuples_at(t)
-        mass = sum(tup.probability for tup in tuples)
-        if mass <= 0.0:
-            # Degenerate: no information at this time; midpoint of support.
-            lows = min(tup.low for tup in tuples)
-            highs = max(tup.high for tup in tuples)
-            out[t] = 0.5 * (lows + highs)
-            continue
-        weighted = sum(
-            tup.probability * 0.5 * (tup.low + tup.high) for tup in tuples
+    cols = view.columns
+    if not cols.times.size:
+        return {}
+    weighted = (cols.probability * 0.5 * (cols.low + cols.high))[cols.order]
+    masses = np.add.reduceat(cols.probability[cols.order], cols.starts)
+    sums = np.add.reduceat(weighted, cols.starts)
+    # Degenerate groups (no mass): midpoint of the group's support.
+    lows = np.minimum.reduceat(cols.low[cols.order], cols.starts)
+    highs = np.maximum.reduceat(cols.high[cols.order], cols.starts)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        values = np.where(
+            masses > 0.0, sums / np.where(masses > 0.0, masses, 1.0),
+            0.5 * (lows + highs),
         )
-        out[t] = weighted / mass
-    return out
+    return {int(t): float(value) for t, value in zip(cols.times, values)}

@@ -13,11 +13,17 @@ under the tuple-independent semantics of the created views:
   *every* time of a window), using cross-time independence;
 * :func:`expected_time_above` — expected number of times (within a window)
   the value exceeds the threshold, by linearity of expectation.
+
+Like :mod:`repro.db.queries`, everything here is a column operation over
+:attr:`~repro.db.prob_view.ProbabilisticView.columns`: per-time exceedance
+is one grouped reduction, and the sliding windows are cumulative sums or
+strided products over the per-time vectors.
 """
 
 from __future__ import annotations
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.db.prob_view import ProbabilisticView
 from repro.db.queries import expected_value_query
@@ -31,6 +37,20 @@ __all__ = [
 ]
 
 
+def _exceedance_vector(view: ProbabilisticView, threshold: float) -> np.ndarray:
+    """Per-time P(value > threshold), aligned with ``view.columns.times``."""
+    cols = view.columns
+    if not cols.times.size:
+        return np.empty(0)
+    # Ranges fully above the threshold contribute everything (the fraction
+    # clips to 1); the straddling range contributes proportionally.
+    fraction = np.clip(
+        (cols.high - threshold) / (cols.high - cols.low), 0.0, 1.0
+    )
+    contribution = (cols.probability * fraction)[cols.order]
+    return np.minimum(np.add.reduceat(contribution, cols.starts), 1.0)
+
+
 def exceedance_probability(view: ProbabilisticView, threshold: float) -> dict[int, float]:
     """P(value > threshold) per time.
 
@@ -38,17 +58,8 @@ def exceedance_probability(view: ProbabilisticView, threshold: float) -> dict[in
     the range straddling it contributes proportionally (the builder's
     piecewise-uniform treatment within a range).
     """
-    out: dict[int, float] = {}
-    for t in view.times:
-        mass = 0.0
-        for tup in view.tuples_at(t):
-            if tup.low >= threshold:
-                mass += tup.probability
-            elif tup.high > threshold:
-                fraction = (tup.high - threshold) / (tup.high - tup.low)
-                mass += tup.probability * fraction
-        out[t] = min(mass, 1.0)
-    return out
+    values = _exceedance_vector(view, threshold)
+    return {int(t): float(v) for t, v in zip(view.columns.times, values)}
 
 
 def windowed_expected_value(
@@ -83,19 +94,16 @@ def sustained_exceedance_probability(
     """
     if window < 1:
         raise InvalidParameterError(f"window must be >= 1, got {window}")
-    per_time = exceedance_probability(view, threshold)
+    per_time = _exceedance_vector(view, threshold)
     times = view.times
     if len(times) < window:
         raise InvalidParameterError(
             f"view has {len(times)} times, fewer than window={window}"
         )
-    out: dict[int, float] = {}
-    for index in range(window - 1, len(times)):
-        probability = 1.0
-        for t in times[index - window + 1 : index + 1]:
-            probability *= per_time[t]
-        out[times[index]] = probability
-    return out
+    products = np.prod(sliding_window_view(per_time, window), axis=1)
+    return {
+        times[i + window - 1]: float(products[i]) for i in range(products.size)
+    }
 
 
 def expected_time_above(
@@ -104,13 +112,12 @@ def expected_time_above(
     """Expected count of exceedances within each window (linearity of E)."""
     if window < 1:
         raise InvalidParameterError(f"window must be >= 1, got {window}")
-    per_time = exceedance_probability(view, threshold)
+    per_time = _exceedance_vector(view, threshold)
     times = view.times
     if len(times) < window:
         raise InvalidParameterError(
             f"view has {len(times)} times, fewer than window={window}"
         )
-    values = np.array([per_time[t] for t in times])
-    csum = np.concatenate(([0.0], np.cumsum(values)))
+    csum = np.concatenate(([0.0], np.cumsum(per_time)))
     sums = csum[window:] - csum[:-window]
     return {times[i + window - 1]: float(sums[i]) for i in range(sums.size)}

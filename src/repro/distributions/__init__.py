@@ -7,8 +7,8 @@ of Section II-B.
 """
 
 from repro.distributions.base import Distribution
-from repro.distributions.gaussian import Gaussian
+from repro.distributions.gaussian import Gaussian, gaussian_cdf
 from repro.distributions.histogram import HistogramDistribution
 from repro.distributions.uniform import Uniform
 
-__all__ = ["Distribution", "Gaussian", "HistogramDistribution", "Uniform"]
+__all__ = ["Distribution", "Gaussian", "HistogramDistribution", "Uniform", "gaussian_cdf"]

@@ -15,10 +15,26 @@ from scipy import special
 from repro.distributions.base import Distribution
 from repro.exceptions import InvalidParameterError
 
-__all__ = ["Gaussian"]
+__all__ = ["Gaussian", "gaussian_cdf"]
 
 _SQRT2 = math.sqrt(2.0)
 _INV_SQRT_2PI = 1.0 / math.sqrt(2.0 * math.pi)
+
+
+def gaussian_cdf(
+    x: float | np.ndarray,
+    mu: float | np.ndarray,
+    sigma: float | np.ndarray,
+) -> np.ndarray:
+    """Vectorised normal CDF ``P(N(mu, sigma^2) <= x)``, broadcasting freely.
+
+    The single definition of the CDF arithmetic: :meth:`Gaussian.cdf` and
+    the batch paths (``DensitySeries.pit``, ``ViewBuilder.build_matrix``)
+    all evaluate through here, so per-object and columnar results agree
+    bit for bit.
+    """
+    z = (np.asarray(x, dtype=float) - mu) / (sigma * _SQRT2)
+    return 0.5 * (1.0 + special.erf(z))
 
 
 class Gaussian(Distribution):
@@ -53,8 +69,7 @@ class Gaussian(Distribution):
         return float(result) if np.ndim(x) == 0 else result
 
     def cdf(self, x: float | np.ndarray) -> float | np.ndarray:
-        z = (np.asarray(x, dtype=float) - self.mu) / (self._sigma * _SQRT2)
-        result = 0.5 * (1.0 + special.erf(z))
+        result = gaussian_cdf(x, self.mu, self._sigma)
         return float(result) if np.ndim(x) == 0 else result
 
     def ppf(self, u: float | np.ndarray) -> float | np.ndarray:

@@ -13,14 +13,16 @@ import numpy as np
 
 from repro.distributions.gaussian import Gaussian
 from repro.exceptions import EstimationError
-from repro.metrics.base import DensityForecast, DynamicDensityMetric
+from repro.metrics.base import (
+    DensityForecast,
+    DynamicDensityMetric,
+    variance_floor,
+)
 from repro.timeseries.arma import ARMAModel
 from repro.timeseries.garch import GARCHModel
 from repro.util.validation import require_positive
 
 __all__ = ["ARMAGARCHMetric"]
-
-_VARIANCE_FLOOR = 1e-12
 
 
 class ARMAGARCHMetric(DynamicDensityMetric):
@@ -87,7 +89,7 @@ class ARMAGARCHMetric(DynamicDensityMetric):
         arma = ARMAModel(self.p, self.q).fit(window)
         mean = arma.predict_next()
         residuals = arma.residuals_[max(self.p, self.q):]
-        variance = self._garch_variance(residuals)
+        variance = self._garch_variance(residuals, variance_floor(window))
         distribution = Gaussian(mean, variance)
         sigma = distribution.std()
         return DensityForecast(
@@ -99,7 +101,7 @@ class ARMAGARCHMetric(DynamicDensityMetric):
             volatility=sigma,
         )
 
-    def _garch_variance(self, residuals: np.ndarray) -> float:
+    def _garch_variance(self, residuals: np.ndarray, floor: float) -> float:
         """One-step GARCH variance forecast with a flat-variance fallback."""
         try:
             garch = GARCHModel(self.m, self.s).fit(
@@ -108,9 +110,9 @@ class ARMAGARCHMetric(DynamicDensityMetric):
             )
             if self.warm_start:
                 self._last_garch_params = garch.params_
-            return max(garch.forecast_variance(), _VARIANCE_FLOOR)
+            return max(garch.forecast_variance(), floor)
         except EstimationError:
-            return max(float(np.var(residuals)), _VARIANCE_FLOOR)
+            return max(float(np.var(residuals)), floor)
 
     def reset(self) -> None:
         """Drop the warm-start state (e.g. before switching to a new series)."""

@@ -6,10 +6,21 @@ the raw value at time ``t``.  :class:`DynamicDensityMetric` captures that
 single-step contract; :meth:`DynamicDensityMetric.run` rolls it over a whole
 series, producing the :class:`DensitySeries` that the Omega-view builder and
 the density-distance evaluation consume.
+
+Batch path
+----------
+:class:`DensitySeries` is column-backed: ``t``, ``mean``, ``volatility`` and
+the kappa bounds live in preallocated numpy arrays, and the per-forecast
+:class:`DensityForecast` objects are materialised lazily on item access.
+:meth:`DynamicDensityMetric.run` stacks all sliding windows into one
+``(T, H)`` matrix and hands it to :meth:`DynamicDensityMetric.infer_batch`,
+which vectorised metrics override; the base implementation falls back to
+looping :meth:`DynamicDensityMetric.infer`.
 """
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
@@ -17,10 +28,51 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.distributions.base import Distribution
+from repro.distributions.gaussian import Gaussian, gaussian_cdf
+from repro.distributions.uniform import Uniform
 from repro.exceptions import DataError, InvalidParameterError
 from repro.timeseries.series import TimeSeries
+from repro.util.arrays import readonly_view
 
-__all__ = ["DensityForecast", "DensitySeries", "DynamicDensityMetric"]
+__all__ = [
+    "DensityForecast",
+    "DensitySeries",
+    "DynamicDensityMetric",
+    "batch_variance_floor",
+    "variance_floor",
+]
+
+#: Base variance floor for degenerate (constant) windows.
+_VARIANCE_FLOOR = 1e-12
+
+
+def variance_floor(window: np.ndarray) -> float:
+    """Variance floor keeping degenerate (constant) windows usable.
+
+    For a perfectly constant window the inferred variance is zero and the
+    floor alone defines the density, so it must scale with the window
+    magnitude: with ``sigma ~ 1e-6`` and values around ``1e3``, CDF
+    evaluations at ``mean +/- kappa * sigma`` would lose most of their
+    precision to float cancellation in ``x - mean``.  Non-constant windows
+    carry real variance information, however small, so they keep the tiny
+    absolute floor rather than having genuine values overridden.
+    """
+    window = np.asarray(window)
+    if window.size and np.ptp(window) == 0.0:
+        scale = float(abs(window.flat[0]))
+        return _VARIANCE_FLOOR * max(1.0, scale * scale)
+    return _VARIANCE_FLOOR
+
+
+def batch_variance_floor(windows: np.ndarray) -> np.ndarray:
+    """Per-row :func:`variance_floor` for a ``(T, H)`` window matrix."""
+    constant = np.ptp(windows, axis=1) == 0.0
+    scale = np.abs(windows[:, 0])
+    return np.where(
+        constant,
+        _VARIANCE_FLOOR * np.maximum(1.0, scale * scale),
+        _VARIANCE_FLOOR,
+    )
 
 
 @dataclass(frozen=True)
@@ -59,64 +111,229 @@ class DensityForecast:
 class DensitySeries:
     """An ordered collection of :class:`DensityForecast`.
 
-    Exposes vectorised views (means, volatilities, inference indices) plus
-    the probability-integral-transform against the realised raw values used
-    by the density-distance quality measure.
+    Internally columnar: ``t`` / ``mean`` / ``volatility`` / ``lower`` /
+    ``upper`` are stored as parallel numpy arrays, so the vectorised views
+    and the probability-integral-transform are plain array operations.
+    Item access still yields :class:`DensityForecast` objects; for series
+    built via :meth:`from_columns` they are materialised lazily.
     """
 
     def __init__(self, forecasts: Sequence[DensityForecast]) -> None:
-        self._forecasts = list(forecasts)
-        times = [f.t for f in self._forecasts]
-        if any(b <= a for a, b in zip(times, times[1:])):
+        forecasts = list(forecasts)
+        n = len(forecasts)
+        self._t = np.empty(n, dtype=np.int64)
+        self._mean = np.empty(n)
+        self._vol = np.empty(n)
+        self._lower = np.empty(n)
+        self._upper = np.empty(n)
+        for index, forecast in enumerate(forecasts):
+            self._t[index] = forecast.t
+            self._mean[index] = forecast.mean
+            self._vol[index] = forecast.volatility
+            self._lower[index] = forecast.lower
+            self._upper[index] = forecast.upper
+        self._check_ordering()
+        self._forecasts: list[DensityForecast | None] = forecasts
+        self._family: str | None = None
+        self._variance: np.ndarray | None = None
+        self._gaussian: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    @classmethod
+    def from_columns(
+        cls,
+        t: np.ndarray,
+        mean: np.ndarray,
+        volatility: np.ndarray,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        *,
+        family: str = "gaussian",
+        variance: np.ndarray | None = None,
+    ) -> "DensitySeries":
+        """Build a series directly from forecast columns (the batch path).
+
+        ``family`` names the distribution every row carries (``"gaussian"``
+        or ``"uniform"``); the :class:`DensityForecast` objects — and their
+        distributions — are only materialised when individually accessed.
+        ``variance`` optionally carries the exact inferred variances so
+        Gaussian materialisation does not round-trip through ``sqrt``.
+        """
+        if family not in ("gaussian", "uniform"):
+            raise InvalidParameterError(
+                f"unknown forecast family {family!r}; use gaussian or uniform"
+            )
+        self = cls.__new__(cls)
+        self._t = np.ascontiguousarray(t, dtype=np.int64)
+        self._mean = np.ascontiguousarray(mean, dtype=float)
+        self._vol = np.ascontiguousarray(volatility, dtype=float)
+        self._lower = np.ascontiguousarray(lower, dtype=float)
+        self._upper = np.ascontiguousarray(upper, dtype=float)
+        sizes = {
+            arr.size
+            for arr in (self._t, self._mean, self._vol, self._lower, self._upper)
+        }
+        if len(sizes) != 1:
+            raise DataError("forecast columns must have equal length")
+        self._check_ordering()
+        self._forecasts = [None] * self._t.size
+        self._family = family
+        self._variance = (
+            None if variance is None else np.ascontiguousarray(variance, dtype=float)
+        )
+        self._gaussian = None
+        return self
+
+    def _check_ordering(self) -> None:
+        if self._t.size > 1 and np.any(np.diff(self._t) <= 0):
             raise DataError("forecasts must be in strictly increasing time order")
 
+    # ------------------------------------------------------------------
+    # Lazy materialisation.
+    # ------------------------------------------------------------------
+    def _materialise(self, index: int) -> DensityForecast:
+        forecast = self._forecasts[index]
+        if forecast is None:
+            if self._family == "uniform":
+                distribution: Distribution = Uniform(
+                    float(self._lower[index]), float(self._upper[index])
+                )
+            else:
+                variance = (
+                    float(self._variance[index])
+                    if self._variance is not None
+                    else float(self._vol[index]) ** 2
+                )
+                distribution = Gaussian(float(self._mean[index]), variance)
+            forecast = DensityForecast(
+                t=int(self._t[index]),
+                mean=float(self._mean[index]),
+                distribution=distribution,
+                lower=float(self._lower[index]),
+                upper=float(self._upper[index]),
+                volatility=float(self._vol[index]),
+            )
+            self._forecasts[index] = forecast
+        return forecast
+
     def __len__(self) -> int:
-        return len(self._forecasts)
+        return self._t.size
 
     def __iter__(self) -> Iterator[DensityForecast]:
-        return iter(self._forecasts)
+        for index in range(len(self)):
+            yield self._materialise(index)
 
-    def __getitem__(self, index: int) -> DensityForecast:
-        return self._forecasts[index]
+    def __getitem__(
+        self, index: int | slice
+    ) -> DensityForecast | list[DensityForecast]:
+        if isinstance(index, slice):
+            return [self._materialise(i) for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        return self._materialise(index)
 
+    # ------------------------------------------------------------------
+    # Columnar views.
+    # ------------------------------------------------------------------
     @property
     def times(self) -> np.ndarray:
         """Inference indices as an int array."""
-        return np.array([f.t for f in self._forecasts], dtype=int)
+        return readonly_view(self._t)
 
     @property
     def means(self) -> np.ndarray:
         """Expected true values ``r_hat_t``."""
-        return np.array([f.mean for f in self._forecasts])
+        return readonly_view(self._mean)
 
     @property
     def volatilities(self) -> np.ndarray:
         """Inferred standard deviations ``sigma_hat_t``."""
-        return np.array([f.volatility for f in self._forecasts])
+        return readonly_view(self._vol)
 
+    @property
+    def lowers(self) -> np.ndarray:
+        """kappa-scaled lower bounds."""
+        return readonly_view(self._lower)
+
+    @property
+    def uppers(self) -> np.ndarray:
+        """kappa-scaled upper bounds."""
+        return readonly_view(self._upper)
+
+    def gaussian_params(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(mask, mu, sigma)`` columns of the Gaussian rows.
+
+        ``mask[i]`` is true when forecast ``i`` carries a Gaussian density;
+        ``mu``/``sigma`` hold its parameters there (undefined elsewhere).
+        The Omega-view builder keys its broadcasted CDF path on this.
+        Column-backed Gaussian series answer without materialising anything.
+        """
+        if self._gaussian is None:
+            if self._family == "gaussian":
+                self._gaussian = (
+                    np.ones(len(self), dtype=bool),
+                    self._mean,
+                    self._vol,
+                )
+            elif self._family == "uniform":
+                self._gaussian = (
+                    np.zeros(len(self), dtype=bool),
+                    self._mean,
+                    self._vol,
+                )
+            else:
+                mask = np.zeros(len(self), dtype=bool)
+                mu = np.zeros(len(self))
+                sigma = np.ones(len(self))
+                for index in range(len(self)):
+                    distribution = self._materialise(index).distribution
+                    if isinstance(distribution, Gaussian):
+                        mask[index] = True
+                        mu[index] = distribution.mu
+                        sigma[index] = math.sqrt(distribution.sigma2)
+                self._gaussian = (mask, mu, sigma)
+        return self._gaussian
+
+    # ------------------------------------------------------------------
+    # Series-level consumers.
+    # ------------------------------------------------------------------
     def pit(self, series: TimeSeries) -> np.ndarray:
         """Probability integral transforms ``z_t = P_t(r_t)`` (Section II-B).
 
         ``series`` must be the raw series the forecasts were computed on;
-        each realised value is pushed through its forecast CDF.
+        each realised value is pushed through its forecast CDF.  All
+        Gaussian forecasts are evaluated in a single vectorised normal-CDF
+        call over the column arrays; only non-Gaussian rows fall back to
+        per-object CDF evaluation.
         """
-        out = np.empty(len(self._forecasts))
         n = len(series)
-        for index, forecast in enumerate(self._forecasts):
-            if forecast.t >= n:
-                raise DataError(
-                    f"forecast for t={forecast.t} has no realised value in a "
-                    f"series of length {n}"
-                )
-            out[index] = forecast.distribution.cdf(series[forecast.t])
+        out_of_range = self._t >= n
+        if np.any(out_of_range):
+            bad = int(self._t[int(np.argmax(out_of_range))])
+            raise DataError(
+                f"forecast for t={bad} has no realised value in a "
+                f"series of length {n}"
+            )
+        realised = series.values[self._t]
+        mask, mu, sigma = self.gaussian_params()
+        out = np.empty(len(self))
+        if np.any(mask):
+            out[mask] = gaussian_cdf(realised[mask], mu[mask], sigma[mask])
+        for index in np.flatnonzero(~mask):
+            forecast = self._materialise(int(index))
+            out[index] = forecast.distribution.cdf(realised[index])
         return out
 
     def coverage(self, series: TimeSeries) -> float:
         """Fraction of realised values inside the kappa-scaled bounds."""
-        if not self._forecasts:
+        if not len(self):
             raise DataError("coverage of an empty DensitySeries")
-        hits = sum(f.contains(series[f.t]) for f in self._forecasts)
-        return hits / len(self._forecasts)
+        realised = series.values[self._t]
+        hits = np.count_nonzero(
+            (self._lower <= realised) & (realised <= self._upper)
+        )
+        return hits / len(self)
 
 
 class DynamicDensityMetric(ABC):
@@ -124,7 +341,8 @@ class DynamicDensityMetric(ABC):
 
     Subclasses implement :meth:`infer` — one density from one window.  The
     base class provides the rolling :meth:`run` loop shared by experiments,
-    the view builder and the pipeline.
+    the view builder and the pipeline; :meth:`run` stacks the windows and
+    delegates to :meth:`infer_batch`, which vectorised metrics override.
     """
 
     #: Short machine name used by the registry and the SQL METRIC clause.
@@ -136,6 +354,19 @@ class DynamicDensityMetric(ABC):
     @abstractmethod
     def infer(self, window: np.ndarray, t: int) -> DensityForecast:
         """Infer ``p_t(R_t)`` from the sliding window ``S^H_{t-1}``."""
+
+    def infer_batch(self, windows: np.ndarray, ts: np.ndarray) -> DensitySeries:
+        """Infer one density per row of the ``(T, H)`` window matrix.
+
+        ``ts[i]`` is the inference index of row ``i``.  The base
+        implementation loops :meth:`infer` (in time order, so stateful
+        warm-start metrics behave exactly as under the legacy loop);
+        Gaussian-family metrics override it with fully vectorised
+        inference.
+        """
+        return DensitySeries(
+            [self.infer(window, int(t)) for window, t in zip(windows, ts)]
+        )
 
     def run(
         self,
@@ -149,20 +380,23 @@ class DynamicDensityMetric(ABC):
         """Apply the metric over every window of ``series``.
 
         ``start``/``stop``/``step`` bound and subsample the inference times,
-        mirroring :meth:`TimeSeries.iter_windows`.  Returns the collected
-        :class:`DensitySeries`.
+        mirroring :meth:`TimeSeries.iter_windows`.  All windows are stacked
+        into one matrix and dispatched through :meth:`infer_batch`.
+        Returns the collected :class:`DensitySeries`.
         """
         if H < self.min_window:
             raise InvalidParameterError(
                 f"{type(self).__name__} needs a window of at least "
                 f"{self.min_window} values, got H={H}"
             )
-        forecasts = [
-            self.infer(window, t)
-            for t, window in series.iter_windows(H, start=start, stop=stop, step=step)
-        ]
-        if not forecasts:
+        ts = series.window_indices(H, start=start, stop=stop, step=step)
+        if ts.size == 0:
             raise DataError(
                 f"series of length {len(series)} yields no windows of size {H}"
             )
-        return DensitySeries(forecasts)
+        # ts is an arithmetic progression, so the window matrix is a plain
+        # strided slice of the sliding-window view — zero-copy even for
+        # metrics whose infer_batch falls back to the per-row loop.
+        all_windows = np.lib.stride_tricks.sliding_window_view(series.values, H)
+        windows = all_windows[int(ts[0]) - H : int(ts[-1]) - H + 1 : step]
+        return self.infer_batch(windows, ts)

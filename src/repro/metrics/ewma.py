@@ -14,12 +14,16 @@ import numpy as np
 
 from repro.distributions.gaussian import Gaussian
 from repro.exceptions import InvalidParameterError
-from repro.metrics.base import DensityForecast, DynamicDensityMetric
+from repro.metrics.base import (
+    DensityForecast,
+    DensitySeries,
+    DynamicDensityMetric,
+    batch_variance_floor,
+    variance_floor,
+)
 from repro.util.validation import require_in_range, require_positive
 
 __all__ = ["EWMAMetric"]
-
-_VARIANCE_FLOOR = 1e-12
 
 
 class EWMAMetric(DynamicDensityMetric):
@@ -61,14 +65,15 @@ class EWMAMetric(DynamicDensityMetric):
             raise InvalidParameterError(
                 f"EWMA needs at least {self.min_window} values, got {window.size}"
             )
+        floor = variance_floor(window)
         level = window[0]
-        variance = max(float(np.var(window)), _VARIANCE_FLOOR)
+        variance = max(float(np.var(window)), floor)
         d, lam = self.mean_decay, self.variance_decay
         for value in window[1:]:
             error = value - level
             variance = lam * variance + (1.0 - lam) * error * error
             level = d * level + (1.0 - d) * value
-        variance = max(variance, _VARIANCE_FLOOR)
+        variance = max(variance, floor)
         distribution = Gaussian(float(level), variance)
         sigma = distribution.std()
         return DensityForecast(
@@ -78,6 +83,34 @@ class EWMAMetric(DynamicDensityMetric):
             lower=float(level) - self.kappa * sigma,
             upper=float(level) + self.kappa * sigma,
             volatility=sigma,
+        )
+
+    def infer_batch(self, windows: np.ndarray, ts: np.ndarray) -> DensitySeries:
+        """All windows at once: the recursion runs along the window axis
+        while every numpy operation spans the (large) time axis, so the
+        arithmetic is element-for-element identical to :meth:`infer`."""
+        windows = np.asarray(windows, dtype=float)
+        if windows.ndim != 2 or windows.shape[1] < self.min_window:
+            return super().infer_batch(windows, ts)
+        floors = batch_variance_floor(windows)
+        level = windows[:, 0].copy()
+        variance = np.maximum(np.var(windows, axis=1), floors)
+        d, lam = self.mean_decay, self.variance_decay
+        for i in range(1, windows.shape[1]):
+            value = windows[:, i]
+            error = value - level
+            variance = lam * variance + (1.0 - lam) * error * error
+            level = d * level + (1.0 - d) * value
+        variance = np.maximum(variance, floors)
+        sigma = np.sqrt(variance)
+        return DensitySeries.from_columns(
+            np.asarray(ts, dtype=np.int64),
+            level,
+            sigma,
+            level - self.kappa * sigma,
+            level + self.kappa * sigma,
+            family="gaussian",
+            variance=variance,
         )
 
     def __repr__(self) -> str:

@@ -17,14 +17,16 @@ import numpy as np
 
 from repro.distributions.gaussian import Gaussian
 from repro.exceptions import EstimationError, InvalidParameterError
-from repro.metrics.base import DensityForecast, DynamicDensityMetric
+from repro.metrics.base import (
+    DensityForecast,
+    DynamicDensityMetric,
+    variance_floor,
+)
 from repro.timeseries.garch import GARCHModel
 from repro.timeseries.kalman import KalmanFilter
 from repro.util.validation import require_positive
 
 __all__ = ["KalmanGARCHMetric"]
-
-_VARIANCE_FLOOR = 1e-12
 
 
 class KalmanGARCHMetric(DynamicDensityMetric):
@@ -74,7 +76,7 @@ class KalmanGARCHMetric(DynamicDensityMetric):
         residuals = window - kalman.fitted_means()
         # The first prediction error reflects the diffuse prior, not the
         # dynamics; drop it before volatility estimation.
-        variance = self._garch_variance(residuals[1:])
+        variance = self._garch_variance(residuals[1:], variance_floor(window))
         distribution = Gaussian(mean, variance)
         sigma = distribution.std()
         return DensityForecast(
@@ -86,12 +88,12 @@ class KalmanGARCHMetric(DynamicDensityMetric):
             volatility=sigma,
         )
 
-    def _garch_variance(self, residuals: np.ndarray) -> float:
+    def _garch_variance(self, residuals: np.ndarray, floor: float) -> float:
         try:
             garch = GARCHModel(self.m, self.s).fit(residuals)
-            return max(garch.forecast_variance(), _VARIANCE_FLOOR)
+            return max(garch.forecast_variance(), floor)
         except EstimationError:
-            return max(float(np.var(residuals)), _VARIANCE_FLOOR)
+            return max(float(np.var(residuals)), floor)
 
     def __repr__(self) -> str:
         return (

@@ -11,8 +11,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.distributions.uniform import Uniform
-from repro.metrics.base import DensityForecast, DynamicDensityMetric
-from repro.timeseries.arma import ARMAModel
+from repro.exceptions import EstimationError
+from repro.metrics.base import DensityForecast, DensitySeries, DynamicDensityMetric
+from repro.timeseries.arma import ARMAModel, batch_ar_predict
 from repro.util.validation import require_positive
 
 __all__ = ["UniformThresholdingMetric"]
@@ -50,6 +51,30 @@ class UniformThresholdingMetric(DynamicDensityMetric):
             lower=distribution.low,
             upper=distribution.high,
             volatility=distribution.std(),
+        )
+
+    def infer_batch(self, windows: np.ndarray, ts: np.ndarray) -> DensitySeries:
+        """All windows at once via one batched AR(p) solve; the uniform
+        densities are materialised lazily.  MA components fall back to the
+        per-window loop."""
+        windows = np.asarray(windows, dtype=float)
+        if self.q != 0 or windows.ndim != 2:
+            return super().infer_batch(windows, ts)
+        try:
+            mean = batch_ar_predict(windows, self.p)
+        except EstimationError:
+            return super().infer_batch(windows, ts)
+        lower = mean - self.threshold
+        upper = mean + self.threshold
+        width = upper - lower
+        volatility = np.sqrt(width**2 / 12.0)
+        return DensitySeries.from_columns(
+            np.asarray(ts, dtype=np.int64),
+            mean,
+            volatility,
+            lower,
+            upper,
+            family="uniform",
         )
 
     def __repr__(self) -> str:

@@ -11,16 +11,19 @@ from __future__ import annotations
 import numpy as np
 
 from repro.distributions.gaussian import Gaussian
-from repro.metrics.base import DensityForecast, DynamicDensityMetric
-from repro.timeseries.arma import ARMAModel
+from repro.exceptions import EstimationError
+from repro.metrics.base import (
+    DensityForecast,
+    DensitySeries,
+    DynamicDensityMetric,
+    batch_variance_floor,
+    variance_floor,
+)
+from repro.timeseries.arma import ARMAModel, batch_ar_predict
 from repro.timeseries.stats import sample_variance
 from repro.util.validation import require_positive
 
 __all__ = ["VariableThresholdingMetric"]
-
-#: Variance floor used when a window is perfectly constant, keeping the
-#: Gaussian well-defined.
-_VARIANCE_FLOOR = 1e-12
 
 
 class VariableThresholdingMetric(DynamicDensityMetric):
@@ -47,7 +50,7 @@ class VariableThresholdingMetric(DynamicDensityMetric):
         """Gaussian ``N(r_hat_t, s_t^2)`` with ``s_t^2`` the window variance."""
         model = ARMAModel(self.p, self.q).fit(window)
         mean = model.predict_next()
-        variance = max(sample_variance(window), _VARIANCE_FLOOR)
+        variance = max(sample_variance(window), variance_floor(window))
         distribution = Gaussian(mean, variance)
         sigma = distribution.std()
         return DensityForecast(
@@ -57,6 +60,31 @@ class VariableThresholdingMetric(DynamicDensityMetric):
             lower=mean - self.kappa * sigma,
             upper=mean + self.kappa * sigma,
             volatility=sigma,
+        )
+
+    def infer_batch(self, windows: np.ndarray, ts: np.ndarray) -> DensitySeries:
+        """All windows at once: one batched AR(p) solve plus columnar
+        variance, producing a lazily-materialised Gaussian series.  MA
+        components (q > 0) fall back to the per-window loop."""
+        windows = np.asarray(windows, dtype=float)
+        if self.q != 0 or windows.ndim != 2:
+            return super().infer_batch(windows, ts)
+        try:
+            mean = batch_ar_predict(windows, self.p)
+        except EstimationError:
+            return super().infer_batch(windows, ts)
+        variance = np.maximum(
+            np.var(windows, axis=1, ddof=1), batch_variance_floor(windows)
+        )
+        sigma = np.sqrt(variance)
+        return DensitySeries.from_columns(
+            np.asarray(ts, dtype=np.int64),
+            mean,
+            sigma,
+            mean - self.kappa * sigma,
+            mean + self.kappa * sigma,
+            family="gaussian",
+            variance=variance,
         )
 
     def __repr__(self) -> str:

@@ -60,8 +60,8 @@ def create_probabilistic_view(
             distance_constraint=distance_constraint,
             memory_constraint=memory_constraint,
         )
-    rows = builder.build_rows(forecasts)
-    return ProbabilisticView.from_rows(view_name, rows, grid)
+    matrix = builder.build_matrix(forecasts)
+    return ProbabilisticView.from_matrix(view_name, matrix, grid)
 
 
 @dataclass(frozen=True)

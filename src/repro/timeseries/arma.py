@@ -30,7 +30,7 @@ from repro.exceptions import (
 from repro.util.rng import ensure_rng
 from repro.util.validation import require_finite_array
 
-__all__ = ["ARMAModel", "ARMAParams"]
+__all__ = ["ARMAModel", "ARMAParams", "batch_ar_predict"]
 
 
 @dataclass(frozen=True)
@@ -297,6 +297,48 @@ class ARMAModel:
                     value += params.ma[j - 1] * shocks[i - j]
             values[i] = value
         return values[burn_in:]
+
+
+def batch_ar_predict(windows: np.ndarray, p: int) -> np.ndarray:
+    """One-step AR(p) OLS forecast for every row of ``windows`` at once.
+
+    The batched equivalent of ``ARMAModel(p, 0).fit(w).predict_next()``:
+    each row is regressed on an intercept and its ``p`` lags, solved as
+    minimum-norm least squares via a batched pseudo-inverse — the same
+    solution ``lstsq`` produces (up to float rounding), including for
+    singular designs such as constant windows.  The vectorised
+    thresholding metrics build their ``infer_batch`` on this.
+    """
+    if p < 0:
+        raise InvalidParameterError(f"model order must be >= 0, got p={p}")
+    windows = np.asarray(windows, dtype=float)
+    if windows.ndim != 2:
+        raise DataError(f"windows must be a 2-D matrix, got shape {windows.shape}")
+    n = windows.shape[1]
+    min_len = p + max(p, 1) + 1
+    if n < min_len:
+        raise EstimationError(
+            f"ARMA({p},0) needs at least {min_len} values, got {n}"
+        )
+    if p == 0:
+        return np.mean(windows, axis=1)
+    rows = n - p
+    design = np.empty((windows.shape[0], rows, p + 1))
+    design[:, :, 0] = 1.0
+    for j in range(1, p + 1):
+        design[:, :, j] = windows[:, p - j : n - j]
+    target = windows[:, p:]
+    try:
+        coefficients = np.linalg.pinv(design) @ target[:, :, None]
+    except np.linalg.LinAlgError as exc:  # pragma: no cover - numpy internal.
+        raise EstimationError(f"batched least-squares failed: {exc}") from exc
+    coefficients = coefficients[:, :, 0]
+    if not np.all(np.isfinite(coefficients)):
+        raise EstimationError("least-squares produced non-finite coefficients")
+    prediction = coefficients[:, 0].copy()
+    for j in range(1, p + 1):
+        prediction += coefficients[:, j] * windows[:, n - j]
+    return prediction
 
 
 def _lag_matrix(data: np.ndarray, order: int) -> tuple[np.ndarray, np.ndarray]:

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import DataError, InvalidParameterError
+from repro.util.arrays import readonly_view
 from repro.util.validation import require_finite_array
 
 __all__ = ["TimeSeries", "SeriesSummary"]
@@ -98,16 +99,12 @@ class TimeSeries:
     @property
     def values(self) -> np.ndarray:
         """The raw values as a read-only float array."""
-        view = self._values.view()
-        view.flags.writeable = False
-        return view
+        return readonly_view(self._values)
 
     @property
     def timestamps(self) -> np.ndarray:
         """The time axis as a read-only float array."""
-        view = self._timestamps.view()
-        view.flags.writeable = False
-        return view
+        return readonly_view(self._timestamps)
 
     # ------------------------------------------------------------------
     # Windows.
@@ -127,6 +124,23 @@ class TimeSeries:
             )
         return self._values[t - H : t]
 
+    def window_indices(
+        self, H: int, *, start: int | None = None, stop: int | None = None, step: int = 1
+    ) -> np.ndarray:
+        """The inference indices ``t`` whose windows :meth:`iter_windows` yields.
+
+        The single definition of the window clamping rules: ``start``
+        defaults to ``H`` (the first index with a full window), ``stop`` to
+        ``len(self)``, and ``step`` subsamples.  Both the lazy iteration
+        and the batch path (:meth:`DynamicDensityMetric.run`) derive their
+        inference times from here.
+        """
+        if step < 1:
+            raise InvalidParameterError(f"step must be >= 1, got {step}")
+        first = H if start is None else max(start, H)
+        last = len(self) if stop is None else min(stop, len(self))
+        return np.arange(first, last, step, dtype=np.int64)
+
     def iter_windows(
         self, H: int, *, start: int | None = None, stop: int | None = None, step: int = 1
     ) -> Iterator[tuple[int, np.ndarray]]:
@@ -136,11 +150,8 @@ class TimeSeries:
         ``stop`` to ``len(self)``.  ``step`` subsamples inference times,
         which the experiment harness uses to keep rolling runs tractable.
         """
-        if step < 1:
-            raise InvalidParameterError(f"step must be >= 1, got {step}")
-        first = H if start is None else max(start, H)
-        last = len(self) if stop is None else min(stop, len(self))
-        for t in range(first, last, step):
+        for t in self.window_indices(H, start=start, stop=stop, step=step):
+            t = int(t)
             yield t, self._values[t - H : t]
 
     # ------------------------------------------------------------------

@@ -6,6 +6,7 @@ by the experiment harness, seeded random-number helpers, and argument
 validation utilities.
 """
 
+from repro.util.arrays import readonly_view
 from repro.util.btree import BTreeMap
 from repro.util.rng import ensure_rng
 from repro.util.tables import format_table
@@ -19,6 +20,7 @@ __all__ = [
     "BTreeMap",
     "ensure_rng",
     "format_table",
+    "readonly_view",
     "require_finite_array",
     "require_in_range",
     "require_positive",

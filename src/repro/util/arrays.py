@@ -1,0 +1,20 @@
+"""Array exposure helpers shared by the columnar containers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["readonly_view"]
+
+
+def readonly_view(array: np.ndarray) -> np.ndarray:
+    """A non-writeable view of ``array`` sharing its buffer.
+
+    The columnar containers (:class:`~repro.timeseries.series.TimeSeries`,
+    ``DensitySeries``, ``ProbabilisticView``) hand their internal columns
+    out through this so callers can consume them zero-copy without being
+    able to corrupt the backing state.
+    """
+    view = array.view()
+    view.flags.writeable = False
+    return view

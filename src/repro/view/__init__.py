@@ -7,7 +7,7 @@ that reuses CDF computations across time steps under provable distance and
 memory constraints (Theorems 1 and 2).
 """
 
-from repro.view.builder import ProbabilityRow, ViewBuilder
+from repro.view.builder import ProbabilityMatrix, ProbabilityRow, ViewBuilder
 from repro.view.hellinger import (
     hellinger_distance,
     ratio_threshold_for_distance,
@@ -21,6 +21,7 @@ __all__ = [
     "CacheStatistics",
     "OmegaGrid",
     "OmegaRange",
+    "ProbabilityMatrix",
     "ProbabilityRow",
     "SigmaCache",
     "ViewBuilder",

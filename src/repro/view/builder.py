@@ -17,6 +17,15 @@ Two evaluation paths exist:
 The builder picks the cached path automatically when a cache is attached
 and the forecast is Gaussian; anything else falls back to the naive path,
 so mixed (e.g. uniform-metric) density series still work.
+
+Batch path
+----------
+:meth:`ViewBuilder.build_matrix` evaluates a whole density series at once
+into a columnar :class:`ProbabilityMatrix`: all Gaussian rows share one
+broadcasted CDF call over the ``(T, n + 1)`` edge matrix (or one
+``searchsorted`` floor lookup over the sigma-cache keys), and only
+non-Gaussian forecasts fall back to per-row evaluation.  The results are
+identical to :meth:`ViewBuilder.build_rows` — same arithmetic, batched.
 """
 
 from __future__ import annotations
@@ -26,13 +35,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.distributions.gaussian import Gaussian
+from repro.distributions.gaussian import Gaussian, gaussian_cdf
 from repro.exceptions import InvalidParameterError
 from repro.metrics.base import DensityForecast, DensitySeries
 from repro.view.omega import OmegaGrid, OmegaRange
 from repro.view.sigma_cache import SigmaCache
 
-__all__ = ["ProbabilityRow", "ViewBuilder"]
+__all__ = ["ProbabilityMatrix", "ProbabilityRow", "ViewBuilder"]
 
 
 @dataclass(frozen=True)
@@ -64,6 +73,47 @@ class ProbabilityRow:
     def total_mass(self) -> float:
         """Probability mass captured by the grid (< 1 for tail overflow)."""
         return float(np.sum(self.probabilities))
+
+
+@dataclass(frozen=True)
+class ProbabilityMatrix:
+    """Columnar builder output: all range probabilities for all times.
+
+    The batch equivalent of ``list[ProbabilityRow]``: row ``i`` of
+    ``probabilities`` holds ``rho_lambda`` for inference time ``t[i]``.
+    :class:`~repro.db.prob_view.ProbabilisticView` consumes it directly via
+    ``from_matrix`` without materialising per-tuple objects.
+    """
+
+    t: np.ndarray
+    mean: np.ndarray
+    volatility: np.ndarray
+    probabilities: np.ndarray
+
+    def __len__(self) -> int:
+        return self.t.size
+
+    def row(self, index: int) -> ProbabilityRow:
+        """Materialise one :class:`ProbabilityRow` (compatibility access)."""
+        return ProbabilityRow(
+            t=int(self.t[index]),
+            mean=float(self.mean[index]),
+            volatility=float(self.volatility[index]),
+            probabilities=self.probabilities[index].copy(),
+        )
+
+    def rows(self) -> list[ProbabilityRow]:
+        """Materialise every row (compatibility with the legacy list API)."""
+        return [self.row(index) for index in range(len(self))]
+
+    def __iter__(self) -> Iterator[ProbabilityRow]:
+        for index in range(len(self)):
+            yield self.row(index)
+
+    @property
+    def total_mass(self) -> np.ndarray:
+        """Per-time probability mass captured by the grid."""
+        return np.sum(self.probabilities, axis=1)
 
 
 class ViewBuilder:
@@ -123,6 +173,36 @@ class ViewBuilder:
         """Lazy variant of :meth:`build_rows` for online consumption."""
         for forecast in forecasts:
             yield self.build_row(forecast)
+
+    def build_matrix(self, forecasts: DensitySeries) -> ProbabilityMatrix:
+        """Evaluate eq. (9) for a whole density series in one shot.
+
+        Gaussian forecasts are served either from one broadcasted CDF call
+        over the ``(T, n + 1)`` edge matrix or, when a cache is attached,
+        from one vectorised floor lookup over the cached sigma keys.
+        Non-Gaussian forecasts fall back to :meth:`build_row` individually,
+        so mixed density series remain supported.
+        """
+        count = len(forecasts)
+        means = np.asarray(forecasts.means, dtype=float)
+        vols = np.asarray(forecasts.volatilities, dtype=float)
+        probabilities = np.empty((count, self.grid.n))
+        mask, mu, sigma = forecasts.gaussian_params()
+        if np.any(mask):
+            if self.cache is not None:
+                probabilities[mask] = self.cache.probability_rows(vols[mask])
+            else:
+                edges = self.grid.edges_matrix(means[mask])
+                cdf = gaussian_cdf(edges, mu[mask, None], sigma[mask, None])
+                probabilities[mask] = np.diff(cdf, axis=1)
+        for index in np.flatnonzero(~mask):
+            probabilities[index] = self.build_row(forecasts[int(index)]).probabilities
+        return ProbabilityMatrix(
+            t=np.asarray(forecasts.times, dtype=np.int64),
+            mean=means,
+            volatility=vols,
+            probabilities=probabilities,
+        )
 
     # ------------------------------------------------------------------
     # Cache construction helper.

@@ -91,6 +91,17 @@ class OmegaGrid:
         half = self.n // 2
         return center + self.delta * np.arange(-half, half + 1)
 
+    def edges_matrix(self, centers: np.ndarray) -> np.ndarray:
+        """The ``(len(centers), n + 1)`` edge matrix of :meth:`edges_around`.
+
+        One row per center, with the same arithmetic as the scalar method —
+        the batch view builder and the columnar view expansion both derive
+        their range layout from this single definition.
+        """
+        half = self.n // 2
+        offsets = self.delta * np.arange(-half, half + 1)
+        return np.asarray(centers, dtype=float)[:, None] + offsets[None, :]
+
     def ranges_around(self, center: float) -> list[OmegaRange]:
         """Materialise the ``n`` labelled ranges around ``center``."""
         edges = self.edges_around(center)

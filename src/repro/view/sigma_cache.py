@@ -175,6 +175,10 @@ class SigmaCache:
             sigma = self.min_sigma * self._ratio**q
             cdf = np.asarray(Gaussian(0.0, sigma**2).cdf(edges))
             self._tree[sigma] = np.diff(cdf)
+        # Flat mirrors of the tree for the vectorised batch lookup: keys
+        # ascending, one probability row per key.
+        self._keys_array = np.array(list(self._tree.keys()))
+        self._rows_matrix = np.vstack([self._tree[k] for k in self._keys_array])
 
     # ------------------------------------------------------------------
     # Lookup.
@@ -198,6 +202,24 @@ class SigmaCache:
         _key, row = item
         self.stats.hits += 1
         return row
+
+    def probability_rows(self, sigmas: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`probability_row`: one ``(len(sigmas), n)`` matrix.
+
+        Performs the floor lookup for every query sigma in a single
+        ``searchsorted`` over the cached keys; sigmas below the declared
+        minimum clamp to the smallest key and count as misses, exactly like
+        the scalar path.
+        """
+        sigmas = np.asarray(sigmas, dtype=float)
+        if sigmas.size and (np.any(sigmas <= 0) or not np.all(np.isfinite(sigmas))):
+            bad = sigmas[(sigmas <= 0) | ~np.isfinite(sigmas)][0]
+            raise InvalidParameterError(f"sigma must be > 0, got {bad}")
+        indices = np.searchsorted(self._keys_array, sigmas, side="right") - 1
+        below = indices < 0
+        self.stats.misses += int(np.count_nonzero(below))
+        self.stats.hits += int(sigmas.size - np.count_nonzero(below))
+        return self._rows_matrix[np.maximum(indices, 0)]
 
     def guaranteed_distance(self) -> float:
         """The Hellinger error bound implied by the chosen ``d_s``.

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.exceptions import ParseError
+from repro.view.omega import OmegaGrid
 
 __all__ = ["ViewQuery", "parse_view_query"]
 
@@ -80,6 +81,15 @@ class ViewQuery:
     @property
     def uses_cache(self) -> bool:
         return self.cache_distance is not None or self.cache_memory is not None
+
+    def grid(self) -> OmegaGrid:
+        """The ``(Delta, n)`` view parameters of the OMEGA clause.
+
+        The engine hands this to :meth:`ViewBuilder.build_matrix` and
+        ``ProbabilisticView.from_matrix`` when executing the statement
+        through the columnar batch path.
+        """
+        return OmegaGrid(delta=self.delta, n=self.n)
 
 
 def _tokenize(text: str) -> list[_Token]:

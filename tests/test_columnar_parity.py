@@ -1,0 +1,248 @@
+"""Columnar/legacy parity for the forecast -> view -> query data path.
+
+The columnar engine (``build_matrix`` + array-backed ``ProbabilisticView``
++ vectorised queries) must replicate the seed row-at-a-time semantics tuple
+for tuple.  The reference implementations below mirror the seed code:
+one CDF evaluation per forecast, one ``ProbTuple`` per range, Python loops
+per query — and every batch result is checked against them across
+Gaussian, uniform, and mixed density series, with and without the
+sigma-cache.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import campus_temperature
+from repro.db.prob_view import ProbTuple, ProbabilisticView
+from repro.db.queries import (
+    expected_value_query,
+    most_probable_range_query,
+    range_probability_query,
+    threshold_query,
+)
+from repro.db.stream_queries import (
+    exceedance_probability,
+    sustained_exceedance_probability,
+)
+from repro.distributions.gaussian import Gaussian
+from repro.distributions.uniform import Uniform
+from repro.metrics.base import DensityForecast, DensitySeries
+from repro.metrics.ewma import EWMAMetric
+from repro.metrics.uniform_threshold import UniformThresholdingMetric
+from repro.metrics.variable_threshold import VariableThresholdingMetric
+from repro.view.builder import ViewBuilder
+from repro.view.omega import OmegaGrid
+
+ATOL = 1e-12
+
+
+def _gaussian_series(count: int = 60) -> DensitySeries:
+    rng = np.random.default_rng(7)
+    means = 20.0 + np.cumsum(rng.normal(0.0, 0.3, size=count))
+    sigmas = rng.uniform(0.4, 2.5, size=count)
+    return DensitySeries([
+        DensityForecast(
+            t=index, mean=float(m), distribution=Gaussian(float(m), float(s) ** 2),
+            lower=float(m - 3 * s), upper=float(m + 3 * s), volatility=float(s),
+        )
+        for index, (m, s) in enumerate(zip(means, sigmas))
+    ])
+
+
+def _uniform_series(count: int = 60) -> DensitySeries:
+    rng = np.random.default_rng(8)
+    means = 5.0 + np.cumsum(rng.normal(0.0, 0.2, size=count))
+    half_widths = rng.uniform(0.5, 2.0, size=count)
+    forecasts = []
+    for index, (m, u) in enumerate(zip(means, half_widths)):
+        distribution = Uniform(float(m - u), float(m + u))
+        forecasts.append(DensityForecast(
+            t=index, mean=float(m), distribution=distribution,
+            lower=distribution.low, upper=distribution.high,
+            volatility=distribution.std(),
+        ))
+    return DensitySeries(forecasts)
+
+
+def _mixed_series(count: int = 60) -> DensitySeries:
+    gaussian = _gaussian_series(count)
+    uniform = _uniform_series(count)
+    forecasts = []
+    for index in range(count):
+        source = gaussian[index] if index % 2 == 0 else uniform[index]
+        forecasts.append(DensityForecast(
+            t=index, mean=source.mean, distribution=source.distribution,
+            lower=source.lower, upper=source.upper,
+            volatility=source.volatility,
+        ))
+    return DensitySeries(forecasts)
+
+
+_SERIES = {
+    "gaussian": _gaussian_series,
+    "uniform": _uniform_series,
+    "mixed": _mixed_series,
+}
+
+
+def _seed_view(name, forecasts, builder, grid) -> ProbabilisticView:
+    """The seed ``from_rows``: per-row range expansion into ProbTuples."""
+    tuples = []
+    for forecast in forecasts:
+        row = builder.build_row(forecast)
+        for omega, probability in zip(grid.ranges_around(row.mean),
+                                      row.probabilities):
+            tuples.append(ProbTuple(
+                t=row.t, low=omega.low, high=omega.high,
+                probability=float(np.clip(probability, 0.0, 1.0)),
+                label=omega.label,
+            ))
+    return ProbabilisticView(name, tuples)
+
+
+def _assert_views_identical(actual: ProbabilisticView,
+                            expected: ProbabilisticView) -> None:
+    assert len(actual) == len(expected)
+    assert actual.times == expected.times
+    for a, b in zip(actual, expected):
+        assert a.t == b.t
+        assert a.low == b.low
+        assert a.high == b.high
+        assert a.label == b.label
+        assert a.probability == pytest.approx(b.probability, abs=ATOL)
+
+
+@pytest.mark.parametrize("kind", sorted(_SERIES))
+@pytest.mark.parametrize("delta,n", [(0.5, 4), (0.25, 10)])
+@pytest.mark.parametrize("cached", [False, True])
+def test_build_matrix_matches_seed_row_path(kind, delta, n, cached):
+    forecasts = _SERIES[kind]()
+    grid = OmegaGrid(delta=delta, n=n)
+    builder = ViewBuilder(grid)
+    if cached:
+        builder = builder.with_cache_for(forecasts, distance_constraint=0.05)
+    expected = _seed_view("seed", forecasts, builder, grid)
+
+    matrix_view = ProbabilisticView.from_matrix(
+        "columnar", builder.build_matrix(forecasts), grid
+    )
+    _assert_views_identical(matrix_view, expected)
+
+    rows_view = ProbabilisticView.from_rows(
+        "rows", builder.build_rows(forecasts), grid
+    )
+    _assert_views_identical(rows_view, expected)
+
+
+@pytest.mark.parametrize("kind", sorted(_SERIES))
+def test_query_results_match_seed_loops(kind):
+    forecasts = _SERIES[kind]()
+    grid = OmegaGrid(delta=0.5, n=6)
+    builder = ViewBuilder(grid)
+    view = ProbabilisticView.from_matrix(
+        "v", builder.build_matrix(forecasts), grid
+    )
+
+    # Seed threshold query: plain scan in tuple order.
+    tau = 0.2
+    expected_hits = [tup for tup in view if tup.probability >= tau]
+    assert threshold_query(view, tau) == expected_hits
+
+    # Seed modal query: max() per time, first-wins on ties.
+    modal = most_probable_range_query(view)
+    for t in view.times:
+        assert modal[t] == max(view.tuples_at(t),
+                               key=lambda tup: tup.probability)
+
+    # Seed range-probability query: proportional overlap per tuple.
+    low, high = 18.0, 21.0
+    out = range_probability_query(view, low, high)
+    for t in view.times:
+        mass = 0.0
+        for tup in view.tuples_at(t):
+            overlap = min(high, tup.high) - max(low, tup.low)
+            if overlap > 0:
+                mass += tup.probability * (overlap / (tup.high - tup.low))
+        assert out[t] == pytest.approx(min(mass, 1.0), abs=ATOL)
+
+    # Seed expected-value query: midpoint-weighted mean.
+    expectations = expected_value_query(view)
+    for t in view.times:
+        tuples = view.tuples_at(t)
+        mass = sum(tup.probability for tup in tuples)
+        if mass <= 0:
+            expected = 0.5 * (min(tup.low for tup in tuples)
+                              + max(tup.high for tup in tuples))
+        else:
+            expected = sum(
+                tup.probability * 0.5 * (tup.low + tup.high) for tup in tuples
+            ) / mass
+        assert expectations[t] == pytest.approx(expected, abs=ATOL)
+
+    # Seed exceedance: full mass above, proportional straddle.
+    threshold = 20.0
+    exceed = exceedance_probability(view, threshold)
+    for t in view.times:
+        mass = 0.0
+        for tup in view.tuples_at(t):
+            if tup.low >= threshold:
+                mass += tup.probability
+            elif tup.high > threshold:
+                mass += tup.probability * (
+                    (tup.high - threshold) / (tup.high - tup.low)
+                )
+        assert exceed[t] == pytest.approx(min(mass, 1.0), abs=ATOL)
+
+    # Sustained exceedance: product over each window.
+    window = 3
+    sustained = sustained_exceedance_probability(view, threshold, window)
+    times = view.times
+    for index in range(window - 1, len(times)):
+        product = 1.0
+        for t in times[index - window + 1: index + 1]:
+            product *= exceed[t]
+        assert sustained[times[index]] == pytest.approx(product, abs=ATOL)
+
+
+@pytest.mark.parametrize("metric", [
+    VariableThresholdingMetric(),
+    UniformThresholdingMetric(threshold=0.4),
+    EWMAMetric(),
+], ids=lambda metric: metric.name)
+def test_vectorised_infer_batch_matches_loop(metric):
+    series = campus_temperature(400, rng=3)
+    batch = metric.run(series, 40, step=2)
+    loop = DensitySeries([
+        metric.infer(window, t)
+        for t, window in series.iter_windows(40, step=2)
+    ])
+    assert list(batch.times) == list(loop.times)
+    np.testing.assert_allclose(batch.means, loop.means, atol=1e-9)
+    np.testing.assert_allclose(batch.volatilities, loop.volatilities, atol=1e-9)
+    np.testing.assert_allclose(batch.lowers, loop.lowers, atol=1e-9)
+    np.testing.assert_allclose(batch.uppers, loop.uppers, atol=1e-9)
+    for a, b in zip(batch, loop):
+        assert type(a.distribution) is type(b.distribution)
+
+    # Vectorised PIT equals per-object CDF evaluation.
+    legacy_pit = np.array([
+        forecast.distribution.cdf(series[forecast.t]) for forecast in batch
+    ])
+    np.testing.assert_allclose(batch.pit(series), legacy_pit, atol=1e-15)
+
+
+def test_probability_at_boundary_no_double_count():
+    """A value exactly on a shared grid edge counts toward one range only;
+    the uppermost edge of a time's range set stays covered."""
+    tuples = [
+        ProbTuple(t=0, low=0.0, high=1.0, probability=0.5),
+        ProbTuple(t=0, low=1.0, high=2.0, probability=0.3),
+        ProbTuple(t=0, low=2.0, high=3.0, probability=0.2),
+    ]
+    view = ProbabilisticView("edges", tuples)
+    assert view.probability_at(0, 1.0) == pytest.approx(0.3)  # not 0.8
+    assert view.probability_at(0, 0.0) == pytest.approx(0.5)
+    assert view.probability_at(0, 3.0) == pytest.approx(0.2)  # closed top
+    assert view.probability_at(0, 3.5) == 0.0
