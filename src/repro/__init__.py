@@ -75,6 +75,19 @@ from repro.exceptions import (
     ParseError,
     QueryError,
     ReproError,
+    SchemaVersionError,
+    StoreError,
+)
+from repro.store import (
+    AppendResult,
+    Catalog,
+    SeriesHandle,
+    StandingQuery,
+    StandingQueryHandle,
+    load_density_series_npz,
+    load_view_npz,
+    save_density_series_npz,
+    save_view_npz,
 )
 from repro.cleaning import SVRResult, learn_sv_max, successive_variance_reduction
 from repro.evaluation.calibration import CalibrationReport, calibration_report
@@ -134,7 +147,9 @@ __all__ = [
     "ARMAGARCHMetric",
     "ARMAModel",
     "ARMAParams",
+    "AppendResult",
     "ArchTestResult",
+    "Catalog",
     "CGARCHMetric",
     "CGARCHReport",
     "CacheConstraintError",
@@ -176,7 +191,12 @@ __all__ = [
     "RegionViewBuilder",
     "ReproError",
     "SVRResult",
+    "SchemaVersionError",
+    "SeriesHandle",
     "SigmaCache",
+    "StandingQuery",
+    "StandingQueryHandle",
+    "StoreError",
     "StoredDensity",
     "Table",
     "TimeSeries",
@@ -206,7 +226,9 @@ __all__ = [
     "hellinger_distance",
     "inject_errors",
     "learn_sv_max",
+    "load_density_series_npz",
     "load_series_csv",
+    "load_view_npz",
     "make_dataset",
     "monte_carlo_query",
     "most_probable_range_query",
@@ -217,7 +239,9 @@ __all__ = [
     "ratio_threshold_for_memory",
     "rolling_arch_test",
     "rolling_forecast_mse",
+    "save_density_series_npz",
     "save_series_csv",
+    "save_view_npz",
     "select_arma_order",
     "successive_variance_reduction",
     "sustained_exceedance_probability",

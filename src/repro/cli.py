@@ -1,13 +1,17 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the workflows a user reaches for first:
+Five subcommands cover the workflows a user reaches for first:
 
 * ``experiment`` — run one reproduced paper experiment and print its table
   (``python -m repro experiment fig14 --scale 0.1``);
 * ``query`` — execute a ``CREATE VIEW ... AS DENSITY ...`` statement over a
   generated or CSV dataset and print the resulting view head;
 * ``generate`` — write a synthetic dataset to CSV;
-* ``arch-test`` — run the Fig. 15 volatility check on a dataset.
+* ``arch-test`` — run the Fig. 15 volatility check on a dataset;
+* ``store`` — manage a persistent view catalog: ``store init`` binds a new
+  series to a metric, ``store ingest`` streams values in micro-batches,
+  ``store query`` runs probabilistic queries over the stored view, and
+  ``store list`` shows what the catalog holds.
 """
 
 from __future__ import annotations
@@ -21,7 +25,7 @@ from repro.data.synthetic import campus_humidity, make_dataset
 from repro.db.engine import Database
 from repro.db.table import Table
 from repro.evaluation.volatility_test import rolling_arch_test
-from repro.exceptions import ReproError
+from repro.exceptions import InvalidParameterError, ReproError
 from repro.experiments import (
     run_fig04,
     run_fig05,
@@ -105,6 +109,58 @@ def build_parser() -> argparse.ArgumentParser:
     arch.add_argument("--seed", type=int, default=0)
     arch.add_argument("--max-lag", type=int, default=8)
     arch.add_argument("--window", type=int, default=180)
+
+    store = sub.add_parser("store", help="persistent view catalog operations")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    init = store_sub.add_parser("init", help="create a series in a catalog")
+    init.add_argument("catalog", help="catalog directory (created if missing)")
+    init.add_argument("series", help="series id")
+    init.add_argument("--metric", default="arma_garch",
+                      help="dynamic density metric registry name")
+    init.add_argument("--window", type=int, default=60,
+                      help="sliding-window size H")
+    init.add_argument("--delta", type=float, default=0.5,
+                      help="omega range width")
+    init.add_argument("--n", type=int, default=8, help="omega range count")
+    init.add_argument("--cache-min-sigma", type=float, default=None)
+    init.add_argument("--cache-max-sigma", type=float, default=None)
+    init.add_argument("--cache-distance", type=float, default=None,
+                      help="sigma-cache Hellinger distance constraint")
+    init.add_argument("--cache-memory", type=int, default=None,
+                      help="sigma-cache stored-distribution bound")
+
+    ingest = store_sub.add_parser("ingest", help="stream values into a series")
+    ingest.add_argument("catalog")
+    ingest.add_argument("series")
+    ingest.add_argument("--data", default="campus",
+                        help="dataset name (campus/car/humidity) or a CSV path")
+    ingest.add_argument("--batch", type=int, default=64,
+                        help="micro-batch size per append")
+    ingest.add_argument("--limit", type=int, default=None,
+                        help="ingest at most this many values")
+    ingest.add_argument("--scale", type=float, default=0.08)
+    ingest.add_argument("--seed", type=int, default=0)
+
+    squery = store_sub.add_parser("query", help="query a stored view")
+    squery.add_argument("catalog")
+    squery.add_argument("series")
+    squery.add_argument("--kind", default="exceedance",
+                        choices=["threshold", "exceedance",
+                                 "windowed-expected-value",
+                                 "expected-time-above",
+                                 "sustained-exceedance"])
+    squery.add_argument("--tau", type=float, default=0.5,
+                        help="probability threshold (kind=threshold)")
+    squery.add_argument("--threshold", type=float, default=0.0,
+                        help="value threshold (exceedance kinds)")
+    squery.add_argument("--qwindow", type=int, default=5,
+                        help="query window length (windowed kinds)")
+    squery.add_argument("--head", type=int, default=12,
+                        help="number of result rows to print")
+
+    slist = store_sub.add_parser("list", help="list the series of a catalog")
+    slist.add_argument("catalog")
     return parser
 
 
@@ -156,6 +212,95 @@ def _cmd_arch_test(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.store import Catalog, StandingQuery
+    from repro.view.omega import OmegaGrid
+
+    if args.store_command == "init":
+        catalog = Catalog(args.catalog)
+        handle = catalog.create_series(
+            args.series,
+            metric=args.metric,
+            H=args.window,
+            grid=OmegaGrid(delta=args.delta, n=args.n),
+            cache_min_sigma=args.cache_min_sigma,
+            cache_max_sigma=args.cache_max_sigma,
+            cache_distance=args.cache_distance,
+            cache_memory=args.cache_memory,
+        )
+        print(f"created {handle!r} in {args.catalog}")
+        return 0
+
+    if args.store_command == "ingest":
+        series = _load_dataset(args.data, args.scale, args.seed)
+        values = series.values
+        if args.limit is not None:
+            values = values[: args.limit]
+        if args.batch < 1:
+            raise InvalidParameterError(f"--batch must be >= 1, got {args.batch}")
+        catalog = Catalog(args.catalog, create=False)
+        fed = emitted = batches = 0
+        for start in range(0, values.size, args.batch):
+            result = catalog.append(args.series, values[start : start + args.batch])
+            fed += result.fed
+            emitted += result.emitted
+            batches += 1
+        handle = catalog.series(args.series)
+        print(
+            f"ingested {fed} values in {batches} micro-batches; emitted "
+            f"{emitted} view times ({handle.tuple_count} tuples stored, "
+            f"next t={handle.next_t})"
+        )
+        return 0
+
+    if args.store_command == "query":
+        catalog = Catalog(args.catalog, create=False)
+        kind = args.kind.replace("-", "_")
+        if kind == "threshold":
+            query = StandingQuery.threshold_tuples(args.tau)
+        elif kind == "exceedance":
+            query = StandingQuery.exceedance(args.threshold)
+        elif kind == "windowed_expected_value":
+            query = StandingQuery.windowed_expected_value(args.qwindow)
+        elif kind == "expected_time_above":
+            query = StandingQuery.expected_time_above(args.threshold, args.qwindow)
+        else:
+            query = StandingQuery.sustained_exceedance(args.threshold, args.qwindow)
+        handle = catalog.register_query(args.series, query)
+        result = handle.result()
+        print(f"{query.describe()} over series {args.series!r}:")
+        if kind == "threshold":
+            rows = [
+                [tup.t, tup.low, tup.high, tup.probability, tup.label]
+                for tup in result[: args.head]
+            ]
+            print(format_table(["t", "low", "high", "probability", "label"], rows))
+        else:
+            rows = [[t, round(v, 6)] for t, v in list(result.items())[: args.head]]
+            print(format_table(["t", "value"], rows))
+        if len(result) > args.head:
+            print(f"... ({len(result) - args.head} more rows)")
+        return 0
+
+    catalog = Catalog(args.catalog, create=False)
+    rows = [
+        [
+            info.get("series"), info.get("kind"), info.get("tuples"),
+            info.get("segments"), info.get("metric", "-"),
+            info.get("next_t", "-"),
+        ]
+        for info in (
+            catalog.series(series_id).describe()
+            for series_id in catalog.list_series()
+        )
+    ]
+    print(format_table(
+        ["series", "kind", "tuples", "segments", "metric", "next_t"], rows,
+        title=f"catalog {args.catalog}",
+    ))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -165,6 +310,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "query": _cmd_query,
         "generate": _cmd_generate,
         "arch-test": _cmd_arch_test,
+        "store": _cmd_store,
     }
     try:
         return handlers[args.command](args)

@@ -5,7 +5,9 @@ Ties the whole framework together (paper Fig. 2): raw-value tables go in,
 density metric over the matching rows, the Omega-view builder (optionally
 backed by a sigma-cache) turns the inferred densities into probability
 rows, and the result is registered as a named
-:class:`~repro.db.prob_view.ProbabilisticView`.
+:class:`~repro.db.prob_view.ProbabilisticView`.  A ``PERSIST INTO
+'<path>'`` clause additionally stores the created view in the durable
+catalog at that path (:mod:`repro.store`).
 """
 
 from __future__ import annotations
@@ -107,6 +109,11 @@ class Database:
         matrix = builder.build_matrix(forecasts)
         view = ProbabilisticView.from_matrix(query.view_name, matrix, grid)
         self._views[query.view_name] = view
+        if query.persist_path is not None:
+            # Imported lazily: the store layer sits above the engine.
+            from repro.store.catalog import Catalog
+
+            Catalog(query.persist_path).save_view(query.view_name, view)
         return view
 
     def __repr__(self) -> str:

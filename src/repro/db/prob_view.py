@@ -153,10 +153,16 @@ class ProbabilisticView:
         high: np.ndarray,
         probability: np.ndarray,
         labels: Sequence[str] | None = None,
+        *,
+        label_code: np.ndarray | None = None,
+        label_pool: Sequence[str] | None = None,
     ) -> "ProbabilisticView":
         """Build a view from parallel per-tuple arrays.
 
-        ``labels`` optionally carries one label string per tuple.  The
+        ``labels`` optionally carries one label string per tuple.
+        Alternatively ``label_code`` / ``label_pool`` carry the already
+        dictionary-encoded form (one code per tuple indexing into the pool)
+        — the zero-decode path the binary store backend loads through.  The
         per-tuple checks of :class:`ProbTuple` run as one vectorised pass.
         """
         t = np.ascontiguousarray(t, dtype=np.int64)
@@ -173,9 +179,30 @@ class ProbabilisticView:
                 f"got [{low[index]}, {high[index]}]"
             )
         _check_probability_column(probability)
-        if labels is None:
+        if label_code is not None or label_pool is not None:
+            if labels is not None:
+                raise InvalidParameterError(
+                    "pass either labels or label_code/label_pool, not both"
+                )
+            if label_code is None or label_pool is None:
+                raise InvalidParameterError(
+                    "label_code and label_pool must be given together"
+                )
+            label_code = np.ascontiguousarray(label_code, dtype=np.int64)
+            if label_code.size != t.size:
+                raise DataError("label_code must have one entry per tuple")
+            pool = tuple(str(label) for label in label_pool)
+            if not pool:
+                pool = ("",)
+            if label_code.size and (
+                int(label_code.min()) < 0 or int(label_code.max()) >= len(pool)
+            ):
+                raise DataError(
+                    f"label codes must index the {len(pool)}-entry label pool"
+                )
+        elif labels is None:
             label_code = np.zeros(t.size, dtype=np.int64)
-            pool: tuple[str, ...] = ("",)
+            pool = ("",)
         else:
             if len(labels) != t.size:
                 raise DataError("labels must have one entry per tuple")

@@ -2,8 +2,13 @@
 
 Keeps the library self-contained (no pandas): plain ``csv`` round-trips for
 :class:`~repro.db.table.Table` and
-:class:`~repro.db.prob_view.ProbabilisticView`, used by the examples to
-inspect outputs and by tests to verify round-trip fidelity.
+:class:`~repro.db.prob_view.ProbabilisticView`.  CSV is the human-readable
+debug format; the system backend is the binary columnar store in
+:mod:`repro.store.binary`.  View rows stream straight from / into the
+view's column arrays (:attr:`~repro.db.prob_view.ProbabilisticView.columns`
+and :meth:`~repro.db.prob_view.ProbabilisticView.from_columns`), so no
+per-tuple ``ProbTuple`` objects are materialised and validation runs as one
+vectorised pass.
 """
 
 from __future__ import annotations
@@ -13,7 +18,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.db.prob_view import ProbTuple, ProbabilisticView
+from repro.db.prob_view import ProbabilisticView
 from repro.db.table import Table
 from repro.exceptions import DataError
 
@@ -57,20 +62,36 @@ def load_table_csv(path: str | Path, name: str | None = None) -> Table:
 
 
 def save_view_csv(view: ProbabilisticView, path: str | Path) -> None:
-    """Write a probabilistic view as ``t, low, high, probability, label``."""
+    """Write a probabilistic view as ``t, low, high, probability, label``.
+
+    Rows stream from the view's column arrays — no :class:`ProbTuple`
+    objects are created.  ``repr`` keeps every float lossless.
+    """
     path = Path(path)
+    cols = view.columns
+    pool = cols.labels
     with path.open("w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(["t", "low", "high", "probability", "label"])
-        for tup in view:
-            writer.writerow(
-                [int(tup.t), repr(float(tup.low)), repr(float(tup.high)),
-                 repr(float(tup.probability)), tup.label]
+        writer.writerows(
+            (t, repr(low), repr(high), repr(probability), pool[code])
+            for t, low, high, probability, code in zip(
+                cols.t.tolist(),
+                cols.low.tolist(),
+                cols.high.tolist(),
+                cols.probability.tolist(),
+                cols.label_code.tolist(),
             )
+        )
 
 
 def load_view_csv(path: str | Path, name: str | None = None) -> ProbabilisticView:
-    """Read a view previously written by :func:`save_view_csv`."""
+    """Read a view previously written by :func:`save_view_csv`.
+
+    Cells are parsed into parallel column arrays and handed to
+    :meth:`ProbabilisticView.from_columns`, so the per-tuple range and
+    probability checks run as one vectorised pass.
+    """
     path = Path(path)
     with path.open(newline="") as handle:
         reader = csv.reader(handle)
@@ -83,15 +104,16 @@ def load_view_csv(path: str | Path, name: str | None = None) -> ProbabilisticVie
             raise DataError(
                 f"{path} does not look like a view file: header {header}"
             )
-        tuples = [
-            ProbTuple(
-                t=int(row[0]),
-                low=float(row[1]),
-                high=float(row[2]),
-                probability=float(row[3]),
-                label=row[4],
-            )
-            for row in reader
-            if row
-        ]
-    return ProbabilisticView(name or path.stem, tuples)
+        rows = [row for row in reader if row]
+    if rows:
+        t_col, low_col, high_col, prob_col, label_col = zip(*rows)
+    else:
+        t_col = low_col = high_col = prob_col = label_col = ()
+    return ProbabilisticView.from_columns(
+        name or path.stem,
+        np.array(t_col, dtype=np.int64),
+        np.array(low_col, dtype=float),
+        np.array(high_col, dtype=float),
+        np.array(prob_col, dtype=float),
+        labels=list(label_col),
+    )

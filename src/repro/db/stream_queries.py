@@ -18,6 +18,13 @@ Like :mod:`repro.db.queries`, everything here is a column operation over
 :attr:`~repro.db.prob_view.ProbabilisticView.columns`: per-time exceedance
 is one grouped reduction, and the sliding windows are cumulative sums or
 strided products over the per-time vectors.
+
+Edge semantics of the windowed consumers: an empty view yields an empty
+result; a window longer than the series raises
+:class:`~repro.exceptions.InvalidParameterError`; and so do
+*non-contiguous* times (e.g. a view built with ``step > 1``), because "the
+last ``w`` times" would silently span gaps — none of these ever reach the
+strided ``sliding_window_view`` internals.
 """
 
 from __future__ import annotations
@@ -32,13 +39,43 @@ from repro.exceptions import InvalidParameterError
 __all__ = [
     "windowed_expected_value",
     "exceedance_probability",
+    "exceedance_vector",
     "sustained_exceedance_probability",
     "expected_time_above",
 ]
 
 
-def _exceedance_vector(view: ProbabilisticView, threshold: float) -> np.ndarray:
-    """Per-time P(value > threshold), aligned with ``view.columns.times``."""
+def _check_windowed(view: ProbabilisticView, window: int) -> bool:
+    """Validate a windowed query; true when there is anything to compute.
+
+    Returns false for an empty view (callers yield an empty result);
+    raises for a non-positive window, a window longer than the series, and
+    non-contiguous times.
+    """
+    if window < 1:
+        raise InvalidParameterError(f"window must be >= 1, got {window}")
+    times = view.columns.times
+    if not times.size:
+        return False
+    if times.size < window:
+        raise InvalidParameterError(
+            f"view has {times.size} times, fewer than window={window}"
+        )
+    if np.any(np.diff(times) != 1):
+        raise InvalidParameterError(
+            f"view {view.name!r} has non-contiguous times; windowed queries "
+            "need consecutive inference times (build the view with step=1)"
+        )
+    return True
+
+
+def exceedance_vector(view: ProbabilisticView, threshold: float) -> np.ndarray:
+    """Per-time P(value > threshold), aligned with ``view.columns.times``.
+
+    The shared per-time exceedance primitive: :func:`exceedance_probability`
+    keys it by time, the windowed queries reduce over it, and the standing
+    queries in :mod:`repro.store.standing` evaluate it per view suffix.
+    """
     cols = view.columns
     if not cols.times.size:
         return np.empty(0)
@@ -58,7 +95,7 @@ def exceedance_probability(view: ProbabilisticView, threshold: float) -> dict[in
     the range straddling it contributes proportionally (the builder's
     piecewise-uniform treatment within a range).
     """
-    values = _exceedance_vector(view, threshold)
+    values = exceedance_vector(view, threshold)
     return {int(t): float(v) for t, v in zip(view.columns.times, values)}
 
 
@@ -69,14 +106,10 @@ def windowed_expected_value(
 
     Keyed by the window's *last* time; only full windows are reported.
     """
-    if window < 1:
-        raise InvalidParameterError(f"window must be >= 1, got {window}")
+    if not _check_windowed(view, window):
+        return {}
     expectations = expected_value_query(view)
     times = view.times
-    if len(times) < window:
-        raise InvalidParameterError(
-            f"view has {len(times)} times, fewer than window={window}"
-        )
     values = np.array([expectations[t] for t in times])
     csum = np.concatenate(([0.0], np.cumsum(values)))
     means = (csum[window:] - csum[:-window]) / window
@@ -92,14 +125,10 @@ def sustained_exceedance_probability(
     window probability is the product of per-time exceedances.  Keyed by
     the window's last time.
     """
-    if window < 1:
-        raise InvalidParameterError(f"window must be >= 1, got {window}")
-    per_time = _exceedance_vector(view, threshold)
+    if not _check_windowed(view, window):
+        return {}
+    per_time = exceedance_vector(view, threshold)
     times = view.times
-    if len(times) < window:
-        raise InvalidParameterError(
-            f"view has {len(times)} times, fewer than window={window}"
-        )
     products = np.prod(sliding_window_view(per_time, window), axis=1)
     return {
         times[i + window - 1]: float(products[i]) for i in range(products.size)
@@ -110,14 +139,10 @@ def expected_time_above(
     view: ProbabilisticView, threshold: float, window: int
 ) -> dict[int, float]:
     """Expected count of exceedances within each window (linearity of E)."""
-    if window < 1:
-        raise InvalidParameterError(f"window must be >= 1, got {window}")
-    per_time = _exceedance_vector(view, threshold)
+    if not _check_windowed(view, window):
+        return {}
+    per_time = exceedance_vector(view, threshold)
     times = view.times
-    if len(times) < window:
-        raise InvalidParameterError(
-            f"view has {len(times)} times, fewer than window={window}"
-        )
     csum = np.concatenate(([0.0], np.cumsum(per_time)))
     sums = csum[window:] - csum[:-window]
     return {times[i + window - 1]: float(sums[i]) for i in range(sums.size)}

@@ -54,3 +54,23 @@ class ParseError(QueryError):
 
 class CacheConstraintError(ReproError):
     """The distance and memory constraints of a sigma-cache are infeasible."""
+
+
+class StoreError(ReproError):
+    """A persistent-store (catalog / binary backend) operation failed."""
+
+
+class SchemaVersionError(StoreError):
+    """Persisted data was written under an incompatible schema version.
+
+    Attributes
+    ----------
+    found, expected:
+        The schema version read from disk and the version this build of the
+        library writes.
+    """
+
+    def __init__(self, message: str, found: int, expected: int) -> None:
+        super().__init__(message)
+        self.found = found
+        self.expected = expected

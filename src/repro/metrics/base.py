@@ -237,6 +237,29 @@ class DensitySeries:
     # Columnar views.
     # ------------------------------------------------------------------
     @property
+    def family(self) -> str | None:
+        """Homogeneous distribution family tag, if known.
+
+        ``"gaussian"`` / ``"uniform"`` for series built through
+        :meth:`from_columns`; ``None`` for object-built series (which may
+        mix families).  Lets columnar consumers (e.g. the binary store)
+        skip per-forecast materialisation.
+        """
+        return self._family
+
+    @property
+    def variances(self) -> np.ndarray | None:
+        """Exact inferred variances, when carried.
+
+        ``None`` for series that only know ``volatility`` (consumers then
+        use ``volatilities ** 2``).  Persisting this column keeps Gaussian
+        materialisation free of the ``sqrt``/square round trip.
+        """
+        if self._variance is None:
+            return None
+        return readonly_view(self._variance)
+
+    @property
     def times(self) -> np.ndarray:
         """Inference indices as an int array."""
         return readonly_view(self._t)

@@ -13,6 +13,7 @@ The paper's framework runs in two modes (Section II-A):
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -21,7 +22,7 @@ from repro.db.prob_view import ProbabilisticView
 from repro.exceptions import InvalidParameterError
 from repro.metrics.base import DensityForecast, DensitySeries, DynamicDensityMetric
 from repro.timeseries.series import TimeSeries
-from repro.view.builder import ProbabilityRow, ViewBuilder
+from repro.view.builder import ProbabilityMatrix, ProbabilityRow, ViewBuilder
 from repro.view.omega import OmegaGrid
 from repro.view.sigma_cache import SigmaCache
 
@@ -99,6 +100,11 @@ class OnlinePipeline:
         Optional pre-sized :class:`SigmaCache` (online mode cannot size the
         cache from a WHERE clause, so the caller provides expected sigma
         extremes).
+    retain_history:
+        When true (default), every emitted forecast and probability row is
+        kept so :meth:`to_view` / :meth:`forecasts` can materialise the full
+        run.  Long-lived ingestion services (:mod:`repro.store`) persist the
+        rows themselves and disable retention to keep memory flat.
 
     Examples
     --------
@@ -116,6 +122,8 @@ class OnlinePipeline:
         H: int,
         grid: OmegaGrid,
         cache: SigmaCache | None = None,
+        *,
+        retain_history: bool = True,
     ) -> None:
         if H < metric.min_window:
             raise InvalidParameterError(
@@ -125,6 +133,7 @@ class OnlinePipeline:
         self.metric = metric
         self.H = int(H)
         self.builder = ViewBuilder(grid, cache)
+        self.retain_history = bool(retain_history)
         self._window: deque[float] = deque(maxlen=self.H)
         self._t = 0
         self._rows: list[ProbabilityRow] = []
@@ -143,21 +152,120 @@ class OnlinePipeline:
         if len(self._window) == self.H:
             forecast = self.metric.infer(np.array(self._window), t)
             row = self.builder.build_row(forecast)
-            self._forecasts.append(forecast)
-            self._rows.append(row)
+            if self.retain_history:
+                self._forecasts.append(forecast)
+                self._rows.append(row)
         self._window.append(float(value))
         self._t += 1
         return OnlineStep(t=t, value=float(value), forecast=forecast, row=row)
+
+    def feed_batch(self, values: Sequence[float] | np.ndarray) -> ProbabilityMatrix:
+        """Consume a micro-batch of raw values through the batch data path.
+
+        Equivalent to calling :meth:`feed` once per value, but the warm
+        inference times are stacked into one window matrix and dispatched
+        through :meth:`DynamicDensityMetric.infer_batch` +
+        :meth:`ViewBuilder.build_matrix` — the same vectorised path offline
+        mode uses, so cost scales with the batch, not with everything fed
+        so far.  Returns the probability matrix of the newly emitted rows
+        (empty while the window is still warming up).
+        """
+        values = np.ascontiguousarray(values, dtype=float)
+        if values.ndim != 1:
+            raise InvalidParameterError(
+                f"feed_batch expects a 1-d value array, got shape {values.shape}"
+            )
+        start_t = self._t
+        held = len(self._window)
+        matrix = self._empty_matrix()
+        if values.size:
+            # Local offsets of values whose preceding window is full: value
+            # i (global time start_t + i) is warm once held + i >= H.
+            first_warm = max(self.H - held, 0)
+            if first_warm < values.size:
+                history = np.concatenate([np.array(self._window), values])
+                windows = np.lib.stride_tricks.sliding_window_view(
+                    history, self.H
+                )[first_warm + held - self.H : values.size + held - self.H]
+                ts = start_t + np.arange(first_warm, values.size, dtype=np.int64)
+                forecasts = self.metric.infer_batch(windows, ts)
+                matrix = self.builder.build_matrix(forecasts)
+                if self.retain_history:
+                    self._forecasts.extend(forecasts)
+                    self._rows.extend(matrix.rows())
+            self._window.extend(values.tolist())
+            self._t += int(values.size)
+        return matrix
+
+    def _empty_matrix(self) -> ProbabilityMatrix:
+        return ProbabilityMatrix(
+            t=np.empty(0, dtype=np.int64),
+            mean=np.empty(0),
+            volatility=np.empty(0),
+            probabilities=np.empty((0, self.builder.grid.n)),
+        )
 
     @property
     def t(self) -> int:
         """Index the next fed value will receive."""
         return self._t
 
+    @property
+    def window_values(self) -> np.ndarray:
+        """Copy of the current sliding-window contents (oldest first)."""
+        return np.array(self._window)
+
+    def load_state(self, window_values: Sequence[float] | np.ndarray, next_t: int) -> None:
+        """Restore the streaming position of a previous pipeline.
+
+        ``window_values`` are the most recent raw values (oldest first, at
+        most ``H`` of them) and ``next_t`` the index the next fed value
+        should receive — exactly what :attr:`window_values` / :attr:`t`
+        exposed when the state was captured.  Used by the persistent
+        catalog to resume ingestion after a restart; emitted history is not
+        restored (the catalog's segments already hold it).
+        """
+        window_values = np.ascontiguousarray(window_values, dtype=float)
+        if window_values.ndim != 1:
+            raise InvalidParameterError(
+                f"window state must be a 1-d array, got shape "
+                f"{window_values.shape}"
+            )
+        next_t = int(next_t)
+        if next_t < 0:
+            raise InvalidParameterError(f"next_t must be >= 0, got {next_t}")
+        # A pipeline that consumed next_t values holds exactly
+        # min(next_t, H) of them; anything else would silently re-enter
+        # warm-up (undersized) or replay values (oversized) and emit a
+        # gapped or shifted time range.
+        expected = min(next_t, self.H)
+        if window_values.size != expected:
+            raise InvalidParameterError(
+                f"window state carries {window_values.size} values; a "
+                f"pipeline at next_t={next_t} with H={self.H} must carry "
+                f"{expected}"
+            )
+        self._window.clear()
+        self._window.extend(window_values.tolist())
+        self._t = next_t
+        # Emitted history is not restored (and any retained rows describe a
+        # different stream position), so retention starts over.
+        self._rows.clear()
+        self._forecasts.clear()
+
     def forecasts(self) -> DensitySeries:
         """All non-warm-up forecasts emitted so far."""
+        self._require_history("forecasts")
         return DensitySeries(self._forecasts)
 
     def to_view(self, name: str = "prob_view") -> ProbabilisticView:
         """Materialise everything emitted so far as a probabilistic view."""
+        self._require_history("to_view")
         return ProbabilisticView.from_rows(name, self._rows, self.builder.grid)
+
+    def _require_history(self, what: str) -> None:
+        if not self.retain_history:
+            raise InvalidParameterError(
+                f"{what}() needs retain_history=True; this pipeline was "
+                "created with retention disabled"
+            )

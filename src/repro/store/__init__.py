@@ -1,0 +1,30 @@
+"""Persistent view catalog, binary persistence, and standing queries.
+
+The systems layer the paper leaves implicit: views survive process
+restarts, many series live side by side, values stream in as micro-batches
+with incremental view maintenance, and registered standing queries receive
+new results per append (see ``README.md`` for the architecture).
+"""
+
+from repro.store.binary import (
+    SCHEMA_VERSION,
+    load_density_series_npz,
+    load_view_npz,
+    save_density_series_npz,
+    save_view_npz,
+)
+from repro.store.catalog import AppendResult, Catalog, SeriesHandle
+from repro.store.standing import StandingQuery, StandingQueryHandle
+
+__all__ = [
+    "AppendResult",
+    "Catalog",
+    "SCHEMA_VERSION",
+    "SeriesHandle",
+    "StandingQuery",
+    "StandingQueryHandle",
+    "load_density_series_npz",
+    "load_view_npz",
+    "save_density_series_npz",
+    "save_view_npz",
+]

@@ -1,0 +1,261 @@
+"""Columnar ``.npz`` persistence for views and density series.
+
+The CSV formats in :mod:`repro.db.storage` / :mod:`repro.db.density_store`
+stay as human-readable debug formats; this module is the *system* backend:
+schema-versioned binary files holding the column arrays directly, so saving
+and loading a million-tuple view is a handful of bulk array writes instead
+of a per-tuple Python loop, and the round trip is bit-exact (float64 in,
+float64 out).
+
+Every file carries ``schema`` (format version) and ``kind`` (payload type)
+arrays; loaders reject files written under a different schema version with
+:class:`~repro.exceptions.SchemaVersionError` rather than misreading them.
+The same column payload doubles as the segment format of the catalog's
+append-friendly layout (:mod:`repro.store.catalog`): one file per ingested
+micro-batch, concatenated column-wise at load time.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.db.prob_view import ProbabilisticView
+from repro.exceptions import DataError, SchemaVersionError, StoreError
+from repro.metrics.base import DensityForecast, DensitySeries
+from repro.distributions.gaussian import Gaussian
+from repro.distributions.uniform import Uniform
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "check_schema_version",
+    "load_density_series_npz",
+    "load_view_columns_npz",
+    "load_view_npz",
+    "save_density_series_npz",
+    "save_view_columns_npz",
+    "save_view_npz",
+]
+
+#: Version written into every binary file; bump on incompatible changes.
+SCHEMA_VERSION = 1
+
+_KIND_VIEW = "view_columns"
+_KIND_DENSITY = "density_columns"
+
+#: Density-family dictionary codes (per-row, so mixed series round-trip).
+_FAMILIES = ("gaussian", "uniform")
+
+
+def check_schema_version(found: int, path: str | Path) -> None:
+    """Reject data written under a different schema version.
+
+    The single place the version contract is enforced — both the npz
+    payloads here and the catalog's JSON metadata route through it.
+    """
+    if found != SCHEMA_VERSION:
+        raise SchemaVersionError(
+            f"{path} was written under schema version {found}; this build "
+            f"reads version {SCHEMA_VERSION}",
+            found=found,
+            expected=SCHEMA_VERSION,
+        )
+
+
+def _savez_exact(path: Path, **arrays: np.ndarray) -> None:
+    """``np.savez`` to the literal path (no silent ``.npz`` suffixing).
+
+    Writing through an open handle keeps save and load symmetric for
+    suffix-less paths.
+    """
+    with path.open("wb") as handle:
+        np.savez(handle, **arrays)
+
+
+def _open_npz(path: str | Path, kind: str) -> np.lib.npyio.NpzFile:
+    path = Path(path)
+    try:
+        payload = np.load(path, allow_pickle=False)
+    except FileNotFoundError:
+        raise StoreError(f"no such store file: {path}") from None
+    except (OSError, ValueError) as exc:
+        raise DataError(f"{path} is not a readable npz file: {exc}") from exc
+    if "schema" not in payload or "kind" not in payload:
+        raise DataError(f"{path} carries no schema/kind header")
+    check_schema_version(int(payload["schema"]), path)
+    found_kind = str(payload["kind"])
+    if found_kind != kind:
+        raise DataError(
+            f"{path} holds {found_kind!r} data, expected {kind!r}"
+        )
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Probabilistic views.
+# ----------------------------------------------------------------------
+def save_view_npz(view: ProbabilisticView, path: str | Path) -> None:
+    """Persist a view's column arrays (plus its label dictionary).
+
+    One bulk write per column — no per-tuple objects, no text formatting.
+    """
+    cols = view.columns
+    save_view_columns_npz(
+        path,
+        t=cols.t,
+        low=cols.low,
+        high=cols.high,
+        probability=cols.probability,
+        label_code=cols.label_code,
+        labels=cols.labels,
+    )
+
+
+def save_view_columns_npz(
+    path: str | Path,
+    *,
+    t: np.ndarray,
+    low: np.ndarray,
+    high: np.ndarray,
+    probability: np.ndarray,
+    label_code: np.ndarray,
+    labels: tuple[str, ...],
+) -> None:
+    """Raw-column variant of :func:`save_view_npz` (the segment writer)."""
+    _savez_exact(
+        Path(path),
+        schema=np.int64(SCHEMA_VERSION),
+        kind=np.str_(_KIND_VIEW),
+        t=np.ascontiguousarray(t, dtype=np.int64),
+        low=np.ascontiguousarray(low, dtype=float),
+        high=np.ascontiguousarray(high, dtype=float),
+        probability=np.ascontiguousarray(probability, dtype=float),
+        label_code=np.ascontiguousarray(label_code, dtype=np.int64),
+        labels=np.array(labels if labels else ("",), dtype=np.str_),
+    )
+
+
+def load_view_columns_npz(path: str | Path) -> dict[str, np.ndarray]:
+    """Load the raw column payload of one view file / catalog segment."""
+    payload = _open_npz(path, _KIND_VIEW)
+    return {
+        key: payload[key]
+        for key in ("t", "low", "high", "probability", "label_code", "labels")
+    }
+
+
+def load_view_npz(path: str | Path, name: str | None = None) -> ProbabilisticView:
+    """Rebuild a view previously written by :func:`save_view_npz`.
+
+    The view name defaults to the file stem.  Validation (range order,
+    probability bounds, per-time mass) reruns as the usual vectorised pass,
+    so a corrupted file fails loudly instead of producing a broken view.
+    """
+    path = Path(path)
+    columns = load_view_columns_npz(path)
+    return ProbabilisticView.from_columns(
+        name or path.stem,
+        columns["t"],
+        columns["low"],
+        columns["high"],
+        columns["probability"],
+        label_code=columns["label_code"],
+        label_pool=tuple(str(label) for label in columns["labels"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Density series.
+# ----------------------------------------------------------------------
+def _family_codes(series: DensitySeries) -> np.ndarray:
+    """Per-forecast family codes; rejects non-location-scale densities.
+
+    Series carrying a homogeneous :attr:`DensitySeries.family` tag resolve
+    without materialising a single forecast; only object-built (possibly
+    mixed) series fall back to inspecting the non-Gaussian rows.
+    """
+    if series.family in _FAMILIES:
+        code = _FAMILIES.index(series.family)
+        return np.full(len(series), code, dtype=np.int8)
+    mask, _mu, _sigma = series.gaussian_params()
+    codes = np.where(mask, 0, 1).astype(np.int8)
+    for index in np.flatnonzero(~mask):
+        distribution = series[int(index)].distribution
+        if not isinstance(distribution, Uniform):
+            raise StoreError(
+                f"cannot persist distribution family "
+                f"{type(distribution).__name__}; only Gaussian and Uniform "
+                "are storable"
+            )
+    return codes
+
+
+def save_density_series_npz(series: DensitySeries, path: str | Path) -> None:
+    """Persist a density series through its column arrays.
+
+    Families are dictionary-coded per row (Gaussian/Uniform), so mixed
+    series survive; anything else raises
+    :class:`~repro.exceptions.StoreError` like the CSV density store does.
+    The exact variance column rides along when the series carries one, so
+    reloaded Gaussians skip the lossy ``sqrt``/square round trip.
+    """
+    columns = {
+        "schema": np.int64(SCHEMA_VERSION),
+        "kind": np.str_(_KIND_DENSITY),
+        "t": np.ascontiguousarray(series.times, dtype=np.int64),
+        "mean": np.ascontiguousarray(series.means, dtype=float),
+        "volatility": np.ascontiguousarray(series.volatilities, dtype=float),
+        "lower": np.ascontiguousarray(series.lowers, dtype=float),
+        "upper": np.ascontiguousarray(series.uppers, dtype=float),
+        "family_code": _family_codes(series),
+    }
+    if series.variances is not None:
+        columns["variance"] = np.ascontiguousarray(series.variances, dtype=float)
+    _savez_exact(Path(path), **columns)
+
+
+def load_density_series_npz(path: str | Path) -> DensitySeries:
+    """Rebuild a density series written by :func:`save_density_series_npz`.
+
+    Homogeneous files come back through the lazy
+    :meth:`DensitySeries.from_columns` path (no per-forecast objects);
+    mixed Gaussian/Uniform files materialise row by row.
+    """
+    payload = _open_npz(path, _KIND_DENSITY)
+    codes = payload["family_code"]
+    if codes.size and (int(codes.min()) < 0 or int(codes.max()) >= len(_FAMILIES)):
+        raise DataError(f"{path} carries unknown density family codes")
+    t = payload["t"]
+    mean = payload["mean"]
+    volatility = payload["volatility"]
+    lower = payload["lower"]
+    upper = payload["upper"]
+    variance = payload["variance"] if "variance" in payload else None
+    distinct = np.unique(codes)
+    if distinct.size <= 1:
+        family = _FAMILIES[int(distinct[0])] if distinct.size else "gaussian"
+        return DensitySeries.from_columns(
+            t, mean, volatility, lower, upper, family=family,
+            variance=variance,
+        )
+    forecasts = []
+    for index in range(t.size):
+        if int(codes[index]) == 0:
+            sigma2 = (
+                float(variance[index])
+                if variance is not None
+                else float(volatility[index]) ** 2
+            )
+            distribution = Gaussian(float(mean[index]), sigma2)
+        else:
+            distribution = Uniform(float(lower[index]), float(upper[index]))
+        forecasts.append(DensityForecast(
+            t=int(t[index]),
+            mean=float(mean[index]),
+            distribution=distribution,
+            lower=float(lower[index]),
+            upper=float(upper[index]),
+            volatility=float(volatility[index]),
+        ))
+    return DensitySeries(forecasts)

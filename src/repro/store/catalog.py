@@ -1,0 +1,633 @@
+"""Persistent multi-series catalog with streaming ingestion.
+
+The paper's end product is a probabilistic *database*; this module is the
+durable service layer around it.  A :class:`Catalog` is a directory of
+named series, each bound to a dynamic density metric and a persisted
+probabilistic view.  Values arrive in micro-batches through
+:meth:`Catalog.append`, which drives an :class:`~repro.pipeline.OnlinePipeline`
+incrementally (one vectorised ``feed_batch`` per call, reusing the series'
+sigma-cache across appends), extends the stored view with a new **segment**
+— never rebuilding earlier rows — and pushes the new suffix to every
+registered standing query.
+
+On-disk layout (all JSON human-inspectable, all arrays binary)::
+
+    <root>/
+      catalog.json              # schema version + series ids
+      <series_id>/
+        series.json             # metric, grid, cache config, resume state
+        seg-00000001.npz        # view columns of one ingested micro-batch
+        seg-00000002.npz
+        ...
+
+``series.json`` is rewritten atomically (temp file + rename) *after* its
+segment lands, so a crash between the two leaves an orphan segment that is
+simply ignored on reopen — appends resume at the recorded ``next_t`` and
+the stored view stays consistent.  Standing-query registrations are
+session-scoped (clients re-register after a restart); everything else
+survives a process restart.  One caveat: the metric is rebuilt from its
+registry name on reopen, so metrics carrying *internal* warm-start state
+(e.g. ARMA-GARCH's previous GARCH parameters) re-warm from the restored
+window — the first forecasts after a restart can differ from an
+uninterrupted run at the optimiser-tolerance level (~1e-9).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.db.prob_view import ProbabilisticView
+from repro.exceptions import InvalidParameterError, QueryError, StoreError
+from repro.metrics.registry import create_metric
+from repro.pipeline import OnlinePipeline
+from repro.store.binary import (
+    SCHEMA_VERSION,
+    check_schema_version,
+    load_view_columns_npz,
+    save_view_npz,
+)
+from repro.store.standing import StandingQuery, StandingQueryHandle
+from repro.view.omega import OmegaGrid
+from repro.view.sigma_cache import SigmaCache
+
+__all__ = ["AppendResult", "Catalog", "SeriesHandle"]
+
+_CATALOG_FILE = "catalog.json"
+_SERIES_FILE = "series.json"
+_SEGMENT_FORMAT = "seg-{:08d}.npz"
+_SEGMENT_RE = re.compile(r"^seg-(\d{8})\.npz$")
+_SERIES_ID_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.\-]*$")
+
+
+def _next_segment_index(existing: list[str]) -> int:
+    """First segment index after ``existing`` (indices never reused)."""
+    indices = [
+        int(match.group(1))
+        for name in existing
+        if (match := _SEGMENT_RE.match(name))
+    ]
+    return max(indices, default=0) + 1
+
+
+def _pipeline_from_meta(meta: dict[str, Any], grid: OmegaGrid) -> OnlinePipeline:
+    """Realise a series' metric/cache/window binding as a fresh pipeline.
+
+    Shared between handle construction and :meth:`Catalog.create_series`,
+    which runs it *before* registering anything so an unrealisable spec
+    (unknown metric, H below the metric's minimum window, infeasible cache
+    constraints) never lands on disk.
+    """
+    metric = create_metric(meta["metric"], **meta.get("metric_params", {}))
+    cache = None
+    cache_spec = meta.get("cache")
+    if cache_spec is not None:
+        cache = SigmaCache(
+            grid,
+            min_sigma=cache_spec["min_sigma"],
+            max_sigma=cache_spec["max_sigma"],
+            distance_constraint=cache_spec.get("distance"),
+            memory_constraint=cache_spec.get("memory"),
+        )
+    return OnlinePipeline(metric, meta["H"], grid, cache, retain_history=False)
+
+
+def _write_json_atomic(path: Path, payload: dict[str, Any]) -> None:
+    """Write ``payload`` so readers never observe a half-written file.
+
+    The leading-dot temp name cannot collide with a series directory
+    (series ids must start with a letter or underscore).
+    """
+    tmp = path.with_name(f".{path.name}.tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+def _read_json(path: Path, what: str) -> dict[str, Any]:
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise StoreError(f"{what} metadata missing: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise StoreError(f"{what} metadata corrupt: {path}: {exc}") from exc
+    check_schema_version(int(payload.get("schema_version", -1)), path)
+    return payload
+
+
+@dataclass
+class AppendResult:
+    """What one micro-batch append produced.
+
+    ``fed`` values entered the series; ``emitted`` view rows (times) became
+    part of the stored view — fewer than ``fed`` while the window warms up.
+    ``deltas`` pairs each registered standing query with the newly
+    answerable results this append unlocked for it.
+    """
+
+    series_id: str
+    fed: int
+    emitted: int
+    times: list[int] = field(default_factory=list)
+    deltas: list[tuple[StandingQueryHandle, Any]] = field(default_factory=list)
+
+
+class SeriesHandle:
+    """One catalog series: its pipeline, its segments, its standing queries.
+
+    Obtained via :meth:`Catalog.series` / :meth:`Catalog.create_series`;
+    all mutation goes through the handle so in-memory state (pipeline
+    position, cached view, standing-query state) stays consistent with the
+    directory it mirrors.
+    """
+
+    def __init__(self, catalog: "Catalog", series_id: str) -> None:
+        self.catalog = catalog
+        self.series_id = series_id
+        self.directory = catalog.root / series_id
+        self._meta = _read_json(self.directory / _SERIES_FILE, "series")
+        self._queries: list[StandingQueryHandle] = []
+        self._view_cache: ProbabilisticView | None = None
+        # Built on first ingestion use: read paths (list/describe/view)
+        # must not pay for metric construction or cache population.
+        self._pipeline: OnlinePipeline | None = None
+        self._closed = False  # Set when the series is dropped or replaced.
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreError(
+                f"series {self.series_id!r} was dropped or replaced; "
+                "re-fetch the handle via Catalog.series()"
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    @property
+    def is_dynamic(self) -> bool:
+        """True when the series ingests values (vs a statically saved view)."""
+        return self._meta["kind"] == "dynamic"
+
+    @property
+    def grid(self) -> OmegaGrid | None:
+        spec = self._meta.get("grid")
+        if spec is None:
+            return None
+        return OmegaGrid(delta=spec["delta"], n=spec["n"])
+
+    @property
+    def next_t(self) -> int | None:
+        """Index the next appended value will receive (dynamic series)."""
+        return self._meta.get("next_t")
+
+    @property
+    def tuple_count(self) -> int:
+        return int(self._meta.get("tuple_count", 0))
+
+    @property
+    def segment_names(self) -> list[str]:
+        return list(self._meta.get("segments", []))
+
+    def describe(self) -> dict[str, Any]:
+        """Summary used by ``repro store list``."""
+        out = {
+            "series": self.series_id,
+            "kind": self._meta["kind"],
+            "tuples": self.tuple_count,
+            "segments": len(self.segment_names),
+        }
+        if self.is_dynamic:
+            out["metric"] = self._meta["metric"]
+            out["H"] = self._meta["H"]
+            out["next_t"] = self.next_t
+        return out
+
+    # ------------------------------------------------------------------
+    # Pipeline plumbing.
+    # ------------------------------------------------------------------
+    def _ensure_pipeline(self) -> OnlinePipeline:
+        if self._pipeline is None:
+            grid = self.grid
+            assert grid is not None
+            pipeline = _pipeline_from_meta(self._meta, grid)
+            pipeline.load_state(
+                np.array(self._meta["window"], dtype=float),
+                self._meta["next_t"],
+            )
+            self._pipeline = pipeline
+        return self._pipeline
+
+    @property
+    def sigma_cache(self) -> SigmaCache | None:
+        """The series' sigma-cache, shared across every append."""
+        if not self.is_dynamic:
+            return None
+        return self._ensure_pipeline().builder.cache
+
+    # ------------------------------------------------------------------
+    # Ingestion.
+    # ------------------------------------------------------------------
+    def append(self, values: np.ndarray) -> AppendResult:
+        """Ingest one micro-batch; extend the stored view incrementally.
+
+        Compute cost scales with the batch (inference + one segment write
+        + the standing-query suffix updates), not with the rows already
+        stored.  The ``series.json`` flush does rewrite the segment *list*,
+        which grows by one name per append — size micro-batches accordingly
+        (tens of values or more) rather than appending value by value.
+        """
+        self._check_open()
+        if not self.is_dynamic:
+            raise QueryError(
+                f"series {self.series_id!r} holds a statically saved view "
+                "and cannot be appended to"
+            )
+        pipeline = self._ensure_pipeline()
+        values = np.ascontiguousarray(values, dtype=float)
+        if values.ndim != 1:
+            raise InvalidParameterError(
+                f"append expects a 1-d value array, got shape {values.shape}"
+            )
+        matrix = pipeline.feed_batch(values)
+        result = AppendResult(
+            series_id=self.series_id, fed=int(values.size), emitted=len(matrix)
+        )
+        suffix: ProbabilisticView | None = None
+        if len(matrix):
+            grid = self.grid
+            assert grid is not None
+            suffix = ProbabilisticView.from_matrix(
+                f"{self.series_id}@t{int(matrix.t[0])}", matrix, grid
+            )
+            self._write_segment(suffix)
+            result.times = suffix.times
+            self._view_cache = None  # Warm-up appends leave the view as is.
+        # Resume state moves even during pure warm-up appends.
+        self._meta["next_t"] = pipeline.t
+        self._meta["window"] = pipeline.window_values.tolist()
+        self._flush_meta()
+        if suffix is not None:
+            for handle in self._queries:
+                result.deltas.append((handle, handle.update(suffix)))
+        return result
+
+    def _write_segment(self, suffix: ProbabilisticView) -> None:
+        # The persisted counter keeps per-append naming O(1); metadata
+        # written before the counter existed falls back to a name scan.
+        index = self._meta.get("next_segment")
+        if index is None:
+            index = _next_segment_index(self.segment_names)
+        name = _SEGMENT_FORMAT.format(index)
+        save_view_npz(suffix, self.directory / name)
+        self._meta.setdefault("segments", []).append(name)
+        self._meta["next_segment"] = index + 1
+        self._meta["tuple_count"] = self.tuple_count + len(suffix)
+
+    def _flush_meta(self) -> None:
+        _write_json_atomic(self.directory / _SERIES_FILE, self._meta)
+
+    # ------------------------------------------------------------------
+    # Reads.
+    # ------------------------------------------------------------------
+    def view(self) -> ProbabilisticView:
+        """Materialise the stored view (all segments, column-concatenated).
+
+        Cached until the next append; the append path itself never calls
+        this, so ingesting stays O(batch).
+        """
+        self._check_open()
+        if self._view_cache is None:
+            self._view_cache = self._load_segments()
+        return self._view_cache
+
+    def _load_segments(self) -> ProbabilisticView:
+        names = self.segment_names
+        if not names:
+            return ProbabilisticView.from_columns(
+                self.series_id,
+                np.empty(0, dtype=np.int64),
+                np.empty(0),
+                np.empty(0),
+                np.empty(0),
+            )
+        chunks = [
+            load_view_columns_npz(self.directory / name) for name in names
+        ]
+        pool: dict[str, int] = {}
+        codes = []
+        for chunk in chunks:
+            labels = [str(label) for label in chunk["labels"]]
+            remap = np.array(
+                [pool.setdefault(label, len(pool)) for label in labels],
+                dtype=np.int64,
+            )
+            codes.append(remap[chunk["label_code"]])
+        return ProbabilisticView.from_columns(
+            self.series_id,
+            np.concatenate([chunk["t"] for chunk in chunks]),
+            np.concatenate([chunk["low"] for chunk in chunks]),
+            np.concatenate([chunk["high"] for chunk in chunks]),
+            np.concatenate([chunk["probability"] for chunk in chunks]),
+            label_code=np.concatenate(codes),
+            label_pool=tuple(pool) if pool else ("",),
+        )
+
+    # ------------------------------------------------------------------
+    # Standing queries.
+    # ------------------------------------------------------------------
+    def register_query(self, query: StandingQuery) -> StandingQueryHandle:
+        """Attach a standing query; replays the already-stored view once.
+
+        The replay seeds the incremental state so ``result()`` covers the
+        full series from the first call, and every subsequent append only
+        touches the new suffix.
+        """
+        self._check_open()
+        handle = StandingQueryHandle(query)
+        existing = self.view()
+        if len(existing):
+            handle.update(existing)
+        self._queries.append(handle)
+        return handle
+
+    def queries(self) -> list[StandingQueryHandle]:
+        return list(self._queries)
+
+    def __repr__(self) -> str:
+        return (
+            f"SeriesHandle({self.series_id!r}, kind={self._meta['kind']!r}, "
+            f"tuples={self.tuple_count}, segments={len(self.segment_names)})"
+        )
+
+
+class Catalog:
+    """A directory of persisted probabilistic views with streaming appends.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> root = tempfile.mkdtemp()
+    >>> catalog = Catalog(root)
+    >>> handle = catalog.create_series(
+    ...     "room", metric="variable_threshold", H=20,
+    ...     grid=OmegaGrid(delta=0.5, n=4))
+    >>> result = catalog.append("room", [20.0 + 0.01 * i for i in range(30)])
+    >>> (result.fed, result.emitted)
+    (30, 10)
+    >>> len(Catalog(root).view("room"))       # survives a reopen
+    40
+    """
+
+    def __init__(self, root: str | Path, *, create: bool = True) -> None:
+        self.root = Path(root)
+        manifest = self.root / _CATALOG_FILE
+        if manifest.exists():
+            self._manifest = _read_json(manifest, "catalog")
+        elif create:
+            try:
+                self.root.mkdir(parents=True, exist_ok=True)
+            except OSError as exc:
+                raise StoreError(
+                    f"cannot create catalog directory {self.root}: {exc}"
+                ) from exc
+            self._manifest = {"schema_version": SCHEMA_VERSION, "series": []}
+            self._flush_manifest()
+        else:
+            raise StoreError(f"no catalog at {self.root}")
+        self._handles: dict[str, SeriesHandle] = {}
+
+    def _flush_manifest(self) -> None:
+        _write_json_atomic(self.root / _CATALOG_FILE, self._manifest)
+
+    def _reload_manifest(self) -> None:
+        """Re-read ``catalog.json`` so mutations see on-disk reality.
+
+        Another :class:`Catalog` instance on the same root (e.g. the one a
+        ``PERSIST INTO`` clause opens) may have registered or dropped
+        series since this instance loaded; every read-modify-write of the
+        manifest starts from the current file instead of the cached copy.
+        Concurrent *writers* are still the caller's problem (single-writer
+        service assumed), but instances no longer delist each other's
+        series.
+        """
+        manifest = self.root / _CATALOG_FILE
+        if manifest.exists():
+            self._manifest = _read_json(manifest, "catalog")
+
+    # ------------------------------------------------------------------
+    # Series lifecycle.
+    # ------------------------------------------------------------------
+    def list_series(self) -> list[str]:
+        return sorted(self._manifest["series"])
+
+    def __contains__(self, series_id: str) -> bool:
+        return series_id in self._manifest["series"]
+
+    def create_series(
+        self,
+        series_id: str,
+        *,
+        metric: str,
+        H: int,
+        grid: OmegaGrid,
+        metric_params: dict[str, Any] | None = None,
+        cache_min_sigma: float | None = None,
+        cache_max_sigma: float | None = None,
+        cache_distance: float | None = None,
+        cache_memory: int | None = None,
+    ) -> SeriesHandle:
+        """Register a new dynamic series bound to ``metric`` and ``grid``.
+
+        ``metric`` is a registry name (``METRIC`` clause vocabulary) so the
+        binding survives restarts.  The optional ``cache_*`` parameters
+        pre-size a sigma-cache from expected volatility extremes — online
+        mode cannot derive them from a WHERE clause — and the same cache
+        instance then serves every subsequent append.
+        """
+        self._reload_manifest()
+        self._check_new_id(series_id)
+        cache_spec = None
+        cache_given = [
+            value is not None
+            for value in (cache_min_sigma, cache_max_sigma,
+                          cache_distance, cache_memory)
+        ]
+        if any(cache_given):
+            if cache_min_sigma is None or cache_max_sigma is None:
+                raise InvalidParameterError(
+                    "a series cache needs cache_min_sigma and cache_max_sigma"
+                )
+            if cache_distance is None and cache_memory is None:
+                raise InvalidParameterError(
+                    "a series cache needs cache_distance and/or cache_memory"
+                )
+            cache_spec = {
+                "min_sigma": float(cache_min_sigma),
+                "max_sigma": float(cache_max_sigma),
+                "distance": cache_distance,
+                "memory": cache_memory,
+            }
+        meta = {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "dynamic",
+            "metric": str(metric),
+            "metric_params": dict(metric_params or {}),
+            "H": int(H),
+            "grid": {"delta": grid.delta, "n": grid.n},
+            "cache": cache_spec,
+            "next_t": 0,
+            "window": [],
+            "segments": [],
+            "next_segment": 1,
+            "tuple_count": 0,
+        }
+        # Fail before anything lands on disk if the spec cannot be
+        # realised (unknown metric, H < min_window, infeasible cache).
+        _pipeline_from_meta(meta, grid)
+        return self._register(series_id, meta)
+
+    def save_view(self, series_id: str, view: ProbabilisticView) -> SeriesHandle:
+        """Persist an already-built view as a static series.
+
+        This is the ``CREATE VIEW ... PERSIST INTO`` target: the SQL engine
+        materialises the view offline, and the catalog stores its columns
+        as a single segment.  Replaces an existing series of the same name,
+        mirroring ``Database`` view registration semantics — the new data
+        is written *before* the atomic ``series.json`` cutover, so a crash
+        mid-replace leaves the old view intact (plus at worst an ignored
+        orphan segment).
+        """
+        self._reload_manifest()
+        exists = series_id in self
+        if not exists:
+            self._check_new_id(series_id)
+        directory = self.root / series_id
+        old_segments: list[str] = []
+        if exists:
+            self._invalidate_handle(series_id)
+            old_meta = _read_json(directory / _SERIES_FILE, "series")
+            old_segments = list(old_meta.get("segments", []))
+        directory.mkdir(parents=True, exist_ok=True)
+        index = _next_segment_index(old_segments)
+        meta: dict[str, Any] = {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "static",
+            "grid": None,
+            "segments": [],
+            "next_segment": index,
+            "tuple_count": 0,
+        }
+        if len(view):
+            name = _SEGMENT_FORMAT.format(index)
+            save_view_npz(view, directory / name)
+            meta["segments"] = [name]
+            meta["next_segment"] = index + 1
+            meta["tuple_count"] = len(view)
+        _write_json_atomic(directory / _SERIES_FILE, meta)  # The cutover.
+        for name in old_segments:
+            if name not in meta["segments"]:
+                (directory / name).unlink(missing_ok=True)
+        if not exists:
+            self._manifest["series"].append(series_id)
+            self._flush_manifest()
+        handle = SeriesHandle(self, series_id)
+        self._handles[series_id] = handle
+        return handle
+
+    def _check_new_id(self, series_id: str) -> None:
+        if not _SERIES_ID_RE.match(series_id or ""):
+            raise InvalidParameterError(
+                f"series id {series_id!r} must match {_SERIES_ID_RE.pattern}"
+            )
+        if series_id == _CATALOG_FILE:
+            raise InvalidParameterError(
+                f"series id {series_id!r} is reserved for the catalog manifest"
+            )
+        if series_id in self:
+            raise StoreError(f"series {series_id!r} already exists")
+
+    def _register(self, series_id: str, meta: dict[str, Any]) -> SeriesHandle:
+        directory = self.root / series_id
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise StoreError(
+                f"cannot create series directory {directory}: {exc}"
+            ) from exc
+        _write_json_atomic(directory / _SERIES_FILE, meta)
+        self._manifest["series"].append(series_id)
+        self._flush_manifest()
+        handle = SeriesHandle(self, series_id)
+        self._handles[series_id] = handle
+        return handle
+
+    def series(self, series_id: str) -> SeriesHandle:
+        """The handle for ``series_id`` (loaded lazily, cached)."""
+        if series_id not in self:
+            self._reload_manifest()  # Another instance may have added it.
+        if series_id not in self:
+            raise QueryError(
+                f"unknown series {series_id!r}; stored: {self.list_series()}"
+            )
+        if series_id not in self._handles:
+            self._handles[series_id] = SeriesHandle(self, series_id)
+        return self._handles[series_id]
+
+    def drop_series(self, series_id: str) -> None:
+        """Remove a series and delete its directory.
+
+        Works directly on the metadata files — never through a live
+        handle — so a series whose binding can no longer be realised
+        (e.g. its metric was unregistered) can still be dropped.
+        """
+        self._reload_manifest()
+        if series_id not in self:
+            raise QueryError(
+                f"unknown series {series_id!r}; stored: {self.list_series()}"
+            )
+        directory = self.root / series_id
+        try:
+            meta = _read_json(directory / _SERIES_FILE, "series")
+            segments = list(meta.get("segments", []))
+        except StoreError:
+            segments = []  # Metadata already gone/corrupt: best effort.
+        for name in segments:
+            (directory / name).unlink(missing_ok=True)
+        (directory / _SERIES_FILE).unlink(missing_ok=True)
+        try:
+            directory.rmdir()
+        except OSError:
+            pass  # Foreign files in the directory: leave them.
+        self._manifest["series"].remove(series_id)
+        self._flush_manifest()
+        self._invalidate_handle(series_id)
+
+    def _invalidate_handle(self, series_id: str) -> None:
+        handle = self._handles.pop(series_id, None)
+        if handle is not None:
+            handle._closed = True
+
+    # ------------------------------------------------------------------
+    # Convenience pass-throughs.
+    # ------------------------------------------------------------------
+    def append(self, series_id: str, values: Any) -> AppendResult:
+        """Micro-batch ingest into ``series_id`` (see :meth:`SeriesHandle.append`)."""
+        return self.series(series_id).append(np.asarray(values, dtype=float))
+
+    def view(self, series_id: str) -> ProbabilisticView:
+        """The stored view of ``series_id``."""
+        return self.series(series_id).view()
+
+    def register_query(
+        self, series_id: str, query: StandingQuery
+    ) -> StandingQueryHandle:
+        """Register a standing query against ``series_id``."""
+        return self.series(series_id).register_query(query)
+
+    def __repr__(self) -> str:
+        return f"Catalog(root={str(self.root)!r}, series={self.list_series()})"

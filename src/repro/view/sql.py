@@ -15,7 +15,10 @@ syntax plus the natural extensions the framework needs (all optional):
   use and its parameters (default: ``arma_garch``);
 * ``WINDOW 60``                        — sliding-window size ``H``;
 * ``CACHE (distance=0.01)`` / ``CACHE (memory=32)`` — sigma-cache
-  constraints (omitting the clause disables the cache).
+  constraints (omitting the clause disables the cache);
+* ``PERSIST INTO '/path/to/catalog'`` — additionally store the created
+  view in the :class:`repro.store.catalog.Catalog` at that path, where it
+  survives the process.
 
 Keywords are case-insensitive; identifiers and numbers follow Python rules.
 Parsing produces an inert :class:`ViewQuery`; execution belongs to
@@ -37,6 +40,7 @@ _TOKEN_RE = re.compile(
     r"""
     (?P<ws>\s+)
   | (?P<number>[-+]?\d+(?:\.\d*)?(?:[eE][-+]?\d+)?)
+  | (?P<string>'[^']*')
   | (?P<ident>[A-Za-z_][A-Za-z0-9_.\-]*)
   | (?P<op><=|>=|=|,|\(|\)|<|>)
     """,
@@ -45,13 +49,14 @@ _TOKEN_RE = re.compile(
 
 _KEYWORDS = {
     "create", "view", "as", "density", "over", "omega", "metric",
-    "window", "cache", "from", "where", "and", "between",
+    "window", "cache", "from", "where", "and", "between", "persist",
+    "into",
 }
 
 
 @dataclass(frozen=True)
 class _Token:
-    kind: str  # "number" | "ident" | "op" | "end"
+    kind: str  # "number" | "string" | "ident" | "op" | "end"
     text: str
     position: int
 
@@ -77,6 +82,7 @@ class ViewQuery:
     cache_memory: int | None = None
     time_lo: float | None = None
     time_hi: float | None = None
+    persist_path: str | None = None
 
     @property
     def uses_cache(self) -> bool:
@@ -165,6 +171,15 @@ class _Parser:
             )
         return float(token.text)
 
+    def expect_string(self, what: str) -> str:
+        token = self.advance()
+        if token.kind != "string":
+            raise ParseError(
+                f"expected a quoted string for {what}, got {token.text!r}",
+                token.position,
+            )
+        return token.text[1:-1]
+
     def expect_int(self, what: str) -> int:
         value = self.expect_number(what)
         if value != int(value):
@@ -202,6 +217,10 @@ class _Parser:
         time_hi: float | None = None
         if self.accept_keyword("where"):
             time_lo, time_hi = self._parse_where(time_column)
+        persist_path: str | None = None
+        if self.accept_keyword("persist"):
+            self.expect_keyword("into")
+            persist_path = self.expect_string("catalog path")
         tail = self.peek()
         if tail.kind != "end":
             raise ParseError(
@@ -221,6 +240,7 @@ class _Parser:
             cache_memory=cache_memory,
             time_lo=time_lo,
             time_hi=time_hi,
+            persist_path=persist_path,
         )
 
     def _parse_omega(self) -> tuple[float, int]:

@@ -65,3 +65,50 @@ class TestCommands:
         assert main(["generate", "humidity", csv_path, "--scale", "0.03"]) == 0
         captured = capsys.readouterr()
         assert "campus-humidity" in captured.out
+
+
+class TestStoreCommands:
+    def test_init_ingest_query_list(self, tmp_path, capsys):
+        catalog = str(tmp_path / "catalog")
+        assert main([
+            "store", "init", catalog, "room",
+            "--metric", "vt", "--window", "40", "--delta", "0.5", "--n", "4",
+        ]) == 0
+        assert "created SeriesHandle('room'" in capsys.readouterr().out
+
+        assert main([
+            "store", "ingest", catalog, "room",
+            "--data", "campus", "--scale", "0.03", "--batch", "50",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "micro-batches" in out and "tuples stored" in out
+
+        assert main([
+            "store", "query", catalog, "room",
+            "--kind", "exceedance", "--threshold", "21", "--head", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "exceedance threshold=21.0" in out
+
+        assert main([
+            "store", "query", catalog, "room",
+            "--kind", "threshold", "--tau", "0.4", "--head", "3",
+        ]) == 0
+        assert "probability" in capsys.readouterr().out
+
+        assert main(["store", "list", catalog]) == 0
+        out = capsys.readouterr().out
+        assert "room" in out and "dynamic" in out
+
+    def test_ingest_into_missing_catalog_fails_cleanly(self, tmp_path, capsys):
+        exit_code = main([
+            "store", "ingest", str(tmp_path / "absent"), "room",
+            "--data", "campus", "--scale", "0.03",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "error:" in captured.err
+
+    def test_store_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store"])

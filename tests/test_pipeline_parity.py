@@ -1,0 +1,159 @@
+"""Online/offline parity: the invariant incremental maintenance rests on.
+
+``OnlinePipeline.feed()`` over a stream must produce the same view —
+tuple for tuple — as ``create_probabilistic_view()`` over the stored
+series, and ``feed_batch()`` must reproduce the ``feed()`` loop exactly.
+Without this, the catalog's segments would drift from what a full offline
+rebuild would produce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import campus_temperature
+from repro.exceptions import InvalidParameterError
+from repro.metrics.ewma import EWMAMetric
+from repro.metrics.uniform_threshold import UniformThresholdingMetric
+from repro.metrics.variable_threshold import VariableThresholdingMetric
+from repro.pipeline import OnlinePipeline, create_probabilistic_view
+from repro.view.omega import OmegaGrid
+
+H = 30
+GRID = OmegaGrid(delta=0.5, n=6)
+ATOL = 1e-10
+
+METRICS = [
+    VariableThresholdingMetric,
+    lambda: UniformThresholdingMetric(threshold=1.5),
+    EWMAMetric,
+]
+METRIC_IDS = ["variable_threshold", "uniform_threshold", "ewma"]
+
+
+def _assert_views_match(actual, expected):
+    assert len(actual) == len(expected)
+    a, b = actual.columns, expected.columns
+    assert np.array_equal(a.t, b.t)
+    np.testing.assert_allclose(a.low, b.low, rtol=0, atol=ATOL)
+    np.testing.assert_allclose(a.high, b.high, rtol=0, atol=ATOL)
+    np.testing.assert_allclose(a.probability, b.probability, rtol=0, atol=ATOL)
+    assert [a.labels[c] for c in a.label_code] == \
+        [b.labels[c] for c in b.label_code]
+
+
+@pytest.mark.parametrize("metric_cls", METRICS, ids=METRIC_IDS)
+def test_feed_matches_offline_view(metric_cls):
+    series = campus_temperature(180, rng=13)
+    offline = create_probabilistic_view(
+        series, metric_cls(), H=H, grid=GRID, view_name="offline"
+    )
+    pipeline = OnlinePipeline(metric_cls(), H=H, grid=GRID)
+    for value in series.values:
+        pipeline.feed(value)
+    online = pipeline.to_view("online")
+    _assert_views_match(online, offline)
+
+
+@pytest.mark.parametrize("metric_cls", METRICS, ids=METRIC_IDS)
+def test_feed_batch_matches_feed_loop(metric_cls):
+    values = campus_temperature(160, rng=14).values
+
+    looped = OnlinePipeline(metric_cls(), H=H, grid=GRID)
+    for value in values:
+        looped.feed(value)
+
+    batched = OnlinePipeline(metric_cls(), H=H, grid=GRID)
+    cursor = 0
+    emitted = 0
+    for batch in (3, 1, 40, 25, 2, 89):
+        matrix = batched.feed_batch(values[cursor : cursor + batch])
+        cursor += batch
+        emitted += len(matrix)
+    assert cursor == values.size
+    assert batched.t == looped.t
+    assert emitted == 160 - H
+    _assert_views_match(batched.to_view("batched"), looped.to_view("looped"))
+
+
+def test_feed_batch_returns_only_new_rows():
+    values = campus_temperature(100, rng=1).values
+    pipeline = OnlinePipeline(VariableThresholdingMetric(), H=H, grid=GRID)
+    warm = pipeline.feed_batch(values[: H - 1])
+    assert len(warm) == 0
+    first = pipeline.feed_batch(values[H - 1 : H + 9])
+    assert first.t.tolist() == list(range(H, H + 9))
+    empty = pipeline.feed_batch(np.empty(0))
+    assert len(empty) == 0
+    assert pipeline.t == H + 9
+
+
+def test_feed_batch_rejects_matrices():
+    pipeline = OnlinePipeline(VariableThresholdingMetric(), H=H, grid=GRID)
+    with pytest.raises(InvalidParameterError):
+        pipeline.feed_batch(np.zeros((4, 4)))
+
+
+def test_state_capture_and_resume():
+    values = campus_temperature(150, rng=21).values
+    continuous = OnlinePipeline(VariableThresholdingMetric(), H=H, grid=GRID)
+    continuous.feed_batch(values)
+
+    first = OnlinePipeline(VariableThresholdingMetric(), H=H, grid=GRID)
+    first.feed_batch(values[:90])
+    window, next_t = first.window_values, first.t
+    assert window.size == H and next_t == 90
+
+    resumed = OnlinePipeline(VariableThresholdingMetric(), H=H, grid=GRID)
+    resumed.load_state(window, next_t)
+    matrix = resumed.feed_batch(values[90:])
+    assert matrix.t.tolist() == list(range(90, 150))
+    reference = continuous.to_view("ref").columns
+    suffix = reference.probability[reference.t >= 90]
+    np.testing.assert_allclose(
+        matrix.probabilities.ravel(), suffix, rtol=0, atol=ATOL
+    )
+
+
+def test_load_state_validation():
+    pipeline = OnlinePipeline(VariableThresholdingMetric(), H=H, grid=GRID)
+    with pytest.raises(InvalidParameterError):
+        pipeline.load_state(np.zeros(H + 1), H + 1)  # Oversized window.
+    with pytest.raises(InvalidParameterError):
+        pipeline.load_state(np.zeros(10), 5)  # t behind the window.
+    with pytest.raises(InvalidParameterError):
+        # Undersized window for a warm pipeline: accepting it would
+        # silently re-enter warm-up and emit a gapped time range.
+        pipeline.load_state(np.zeros(10), 100)
+    with pytest.raises(InvalidParameterError):
+        pipeline.load_state(np.zeros(H), -1)
+    # Mid-warm-up state (fewer than H values, next_t == size) is legal.
+    pipeline.load_state(np.zeros(10), 10)
+    assert pipeline.t == 10
+
+
+def test_load_state_discards_retained_history():
+    values = campus_temperature(90, rng=7).values
+    pipeline = OnlinePipeline(VariableThresholdingMetric(), H=H, grid=GRID)
+    pipeline.feed_batch(values)
+    pipeline.load_state(values[-H:], 90)
+    pipeline.feed_batch(values[:20])
+    view = pipeline.to_view("resumed")
+    # Only post-restore rows: no stale t from before the rewind.
+    assert view.times == list(range(90, 110))
+
+
+def test_retain_history_flag():
+    values = campus_temperature(80, rng=2).values
+    pipeline = OnlinePipeline(
+        VariableThresholdingMetric(), H=H, grid=GRID, retain_history=False
+    )
+    matrix = pipeline.feed_batch(values)
+    assert len(matrix) == 80 - H
+    with pytest.raises(InvalidParameterError):
+        pipeline.to_view()
+    with pytest.raises(InvalidParameterError):
+        pipeline.forecasts()
+    step = pipeline.feed(21.0)  # Per-value path still emits.
+    assert step.row is not None

@@ -120,6 +120,20 @@ class TestClauses:
         )
         assert query.metric_params == {"warm_start": False}
 
+    def test_persist_into_clause(self):
+        query = parse_view_query(
+            "CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1, n=2 FROM raw "
+            "WHERE t >= 1 AND t <= 9 PERSIST INTO '/data/catalogs/main'"
+        )
+        assert query.persist_path == "/data/catalogs/main"
+        assert (query.time_lo, query.time_hi) == (1.0, 9.0)
+
+    def test_persist_defaults_to_none(self):
+        query = parse_view_query(
+            "CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1, n=2 FROM raw"
+        )
+        assert query.persist_path is None
+
 
 class TestErrors:
     @pytest.mark.parametrize(
@@ -143,6 +157,10 @@ class TestErrors:
              "trailing garbage", "trailing"),
             ("CREATE VIEW v AS DENSITY r OVER t OMEGA size=1, n=2 FROM x",
              "OMEGA"),
+            ("CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1, n=2 FROM x "
+             "PERSIST INTO catalog", "quoted string"),
+            ("CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1, n=2 FROM x "
+             "PERSIST '/tmp/c'", "INTO"),
         ],
     )
     def test_malformed_queries_raise_parse_error(self, bad_query, pattern):

@@ -1,0 +1,214 @@
+"""Binary (.npz) persistence: round trips, schema versioning, CSV parity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import campus_temperature
+from repro.db.prob_view import ProbTuple, ProbabilisticView
+from repro.db.storage import load_view_csv, save_view_csv
+from repro.distributions.gaussian import Gaussian
+from repro.distributions.histogram import HistogramDistribution
+from repro.distributions.uniform import Uniform
+from repro.exceptions import DataError, SchemaVersionError, StoreError
+from repro.metrics.base import DensityForecast, DensitySeries
+from repro.metrics.variable_threshold import VariableThresholdingMetric
+from repro.pipeline import create_probabilistic_view
+from repro.store import (
+    load_density_series_npz,
+    load_view_npz,
+    save_density_series_npz,
+    save_view_npz,
+)
+from repro.store.binary import SCHEMA_VERSION
+from repro.view.omega import OmegaGrid
+
+
+@pytest.fixture(scope="module")
+def view() -> ProbabilisticView:
+    return create_probabilistic_view(
+        campus_temperature(160, rng=2),
+        VariableThresholdingMetric(),
+        H=40,
+        grid=OmegaGrid(delta=0.5, n=6),
+        view_name="campus_view",
+    )
+
+
+def _assert_same_columns(a: ProbabilisticView, b: ProbabilisticView) -> None:
+    ca, cb = a.columns, b.columns
+    assert np.array_equal(ca.t, cb.t)
+    assert np.array_equal(ca.low, cb.low)
+    assert np.array_equal(ca.high, cb.high)
+    assert np.array_equal(ca.probability, cb.probability)
+    decoded_a = [ca.labels[code] for code in ca.label_code]
+    decoded_b = [cb.labels[code] for code in cb.label_code]
+    assert decoded_a == decoded_b
+
+
+class TestViewNpz:
+    def test_round_trip_is_exact(self, view, tmp_path):
+        path = tmp_path / "view.npz"
+        save_view_npz(view, path)
+        loaded = load_view_npz(path)
+        _assert_same_columns(view, loaded)
+        assert loaded.name == "view"  # Defaults to the file stem.
+        assert load_view_npz(path, name="other").name == "other"
+
+    def test_irregular_labels_survive(self, tmp_path):
+        tuples = [
+            ProbTuple(t=1, low=0.0, high=2.0, probability=0.5, label="room 1"),
+            ProbTuple(t=1, low=2.0, high=4.0, probability=0.5, label="room 2"),
+            ProbTuple(t=2, low=0.0, high=2.0, probability=1.0, label="room 1"),
+        ]
+        original = ProbabilisticView("rooms", tuples)
+        path = tmp_path / "rooms.npz"
+        save_view_npz(original, path)
+        loaded = load_view_npz(path)
+        assert [tup.label for tup in loaded] == ["room 1", "room 2", "room 1"]
+
+    def test_suffixless_path_round_trips(self, view, tmp_path):
+        """np.savez's silent '.npz' suffixing must not break the loaders."""
+        path = tmp_path / "plain"
+        save_view_npz(view, path)
+        assert path.exists()
+        assert len(load_view_npz(path)) == len(view)
+
+    def test_empty_view_round_trips(self, tmp_path):
+        empty = ProbabilisticView("empty", [])
+        path = tmp_path / "empty.npz"
+        save_view_npz(empty, path)
+        assert len(load_view_npz(path)) == 0
+
+    def test_schema_mismatch_rejected(self, view, tmp_path):
+        path = tmp_path / "future.npz"
+        cols = view.columns
+        np.savez(
+            path,
+            schema=np.int64(SCHEMA_VERSION + 1),
+            kind=np.str_("view_columns"),
+            t=cols.t, low=cols.low, high=cols.high,
+            probability=cols.probability, label_code=cols.label_code,
+            labels=np.array(cols.labels),
+        )
+        with pytest.raises(SchemaVersionError) as info:
+            load_view_npz(path)
+        assert info.value.found == SCHEMA_VERSION + 1
+        assert info.value.expected == SCHEMA_VERSION
+
+    def test_wrong_kind_rejected(self, view, tmp_path):
+        path = tmp_path / "density.npz"
+        forecasts = VariableThresholdingMetric().run(
+            campus_temperature(80, rng=0), 40
+        )
+        save_density_series_npz(forecasts, path)
+        with pytest.raises(DataError):
+            load_view_npz(path)
+
+    def test_missing_file_raises_store_error(self, tmp_path):
+        with pytest.raises(StoreError):
+            load_view_npz(tmp_path / "nope.npz")
+
+    def test_corrupt_probabilities_fail_validation(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(
+            path,
+            schema=np.int64(SCHEMA_VERSION),
+            kind=np.str_("view_columns"),
+            t=np.array([0], dtype=np.int64),
+            low=np.array([0.0]),
+            high=np.array([1.0]),
+            probability=np.array([1.5]),
+            label_code=np.array([0], dtype=np.int64),
+            labels=np.array([""]),
+        )
+        with pytest.raises(Exception):
+            load_view_npz(path)
+
+
+class TestDensitySeriesNpz:
+    def test_gaussian_round_trip(self, tmp_path):
+        forecasts = VariableThresholdingMetric().run(
+            campus_temperature(120, rng=1), 40
+        )
+        path = tmp_path / "dens.npz"
+        save_density_series_npz(forecasts, path)
+        loaded = load_density_series_npz(path)
+        assert np.array_equal(loaded.times, forecasts.times)
+        assert np.array_equal(loaded.means, forecasts.means)
+        assert np.array_equal(loaded.volatilities, forecasts.volatilities)
+        assert np.array_equal(loaded.lowers, forecasts.lowers)
+        assert np.array_equal(loaded.uppers, forecasts.uppers)
+        assert isinstance(loaded[0].distribution, Gaussian)
+
+    def test_exact_variance_column_round_trips(self, tmp_path):
+        """Gaussians must not lose a ulp to the sqrt/square round trip."""
+        t = np.arange(4, dtype=np.int64)
+        mean = np.zeros(4)
+        variance = np.array([0.3, 0.07, 1.9, 2.2])
+        volatility = np.sqrt(variance)
+        series = DensitySeries.from_columns(
+            t, mean, volatility, mean - 3 * volatility, mean + 3 * volatility,
+            family="gaussian", variance=variance,
+        )
+        path = tmp_path / "var.npz"
+        save_density_series_npz(series, path)
+        loaded = load_density_series_npz(path)
+        assert np.array_equal(loaded.variances, variance)
+        for index in range(4):
+            assert loaded[index].distribution.sigma2 == variance[index]
+
+    def test_mixed_family_round_trip(self, tmp_path):
+        forecasts = DensitySeries([
+            DensityForecast(t=0, mean=1.0, distribution=Gaussian(1.0, 4.0),
+                            lower=-5.0, upper=7.0, volatility=2.0),
+            DensityForecast(t=1, mean=2.0, distribution=Uniform(1.0, 3.0),
+                            lower=1.0, upper=3.0,
+                            volatility=Uniform(1.0, 3.0).std()),
+        ])
+        path = tmp_path / "mixed.npz"
+        save_density_series_npz(forecasts, path)
+        loaded = load_density_series_npz(path)
+        assert isinstance(loaded[0].distribution, Gaussian)
+        assert isinstance(loaded[1].distribution, Uniform)
+        assert loaded[1].distribution.low == 1.0
+        assert loaded[1].distribution.high == 3.0
+
+    def test_unstorable_family_rejected(self, tmp_path):
+        histogram = HistogramDistribution(
+            edges=np.array([0.0, 1.0, 2.0]), counts=np.array([1.0, 1.0])
+        )
+        forecasts = DensitySeries([
+            DensityForecast(t=0, mean=1.0, distribution=histogram,
+                            lower=0.0, upper=2.0, volatility=histogram.std()),
+        ])
+        with pytest.raises(StoreError):
+            save_density_series_npz(forecasts, tmp_path / "hist.npz")
+
+
+class TestCsvBinaryParity:
+    """The satellite round-trip fidelity check: CSV and binary agree."""
+
+    def test_view_csv_matches_binary(self, view, tmp_path):
+        csv_path = tmp_path / "view.csv"
+        npz_path = tmp_path / "view.npz"
+        save_view_csv(view, csv_path)
+        save_view_npz(view, npz_path)
+        from_csv = load_view_csv(csv_path)
+        from_npz = load_view_npz(npz_path)
+        # repr-formatted CSV floats parse back exactly, so the two backends
+        # must agree bit for bit — and with the original.
+        _assert_same_columns(from_csv, from_npz)
+        _assert_same_columns(view, from_npz)
+
+    def test_csv_header_still_validated(self, tmp_path):
+        path = tmp_path / "junk.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(DataError):
+            load_view_csv(path)
+
+    def test_csv_empty_view(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        save_view_csv(ProbabilisticView("empty", []), path)
+        assert len(load_view_csv(path)) == 0

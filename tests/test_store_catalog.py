@@ -1,0 +1,362 @@
+"""Catalog lifecycle: CRUD, incremental appends, crash-and-reload, SQL persist."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import campus_temperature
+from repro.db.engine import Database
+from repro.db.table import Table
+from repro.exceptions import (
+    InvalidParameterError,
+    QueryError,
+    SchemaVersionError,
+    StoreError,
+)
+from repro.pipeline import OnlinePipeline, create_probabilistic_view
+from repro.metrics.variable_threshold import VariableThresholdingMetric
+from repro.store import Catalog
+from repro.store.binary import SCHEMA_VERSION
+from repro.view.omega import OmegaGrid
+
+H = 30
+GRID = OmegaGrid(delta=0.5, n=4)
+
+
+@pytest.fixture()
+def values() -> np.ndarray:
+    return campus_temperature(200, rng=5).values
+
+
+def _new_series(catalog: Catalog, series_id: str = "room"):
+    return catalog.create_series(
+        series_id, metric="variable_threshold", H=H, grid=GRID
+    )
+
+
+class TestCrud:
+    def test_create_list_contains_drop(self, tmp_path):
+        catalog = Catalog(tmp_path / "cat")
+        assert catalog.list_series() == []
+        _new_series(catalog, "a")
+        _new_series(catalog, "b")
+        assert catalog.list_series() == ["a", "b"]
+        assert "a" in catalog and "missing" not in catalog
+        catalog.drop_series("a")
+        assert catalog.list_series() == ["b"]
+        assert not (tmp_path / "cat" / "a").exists()
+
+    def test_duplicate_and_invalid_ids_rejected(self, tmp_path):
+        catalog = Catalog(tmp_path / "cat")
+        _new_series(catalog)
+        with pytest.raises(StoreError):
+            _new_series(catalog)
+        with pytest.raises(InvalidParameterError):
+            _new_series(catalog, "no/slashes")
+        with pytest.raises(InvalidParameterError):
+            _new_series(catalog, "")
+
+    def test_unknown_series_and_metric(self, tmp_path):
+        catalog = Catalog(tmp_path / "cat")
+        with pytest.raises(QueryError):
+            catalog.series("missing")
+        with pytest.raises(InvalidParameterError):
+            catalog.create_series("x", metric="nope", H=H, grid=GRID)
+        assert "x" not in catalog  # Failed creation leaves no trace.
+
+    def test_unrealisable_spec_never_lands_on_disk(self, tmp_path):
+        catalog = Catalog(tmp_path / "cat")
+        with pytest.raises(InvalidParameterError):
+            # H below the metric's minimum window.
+            catalog.create_series(
+                "small", metric="arma_garch", H=2, grid=GRID)
+        with pytest.raises(InvalidParameterError):
+            # Unusable cache bounds.
+            catalog.create_series(
+                "badcache", metric="variable_threshold", H=H, grid=GRID,
+                cache_min_sigma=-1.0, cache_max_sigma=1.0,
+                cache_distance=0.05)
+        assert catalog.list_series() == []
+        assert not (tmp_path / "cat" / "small").exists()
+        # The catalog stays fully usable afterwards.
+        _new_series(catalog)
+        assert catalog.list_series() == ["room"]
+
+    def test_reserved_series_id_rejected(self, tmp_path):
+        catalog = Catalog(tmp_path / "cat")
+        with pytest.raises(InvalidParameterError, match="reserved"):
+            _new_series(catalog, "catalog.json")
+        # Must not collide with the manifest's atomic-write temp path.
+        _new_series(catalog, "catalog.tmp")
+        _new_series(catalog, "other")
+        assert catalog.list_series() == ["catalog.tmp", "other"]
+
+    def test_drop_survives_unrealisable_binding(self, tmp_path):
+        """A series whose metric disappears can still be dropped."""
+        from repro.metrics.registry import _REGISTRY, register_metric
+
+        register_metric("ephemeral", VariableThresholdingMetric)
+        try:
+            catalog = Catalog(tmp_path / "cat")
+            catalog.create_series("s", metric="ephemeral", H=H, grid=GRID)
+        finally:
+            _REGISTRY.pop("ephemeral", None)
+        reopened = Catalog(tmp_path / "cat")
+        # Read paths never realise the binding, so they still work...
+        assert reopened.series("s").describe()["metric"] == "ephemeral"
+        with pytest.raises(InvalidParameterError):
+            reopened.append("s", [1.0, 2.0])  # ...ingestion fails...
+        reopened.drop_series("s")  # ...and the data can still be removed.
+        assert reopened.list_series() == []
+
+    def test_open_missing_catalog_without_create(self, tmp_path):
+        with pytest.raises(StoreError):
+            Catalog(tmp_path / "absent", create=False)
+
+    def test_two_instances_do_not_delist_each_other(self, tmp_path):
+        """Mutations re-read the manifest, so a second instance on the
+        same root (e.g. the one PERSIST INTO opens) is not clobbered."""
+        root = tmp_path / "cat"
+        first = Catalog(root)
+        second = Catalog(root)
+        _new_series(second, "from_second")
+        _new_series(first, "from_first")
+        assert "from_second" in Catalog(root).list_series()
+        assert "from_first" in Catalog(root).list_series()
+        # Creating a series another instance already registered fails
+        # instead of silently overwriting its binding.
+        with pytest.raises(StoreError):
+            _new_series(first, "from_second")
+        # And lazily fetching a series another instance created works.
+        assert first.series("from_second").is_dynamic
+
+    def test_stale_handle_rejected_after_drop_and_replace(self, tmp_path, values):
+        catalog = Catalog(tmp_path / "cat")
+        handle = _new_series(catalog)
+        catalog.append("room", values[: H + 10])
+        view = catalog.view("room")
+        catalog.save_view("room", view)  # Replace dynamic with static.
+        with pytest.raises(StoreError):
+            handle.append(values[:5])
+        with pytest.raises(StoreError):
+            handle.view()
+        fresh = catalog.series("room")
+        assert not fresh.is_dynamic
+        dropped = catalog.series("room")
+        catalog.drop_series("room")
+        with pytest.raises(StoreError):
+            dropped.view()
+
+
+class TestAppend:
+    def test_incremental_view_matches_offline_build(self, tmp_path, values):
+        """Micro-batched ingestion reproduces the one-shot offline view."""
+        catalog = Catalog(tmp_path / "cat")
+        _new_series(catalog)
+        cursor = 0
+        for batch in (17, 1, 50, 3, 80, 49):
+            catalog.append("room", values[cursor : cursor + batch])
+            cursor += batch
+        assert cursor == len(values)
+        stored = catalog.view("room")
+
+        series = campus_temperature(200, rng=5)
+        offline = create_probabilistic_view(
+            series, VariableThresholdingMetric(), H=H, grid=GRID
+        )
+        assert len(stored) == len(offline)
+        a, b = stored.columns, offline.columns
+        assert np.array_equal(a.t, b.t)
+        np.testing.assert_allclose(a.low, b.low, rtol=0, atol=1e-12)
+        np.testing.assert_allclose(a.high, b.high, rtol=0, atol=1e-12)
+        np.testing.assert_allclose(a.probability, b.probability,
+                                   rtol=0, atol=1e-12)
+
+    def test_append_result_counts_warmup(self, tmp_path, values):
+        catalog = Catalog(tmp_path / "cat")
+        _new_series(catalog)
+        first = catalog.append("room", values[: H - 5])
+        assert (first.fed, first.emitted) == (H - 5, 0)
+        second = catalog.append("room", values[H - 5 : H + 5])
+        assert (second.fed, second.emitted) == (10, 5)
+        assert second.times == list(range(H, H + 5))
+
+    def test_sigma_cache_is_reused_across_appends(self, tmp_path, values):
+        catalog = Catalog(tmp_path / "cat")
+        catalog.create_series(
+            "room", metric="variable_threshold", H=H, grid=GRID,
+            cache_min_sigma=1e-3, cache_max_sigma=50.0, cache_distance=0.05,
+        )
+        handle = catalog.series("room")
+        cache = handle.sigma_cache
+        assert cache is not None
+        catalog.append("room", values[:100])
+        lookups = cache.stats.lookups
+        assert lookups == 100 - H
+        catalog.append("room", values[100:150])
+        assert handle.sigma_cache is cache  # Same instance, no rebuild.
+        assert cache.stats.lookups == lookups + 50
+
+    def test_cache_config_validated(self, tmp_path):
+        catalog = Catalog(tmp_path / "cat")
+        with pytest.raises(InvalidParameterError):
+            catalog.create_series(
+                "a", metric="variable_threshold", H=H, grid=GRID,
+                cache_min_sigma=0.1,  # Missing max.
+            )
+        with pytest.raises(InvalidParameterError):
+            catalog.create_series(
+                "b", metric="variable_threshold", H=H, grid=GRID,
+                cache_min_sigma=0.1, cache_max_sigma=10.0,  # No constraint.
+            )
+
+    def test_bad_append_shapes_rejected(self, tmp_path, values):
+        catalog = Catalog(tmp_path / "cat")
+        _new_series(catalog)
+        with pytest.raises(InvalidParameterError):
+            catalog.append("room", values.reshape(2, -1))
+
+
+class TestReload:
+    def test_appends_resume_after_reopen(self, tmp_path, values):
+        root = tmp_path / "cat"
+        catalog = Catalog(root)
+        _new_series(catalog)
+        catalog.append("room", values[:120])
+        del catalog
+
+        reopened = Catalog(root)
+        handle = reopened.series("room")
+        assert handle.next_t == 120
+        result = reopened.append("room", values[120:])
+        assert result.emitted == 80  # No re-warm-up: window was restored.
+
+        stored = reopened.view("room")
+        continuous = OnlinePipeline(VariableThresholdingMetric(), H, GRID)
+        for value in values:
+            continuous.feed(value)
+        reference = continuous.to_view("reference")
+        assert len(stored) == len(reference)
+        np.testing.assert_allclose(
+            stored.columns.probability, reference.columns.probability,
+            rtol=0, atol=1e-12,
+        )
+
+    def test_reload_mid_warmup(self, tmp_path, values):
+        root = tmp_path / "cat"
+        catalog = Catalog(root)
+        _new_series(catalog)
+        catalog.append("room", values[:10])  # Far below H.
+        reopened = Catalog(root)
+        result = reopened.append("room", values[10 : H + 1])
+        assert result.emitted == 1
+        assert result.times == [H]
+
+    def test_schema_version_mismatch_on_reopen(self, tmp_path):
+        root = tmp_path / "cat"
+        Catalog(root)
+        manifest = json.loads((root / "catalog.json").read_text())
+        manifest["schema_version"] = SCHEMA_VERSION + 7
+        (root / "catalog.json").write_text(json.dumps(manifest))
+        with pytest.raises(SchemaVersionError):
+            Catalog(root)
+
+    def test_orphan_segment_ignored(self, tmp_path, values):
+        """A crash after the segment write but before the meta flush."""
+        root = tmp_path / "cat"
+        catalog = Catalog(root)
+        _new_series(catalog)
+        catalog.append("room", values[: H + 20])
+        tuples_before = catalog.series("room").tuple_count
+        # Simulate the torn write: a segment lands without a meta update.
+        (root / "room" / "seg-99999999.npz").write_bytes(b"torn")
+        reopened = Catalog(root)
+        assert reopened.series("room").tuple_count == tuples_before
+        assert len(reopened.view("room")) == tuples_before
+
+
+class TestStaticViews:
+    def test_save_view_round_trip_and_replace(self, tmp_path, values):
+        catalog = Catalog(tmp_path / "cat")
+        series = campus_temperature(200, rng=5)
+        view = create_probabilistic_view(
+            series, VariableThresholdingMetric(), H=H, grid=GRID,
+            view_name="offline",
+        )
+        catalog.save_view("offline", view)
+        loaded = Catalog(tmp_path / "cat").view("offline")
+        assert np.array_equal(loaded.columns.probability,
+                              view.columns.probability)
+        # Same name again replaces, like Database view registration.
+        catalog.save_view("offline", view)
+        assert catalog.list_series() == ["offline"]
+        handle = catalog.series("offline")
+        assert len(handle.segment_names) == 1  # Old segment cleaned up.
+        assert handle.tuple_count == len(view)
+        assert len(catalog.view("offline")) == len(view)
+
+    def test_replace_is_crash_safe(self, tmp_path):
+        """New data lands before the cutover: a torn replace keeps the old
+        view."""
+        catalog = Catalog(tmp_path / "cat")
+        view = create_probabilistic_view(
+            campus_temperature(200, rng=5), VariableThresholdingMetric(),
+            H=H, grid=GRID,
+        )
+        catalog.save_view("pv", view)
+        # Simulate a crash after the replacement segment was written but
+        # before series.json was swapped: the orphan is ignored.
+        (tmp_path / "cat" / "pv" / "seg-00000002.npz").write_bytes(b"torn")
+        reopened = Catalog(tmp_path / "cat")
+        assert reopened.series("pv").segment_names == ["seg-00000001.npz"]
+        assert len(reopened.view("pv")) == len(view)
+        # A retried replace overwrites the orphan slot and completes.
+        reopened.save_view("pv", view)
+        assert reopened.series("pv").segment_names == ["seg-00000002.npz"]
+        assert len(reopened.view("pv")) == len(view)
+
+    def test_static_series_rejects_appends(self, tmp_path, values):
+        catalog = Catalog(tmp_path / "cat")
+        view = create_probabilistic_view(
+            campus_temperature(200, rng=5), VariableThresholdingMetric(),
+            H=H, grid=GRID,
+        )
+        catalog.save_view("frozen", view)
+        with pytest.raises(QueryError):
+            catalog.append("frozen", values[:10])
+
+
+class TestSqlPersist:
+    def _database(self) -> Database:
+        series = campus_temperature(150, rng=3)
+        table = Table("raw_values", ["t", "r"])
+        table.insert_many(
+            zip(series.timestamps.tolist(), series.values.tolist())
+        )
+        db = Database()
+        db.register_table(table)
+        return db
+
+    def test_create_view_persists_into_catalog(self, tmp_path):
+        db = self._database()
+        root = tmp_path / "cat"
+        view = db.execute(
+            "CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=0.5, n=4 "
+            f"METRIC vt WINDOW {H} FROM raw_values "
+            f"PERSIST INTO '{root}'"
+        )
+        stored = Catalog(root, create=False).view("pv")
+        assert np.array_equal(stored.columns.probability,
+                              view.columns.probability)
+        assert np.array_equal(stored.columns.t, view.columns.t)
+
+    def test_persist_clause_optional(self, tmp_path):
+        db = self._database()
+        view = db.execute(
+            "CREATE VIEW pv AS DENSITY r OVER t OMEGA delta=0.5, n=4 "
+            f"METRIC vt WINDOW {H} FROM raw_values"
+        )
+        assert len(view) > 0
