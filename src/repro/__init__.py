@@ -82,12 +82,19 @@ from repro.store import (
     AppendResult,
     Catalog,
     SeriesHandle,
+    SeriesSnapshot,
     StandingQuery,
     StandingQueryHandle,
     load_density_series_npz,
     load_view_npz,
     save_density_series_npz,
     save_view_npz,
+)
+from repro.service import (
+    CatalogQueryService,
+    MatrixCache,
+    SelectResult,
+    execute_select,
 )
 from repro.cleaning import SVRResult, learn_sv_max, successive_variance_reduction
 from repro.evaluation.calibration import CalibrationReport, calibration_report
@@ -154,6 +161,7 @@ __all__ = [
     "CGARCHReport",
     "CacheConstraintError",
     "CalibrationReport",
+    "CatalogQueryService",
     "DataError",
     "Database",
     "DensityForecast",
@@ -172,6 +180,7 @@ __all__ = [
     "KalmanFilter",
     "KalmanGARCHMetric",
     "KalmanParams",
+    "MatrixCache",
     "MonteCarloEstimate",
     "MultiSeries",
     "NotFittedError",
@@ -192,7 +201,9 @@ __all__ = [
     "ReproError",
     "SVRResult",
     "SchemaVersionError",
+    "SelectResult",
     "SeriesHandle",
+    "SeriesSnapshot",
     "SigmaCache",
     "StandingQuery",
     "StandingQueryHandle",
@@ -221,6 +232,7 @@ __all__ = [
     "density_distance_from_pit",
     "engle_arch_test",
     "exceedance_probability",
+    "execute_select",
     "expected_time_above",
     "expected_value_query",
     "hellinger_distance",

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands cover the workflows a user reaches for first:
+Six subcommands cover the workflows a user reaches for first:
 
 * ``experiment`` — run one reproduced paper experiment and print its table
   (``python -m repro experiment fig14 --scale 0.1``);
@@ -11,7 +11,10 @@ Five subcommands cover the workflows a user reaches for first:
 * ``store`` — manage a persistent view catalog: ``store init`` binds a new
   series to a metric, ``store ingest`` streams values in micro-batches,
   ``store query`` runs probabilistic queries over the stored view, and
-  ``store list`` shows what the catalog holds.
+  ``store list`` shows what the catalog holds;
+* ``service`` — the catalog-wide query engine: ``service query`` executes
+  one ``SELECT <aggregate> FROM CATALOG '<path>' ...`` statement across
+  every matched series in parallel.
 """
 
 from __future__ import annotations
@@ -161,6 +164,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     slist = store_sub.add_parser("list", help="list the series of a catalog")
     slist.add_argument("catalog")
+
+    service = sub.add_parser(
+        "service", help="catalog-wide query service operations"
+    )
+    service_sub = service.add_subparsers(dest="service_command", required=True)
+    vquery = service_sub.add_parser(
+        "query", help="run one SELECT over every matched series of a catalog"
+    )
+    vquery.add_argument(
+        "sql",
+        help="SELECT <aggregate> FROM CATALOG '<path>' [SERIES '<glob>'] "
+             "[WHERE t BETWEEN a AND b] [TOP k] statement",
+    )
+    vquery.add_argument("--workers", type=int, default=None,
+                        help="thread fan-out width (default: cpus + 4)")
+    vquery.add_argument("--cache-mb", type=float, default=64.0,
+                        help="matrix-cache byte budget in MiB")
+    vquery.add_argument("--head", type=int, default=8,
+                        help="result rows to print for the top series")
     return parser
 
 
@@ -171,12 +193,20 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.view.sql import SelectQuery, parse_statement
+
+    statement = parse_statement(args.sql)
+    if isinstance(statement, SelectQuery):
+        raise InvalidParameterError(
+            "the 'query' command runs CREATE VIEW statements over a "
+            "dataset; use 'repro service query' for catalog-wide SELECT"
+        )
     series = _load_dataset(args.data, args.scale, args.seed)
     table = Table(args.table, ["t", "r"])
     table.insert_many(zip(series.timestamps.tolist(), series.values.tolist()))
     db = Database()
     db.register_table(table)
-    view = db.execute(args.sql)
+    view = db.execute_query(statement)
     print(f"created {view!r}\n")
     rows = [
         [tup.t, tup.low, tup.high, tup.probability, tup.label]
@@ -301,6 +331,47 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_service(args: argparse.Namespace) -> int:
+    from repro.db.prob_view import ProbTuple
+    from repro.service import execute_select
+
+    result = execute_select(
+        args.sql,
+        max_workers=args.workers,
+        cache_budget_bytes=max(int(args.cache_mb * (1 << 20)), 1),
+    )
+    print(
+        f"{result.aggregate} over {len(result.matched)} matched series "
+        f"({len(result.results)} returned):\n"
+    )
+    print(format_table(
+        ["series", result.score_label, "rows"],
+        [[entry.series_id, round(entry.score, 6), entry.size]
+         for entry in result.results],
+    ))
+    if result.results:
+        top = result.results[0]
+        print(f"\nhead of {top.series_id!r}:")
+        if isinstance(top.result, list):
+            rows = [
+                [tup.t, tup.low, tup.high, tup.probability, tup.label]
+                for tup in top.result[: args.head]
+                if isinstance(tup, ProbTuple)
+            ]
+            print(format_table(
+                ["t", "low", "high", "probability", "label"], rows
+            ))
+        else:
+            rows = [
+                [t, round(v, 6)]
+                for t, v in list(top.result.items())[: args.head]
+            ]
+            print(format_table(["t", "value"], rows))
+        if top.size > args.head:
+            print(f"... ({top.size - args.head} more rows)")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -311,10 +382,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         "generate": _cmd_generate,
         "arch-test": _cmd_arch_test,
         "store": _cmd_store,
+        "service": _cmd_service,
     }
     try:
         return handlers[args.command](args)
     except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        # Missing CSV paths, unwritable outputs, unreadable catalogs...
+        # one-line diagnostics, never a traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -8,16 +8,26 @@ rows, and the result is registered as a named
 :class:`~repro.db.prob_view.ProbabilisticView`.  A ``PERSIST INTO
 '<path>'`` clause additionally stores the created view in the durable
 catalog at that path (:mod:`repro.store`).
+
+``SELECT <aggregate> FROM CATALOG '<path>' ...`` statements route to the
+catalog-wide query service (:mod:`repro.service`) and return a
+:class:`~repro.service.executor.SelectResult` instead of a view — one
+``execute`` entry point, two statement kinds.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 from repro.db.prob_view import ProbabilisticView
 from repro.db.table import Table
 from repro.exceptions import QueryError
 from repro.metrics.registry import create_metric
 from repro.view.builder import ViewBuilder
-from repro.view.sql import ViewQuery, parse_view_query
+from repro.view.sql import SelectQuery, ViewQuery, parse_statement
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service -> db).
+    from repro.service.executor import SelectResult
 
 __all__ = ["Database"]
 
@@ -78,9 +88,27 @@ class Database:
     # ------------------------------------------------------------------
     # Execution.
     # ------------------------------------------------------------------
-    def execute(self, sql: str) -> ProbabilisticView:
-        """Parse and execute one view-generation statement."""
-        return self.execute_query(parse_view_query(sql))
+    def execute(self, sql: str) -> "ProbabilisticView | SelectResult":
+        """Parse and execute one statement (CREATE VIEW or SELECT).
+
+        ``CREATE VIEW`` statements return the created
+        :class:`ProbabilisticView`; catalog-wide ``SELECT`` statements
+        return the service layer's
+        :class:`~repro.service.executor.SelectResult`.
+        """
+        statement = parse_statement(sql)
+        if isinstance(statement, SelectQuery):
+            return self.execute_select(statement)
+        return self.execute_query(statement)
+
+    def execute_select(
+        self, query: "str | SelectQuery"
+    ) -> "SelectResult":
+        """Run a catalog-wide SELECT through :mod:`repro.service`."""
+        # Imported lazily: the service layer sits above the engine.
+        from repro.service.executor import execute_select
+
+        return execute_select(query)
 
     def execute_query(self, query: ViewQuery) -> ProbabilisticView:
         """Execute an already-parsed :class:`ViewQuery`."""

@@ -1,0 +1,36 @@
+"""Catalog-wide query service: plan, fan out, cache, rank.
+
+The layer that turns a directory of persisted probabilistic views
+(:mod:`repro.store`) into something queryable *as a database*: one
+``SELECT`` statement evaluates an aggregate over every (or a glob-selected
+subset of) series in a catalog, per-series work fans out over a thread
+pool, and materialised view matrices are kept warm in a byte-budgeted LRU
+cache so repeated statements never reload a segment.
+
+* :mod:`repro.service.planner` — binds a parsed statement to a catalog:
+  aggregate resolution + argument checks + snapshot fan-out list;
+* :mod:`repro.service.executor` — runs the plan (parallel or sequential)
+  and ranks the per-series results;
+* :mod:`repro.service.cache` — the shared materialised-view cache.
+"""
+
+from repro.service.cache import CacheStats, MatrixCache
+from repro.service.executor import (
+    CatalogQueryService,
+    SelectResult,
+    SeriesResult,
+    execute_select,
+)
+from repro.service.planner import AGGREGATES, QueryPlan, plan_select
+
+__all__ = [
+    "AGGREGATES",
+    "CacheStats",
+    "CatalogQueryService",
+    "MatrixCache",
+    "QueryPlan",
+    "SelectResult",
+    "SeriesResult",
+    "execute_select",
+    "plan_select",
+]

@@ -1,0 +1,196 @@
+"""Byte-budgeted LRU cache of materialised view column-matrices.
+
+The catalog stores each series as immutable ``.npz`` segments; a query
+touching a series pays one :func:`np.load` per segment plus the columnar
+view construction (validation, sort index, per-time grouping).  Repeated
+catalog-wide queries would pay that again for every series on every
+statement.  :class:`MatrixCache` keeps the materialised
+:class:`~repro.db.prob_view.ProbabilisticView` objects — their column
+arrays are the dominant cost — under a byte budget with LRU eviction, so a
+warm query is pure numpy over already-resident arrays.
+
+Keys carry the snapshot *generation* (segment count, tuple count, last
+segment name), which changes whenever a series' stored contents change:
+an append makes the old entry unreachable, and inserting the new
+generation drops any stale entries for the same series.  Entries are
+immutable once cached (views are read-only), so handing the same object
+to many threads is safe; the cache itself is guarded by a lock, while
+loader callables run *outside* it so cold misses on different series
+materialise in parallel.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.db.prob_view import ProbabilisticView
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["CacheStats", "MatrixCache"]
+
+#: Key layout: (catalog root, series id, generation token).
+CacheKey = tuple[str, str, tuple]
+
+#: Fixed per-entry overhead estimate (view object, index dict slots, key).
+_ENTRY_OVERHEAD = 512
+
+
+def view_nbytes(view: ProbabilisticView) -> int:
+    """Approximate resident size of one materialised view.
+
+    Counts the five tuple columns, the sort index and per-time grouping
+    arrays, the sorted-probability shadow used for mass checks, and the
+    label pool — everything :class:`ProbabilisticView` keeps per tuple.
+    """
+    cols = view.columns
+    arrays = (
+        cols.t, cols.low, cols.high, cols.probability, cols.label_code,
+        cols.order, cols.times, cols.starts, cols.counts,
+    )
+    total = sum(a.nbytes for a in arrays)
+    total += cols.probability.nbytes  # The _prob_sorted shadow column.
+    total += sum(64 + 2 * len(label) for label in cols.labels)
+    # The lazy ProbTuple slot list: one pointer per tuple.
+    total += 8 * len(view)
+    return total + _ENTRY_OVERHEAD
+
+
+@dataclass
+class CacheStats:
+    """Counters exposed for benchmarks and the CLI's ``--stats`` output."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    oversize_skips: int = 0
+    current_bytes: int = 0
+    entries: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class MatrixCache:
+    """LRU cache of materialised views under a byte budget.
+
+    Parameters
+    ----------
+    budget_bytes:
+        Total resident budget.  An entry that alone exceeds the budget is
+        returned to the caller but not cached (counted in
+        ``stats.oversize_skips``), so one giant series cannot wipe the
+        cache for everything else.
+
+    Examples
+    --------
+    >>> cache = MatrixCache(64 << 20)
+    >>> # view = cache.get(("/cat", "room", generation), snapshot.load_view)
+    """
+
+    def __init__(self, budget_bytes: int = 64 << 20) -> None:
+        if budget_bytes < 1:
+            raise InvalidParameterError(
+                f"cache budget must be >= 1 byte, got {budget_bytes}"
+            )
+        self.budget_bytes = int(budget_bytes)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[CacheKey, tuple[ProbabilisticView, int]] = (
+            OrderedDict()
+        )
+        self._stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Lookup.
+    # ------------------------------------------------------------------
+    def get(
+        self, key: CacheKey, loader: Callable[[], ProbabilisticView]
+    ) -> ProbabilisticView:
+        """The cached view for ``key``, loading (and caching) on a miss.
+
+        ``loader`` runs outside the lock: concurrent misses on *different*
+        keys load in parallel.  Two threads racing on the *same* key may
+        both load; the second insert simply replaces the first with an
+        identical value — wasted work, never inconsistency.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._stats.hits += 1
+                return entry[0]
+            self._stats.misses += 1
+        view = loader()
+        self._insert(key, view)
+        return view
+
+    def _insert(self, key: CacheKey, view: ProbabilisticView) -> None:
+        nbytes = view_nbytes(view)
+        with self._lock:
+            if nbytes > self.budget_bytes:
+                self._stats.oversize_skips += 1
+                return
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._stats.current_bytes -= old[1]
+            # An append produced a new generation: any older generation of
+            # the same series is unreachable garbage — drop it now rather
+            # than waiting for LRU pressure.
+            stale = [
+                other
+                for other in self._entries
+                if other[0] == key[0] and other[1] == key[1]
+            ]
+            for other in stale:
+                _, old_bytes = self._entries.pop(other)
+                self._stats.current_bytes -= old_bytes
+                self._stats.evictions += 1
+            self._entries[key] = (view, nbytes)
+            self._stats.current_bytes += nbytes
+            while self._stats.current_bytes > self.budget_bytes:
+                _, (_, evicted_bytes) = self._entries.popitem(last=False)
+                self._stats.current_bytes -= evicted_bytes
+                self._stats.evictions += 1
+            self._stats.entries = len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Introspection / maintenance.
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> CacheStats:
+        """A consistent copy of the counters (safe to read while queried)."""
+        with self._lock:
+            return CacheStats(
+                hits=self._stats.hits,
+                misses=self._stats.misses,
+                evictions=self._stats.evictions,
+                oversize_skips=self._stats.oversize_skips,
+                current_bytes=self._stats.current_bytes,
+                entries=len(self._entries),
+            )
+
+    def clear(self) -> None:
+        """Drop every entry (counters other than bytes/entries persist)."""
+        with self._lock:
+            self._entries.clear()
+            self._stats.current_bytes = 0
+            self._stats.entries = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:
+        stats = self.stats
+        return (
+            f"MatrixCache(budget={self.budget_bytes}, "
+            f"entries={stats.entries}, bytes={stats.current_bytes}, "
+            f"hit_rate={stats.hit_rate:.1%})"
+        )

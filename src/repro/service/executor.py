@@ -1,0 +1,287 @@
+"""Parallel execution of planned catalog-wide SELECT statements.
+
+One :class:`CatalogQueryService` owns a catalog, a worker pool width, and a
+:class:`~repro.service.cache.MatrixCache`.  Executing a statement fans the
+plan's per-series tasks over a :class:`~concurrent.futures.ThreadPoolExecutor`
+— the work is numpy (``.npz`` decoding, vectorised validation, grouped
+reductions), which releases the GIL, so the fan-out scales with cores on
+cold reads and stays overhead-free on warm ones.  Results come back in
+deterministic order: series id, or score-descending when ``TOP k`` ranks.
+
+The sequential path (``max_workers=1``) runs the exact same per-task code
+in a plain loop; the parity tests pin the two paths — and the ad-hoc
+one-series-at-a-time loop they replace — to identical results.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.db.prob_view import ProbabilisticView
+from repro.exceptions import (
+    InvalidParameterError,
+    QueryError,
+    ReproError,
+)
+from repro.service.cache import MatrixCache
+from repro.service.planner import QueryPlan, SeriesTask, plan_select
+from repro.store.catalog import Catalog
+from repro.view.sql import SelectQuery, parse_statement
+
+__all__ = [
+    "CatalogQueryService",
+    "SelectResult",
+    "SeriesResult",
+    "execute_select",
+    "restrict_time_range",
+]
+
+
+def restrict_time_range(
+    view: ProbabilisticView, lo: float | None, hi: float | None
+) -> ProbabilisticView:
+    """The sub-view whose tuples satisfy ``lo <= t <= hi``.
+
+    Returns the input unchanged when no bound cuts anything — the common
+    unbounded query never copies columns.
+    """
+    if lo is None and hi is None:
+        return view
+    cols = view.columns
+    mask = np.ones(cols.t.size, dtype=bool)
+    if lo is not None:
+        mask &= cols.t >= lo
+    if hi is not None:
+        mask &= cols.t <= hi
+    if bool(mask.all()):
+        return view
+    indices = np.flatnonzero(mask)
+    return ProbabilisticView.from_columns(
+        view.name,
+        cols.t[indices],
+        cols.low[indices],
+        cols.high[indices],
+        cols.probability[indices],
+        label_code=cols.label_code[indices],
+        label_pool=cols.labels,
+    )
+
+
+@dataclass(frozen=True)
+class SeriesResult:
+    """One series' contribution to a catalog-wide SELECT.
+
+    ``result`` is whatever the aggregate's underlying one-shot query
+    returns for this series (a tuple list for ``threshold``, a per-time
+    dict otherwise); ``score`` is the scalar ``TOP k`` ranked by.
+    """
+
+    series_id: str
+    score: float
+    result: Any
+
+    @property
+    def size(self) -> int:
+        return len(self.result)
+
+
+@dataclass(frozen=True)
+class SelectResult:
+    """Everything one SELECT statement produced.
+
+    ``results`` holds the (possibly TOP-k-truncated) per-series results in
+    result order; ``matched`` every series id the SERIES pattern selected,
+    so a truncated result still reports what was scanned.
+    """
+
+    aggregate: str
+    score_label: str
+    results: tuple[SeriesResult, ...]
+    matched: tuple[str, ...]
+
+    def scores(self) -> dict[str, float]:
+        return {entry.series_id: entry.score for entry in self.results}
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __repr__(self) -> str:
+        return (
+            f"SelectResult(aggregate={self.aggregate!r}, "
+            f"series={len(self.results)}/{len(self.matched)})"
+        )
+
+
+class CatalogQueryService:
+    """Set-oriented query engine over one persistent catalog.
+
+    Parameters
+    ----------
+    catalog:
+        A :class:`~repro.store.catalog.Catalog` or the path of one (opened
+        read-only style: missing catalogs raise instead of being created).
+    max_workers:
+        Fan-out width; ``1`` runs sequentially (the parity reference),
+        ``None`` picks ``min(16, cpus + 4)``.
+    cache_budget_bytes:
+        Byte budget of the materialised-view cache; repeated statements on
+        an unchanged catalog skip every ``.npz`` reload.
+    cache:
+        Share an existing :class:`MatrixCache` between services instead.
+
+    Examples
+    --------
+    >>> # service = CatalogQueryService("/data/catalogs/main")
+    >>> # service.execute("SELECT exceedance(21.0) FROM CATALOG "
+    >>> #                 "'/data/catalogs/main' SERIES 'room*' TOP 3")
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog | str | Path,
+        *,
+        max_workers: int | None = None,
+        cache_budget_bytes: int = 64 << 20,
+        cache: MatrixCache | None = None,
+    ) -> None:
+        if not isinstance(catalog, Catalog):
+            catalog = Catalog(catalog, create=False)
+        self.catalog = catalog
+        if max_workers is None:
+            max_workers = min(16, (os.cpu_count() or 1) + 4)
+        if max_workers < 1:
+            raise InvalidParameterError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        self.max_workers = int(max_workers)
+        self.cache = cache if cache is not None else MatrixCache(
+            cache_budget_bytes
+        )
+        # Created on first parallel statement, reused for the service's
+        # lifetime: a warm query must not pay pool setup/teardown.
+        self._pool: ThreadPoolExecutor | None = None
+
+    # ------------------------------------------------------------------
+    # Entry points.
+    # ------------------------------------------------------------------
+    def execute(self, statement: str | SelectQuery) -> SelectResult:
+        """Parse (if needed), plan, and run one SELECT statement.
+
+        The statement's own ``FROM CATALOG`` path is checked against this
+        service's catalog so a statement aimed elsewhere fails loudly
+        instead of silently querying the wrong data.
+        """
+        if isinstance(statement, str):
+            parsed = parse_statement(statement)
+            if not isinstance(parsed, SelectQuery):
+                raise QueryError(
+                    "CatalogQueryService executes SELECT statements; use "
+                    "Database.execute for CREATE VIEW"
+                )
+            statement = parsed
+        if Path(statement.catalog_path).resolve() != Path(
+            self.catalog.root
+        ).resolve():
+            raise QueryError(
+                f"statement addresses catalog {statement.catalog_path!r} "
+                f"but this service is bound to {str(self.catalog.root)!r}"
+            )
+        return self.execute_plan(plan_select(self.catalog, statement))
+
+    def execute_plan(self, plan: QueryPlan) -> SelectResult:
+        """Run an already-bound plan: fan out, gather, rank."""
+        if self.max_workers == 1 or len(plan.tasks) <= 1:
+            gathered = [self._run_task(plan, task) for task in plan.tasks]
+        else:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="repro-service",
+                )
+            gathered = list(
+                self._pool.map(lambda task: self._run_task(plan, task),
+                               plan.tasks)
+            )
+        if plan.query.top_k is not None:
+            gathered.sort(key=lambda entry: (-entry.score, entry.series_id))
+            gathered = gathered[: plan.query.top_k]
+        return SelectResult(
+            aggregate=plan.aggregate.name,
+            score_label=plan.aggregate.score_label,
+            results=tuple(gathered),
+            matched=tuple(plan.series_ids),
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; service stays usable —
+        the next parallel statement simply builds a fresh pool)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "CatalogQueryService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Per-series work (runs on pool threads).
+    # ------------------------------------------------------------------
+    def _run_task(self, plan: QueryPlan, task: SeriesTask) -> SeriesResult:
+        try:
+            view = self.cache.get(task.cache_key, task.snapshot.load_view)
+            view = restrict_time_range(
+                view, plan.query.time_lo, plan.query.time_hi
+            )
+            result, score = plan.aggregate.compute(view, plan.arguments)
+        except (ReproError, OSError) as exc:
+            # Loading counts too: in a fan-out over hundreds of series,
+            # "which series is broken" is the whole diagnostic.
+            raise QueryError(
+                f"aggregate {plan.aggregate.name!r} failed on series "
+                f"{task.series_id!r}: {exc}"
+            ) from exc
+        return SeriesResult(
+            series_id=task.series_id, score=score, result=result
+        )
+
+
+def execute_select(
+    statement: str | SelectQuery,
+    *,
+    max_workers: int | None = None,
+    cache_budget_bytes: int = 64 << 20,
+) -> SelectResult:
+    """One-shot convenience: open the statement's catalog and execute.
+
+    The ergonomic path for ``Database.execute`` and the CLI; long-lived
+    callers should hold a :class:`CatalogQueryService` so the matrix cache
+    survives between statements.
+    """
+    if isinstance(statement, str):
+        parsed = parse_statement(statement)
+        if not isinstance(parsed, SelectQuery):
+            raise QueryError(
+                "execute_select handles SELECT statements; use "
+                "Database.execute for CREATE VIEW"
+            )
+        statement = parsed
+    with CatalogQueryService(
+        statement.catalog_path,
+        max_workers=max_workers,
+        cache_budget_bytes=cache_budget_bytes,
+    ) as service:
+        return service.execute(statement)

@@ -1,0 +1,223 @@
+"""Planning catalog-wide SELECT statements into per-series tasks.
+
+A parsed :class:`~repro.view.sql.SelectQuery` is inert text; this module
+binds it to reality: the aggregate name resolves against the registry of
+known aggregates (argument arity and domains checked up front, not deep in
+a worker thread), the ``SERIES`` glob expands against the catalog manifest,
+and each matched series becomes one :class:`SeriesTask` carrying a
+read-only :class:`~repro.store.catalog.SeriesSnapshot` plus its cache key.
+The executor (:mod:`repro.service.executor`) then runs tasks in any order,
+on any thread, without touching shared catalog state.
+
+Aggregates map onto the one-shot query functions of :mod:`repro.db` — the
+paper's point that standard probabilistic query machinery applies directly
+— and each also defines a per-series *score*, the scalar ``TOP k`` ranks
+by (hit count, max probability, mean expectation...).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.db.prob_view import ProbabilisticView
+from repro.db.queries import expected_value_query, threshold_query
+from repro.db.stream_queries import (
+    exceedance_probability,
+    expected_time_above,
+)
+from repro.exceptions import InvalidParameterError, QueryError
+from repro.store.catalog import Catalog, SeriesSnapshot
+from repro.view.sql import SelectQuery
+
+__all__ = [
+    "AGGREGATES",
+    "AggregateSpec",
+    "QueryPlan",
+    "SeriesTask",
+    "plan_select",
+]
+
+
+def _compute_threshold(
+    view: ProbabilisticView, arguments: tuple[float, ...]
+) -> tuple[Any, float]:
+    hits = threshold_query(view, arguments[0])
+    return hits, float(len(hits))
+
+
+def _compute_expected_value(
+    view: ProbabilisticView, arguments: tuple[float, ...]
+) -> tuple[Any, float]:
+    values = expected_value_query(view)
+    score = sum(values.values()) / len(values) if values else 0.0
+    return values, float(score)
+
+
+def _compute_exceedance(
+    view: ProbabilisticView, arguments: tuple[float, ...]
+) -> tuple[Any, float]:
+    values = exceedance_probability(view, arguments[0])
+    return values, float(max(values.values(), default=0.0))
+
+
+def _compute_time_above(
+    view: ProbabilisticView, arguments: tuple[float, ...]
+) -> tuple[Any, float]:
+    values = expected_time_above(view, arguments[0], int(arguments[1]))
+    return values, float(max(values.values(), default=0.0))
+
+
+def _check_tau(arguments: tuple[float, ...]) -> tuple[float, ...]:
+    if not 0.0 <= arguments[0] <= 1.0:
+        raise InvalidParameterError(
+            f"threshold(tau) needs tau in [0, 1], got {arguments[0]}"
+        )
+    return arguments
+
+
+def _check_window(arguments: tuple[float, ...]) -> tuple[float, ...]:
+    window = arguments[1]
+    if window != int(window) or window < 1:
+        raise InvalidParameterError(
+            f"time_above(threshold, window) needs an integer window >= 1, "
+            f"got {window}"
+        )
+    return (arguments[0], float(int(window)))
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One catalog-wide aggregate: arity, domain checks, and computation.
+
+    ``compute(view, arguments)`` returns ``(result, score)`` where
+    ``result`` is whatever the underlying one-shot query returns for that
+    series and ``score`` the scalar used for ``TOP k`` ranking.
+    """
+
+    name: str
+    parameters: tuple[str, ...]
+    compute: Callable[
+        [ProbabilisticView, tuple[float, ...]], tuple[Any, float]
+    ]
+    score_label: str
+    validate: Callable[[tuple[float, ...]], tuple[float, ...]] | None = None
+
+    def bind(self, arguments: tuple[float, ...]) -> tuple[float, ...]:
+        """Check arity and domains; returns the normalised arguments."""
+        if len(arguments) != len(self.parameters):
+            expected = ", ".join(self.parameters) or "no arguments"
+            raise InvalidParameterError(
+                f"{self.name} takes ({expected}), got {len(arguments)} "
+                f"argument(s)"
+            )
+        return self.validate(arguments) if self.validate else arguments
+
+
+AGGREGATES: dict[str, AggregateSpec] = {
+    spec.name: spec
+    for spec in (
+        AggregateSpec(
+            name="threshold",
+            parameters=("tau",),
+            compute=_compute_threshold,
+            score_label="hits",
+            validate=_check_tau,
+        ),
+        AggregateSpec(
+            name="expected_value",
+            parameters=(),
+            compute=_compute_expected_value,
+            score_label="mean_ev",
+        ),
+        AggregateSpec(
+            name="exceedance",
+            parameters=("threshold",),
+            compute=_compute_exceedance,
+            score_label="max_p",
+        ),
+        AggregateSpec(
+            name="time_above",
+            parameters=("threshold", "window"),
+            compute=_compute_time_above,
+            score_label="max_expected_count",
+            validate=_check_window,
+        ),
+    )
+}
+
+
+@dataclass(frozen=True)
+class SeriesTask:
+    """One unit of fan-out work: a snapshot plus its cache identity."""
+
+    snapshot: SeriesSnapshot
+    cache_key: tuple[str, str, tuple]
+
+    @property
+    def series_id(self) -> str:
+        return self.snapshot.series_id
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """A bound, executable form of one SELECT statement."""
+
+    query: SelectQuery
+    aggregate: AggregateSpec
+    arguments: tuple[float, ...]
+    tasks: tuple[SeriesTask, ...]
+
+    @property
+    def series_ids(self) -> list[str]:
+        return [task.series_id for task in self.tasks]
+
+    def describe(self) -> str:
+        arguments = ", ".join(f"{a:g}" for a in self.arguments)
+        suffix = f"({arguments})" if arguments else ""
+        return (
+            f"{self.aggregate.name}{suffix} over {len(self.tasks)} series "
+            f"of {self.query.catalog_path}"
+        )
+
+
+def resolve_aggregate(name: str) -> AggregateSpec:
+    """The registered aggregate for ``name`` (case already lowered)."""
+    spec = AGGREGATES.get(name)
+    if spec is None:
+        raise QueryError(
+            f"unknown aggregate {name!r}; one of {', '.join(sorted(AGGREGATES))}"
+        )
+    return spec
+
+
+def plan_select(catalog: Catalog, query: SelectQuery) -> QueryPlan:
+    """Bind a parsed SELECT to a catalog: aggregate + matched snapshots.
+
+    Raises :class:`~repro.exceptions.QueryError` for an unknown aggregate
+    or a pattern matching no series, and
+    :class:`~repro.exceptions.InvalidParameterError` for argument arity or
+    domain violations — all before any segment is read.
+    """
+    spec = resolve_aggregate(query.aggregate)
+    arguments = spec.bind(query.arguments)
+    if (
+        query.time_lo is not None
+        and query.time_hi is not None
+        and query.time_hi < query.time_lo
+    ):
+        raise InvalidParameterError(
+            f"empty time range: [{query.time_lo}, {query.time_hi}]"
+        )
+    root = str(catalog.root)
+    tasks = tuple(
+        SeriesTask(
+            snapshot=snapshot,
+            cache_key=(root, snapshot.series_id, snapshot.generation),
+        )
+        for snapshot in catalog.open_many(query.series_pattern)
+    )
+    return QueryPlan(
+        query=query, aggregate=spec, arguments=arguments, tasks=tasks
+    )

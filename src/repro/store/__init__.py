@@ -13,7 +13,12 @@ from repro.store.binary import (
     save_density_series_npz,
     save_view_npz,
 )
-from repro.store.catalog import AppendResult, Catalog, SeriesHandle
+from repro.store.catalog import (
+    AppendResult,
+    Catalog,
+    SeriesHandle,
+    SeriesSnapshot,
+)
 from repro.store.standing import StandingQuery, StandingQueryHandle
 
 __all__ = [
@@ -21,6 +26,7 @@ __all__ = [
     "Catalog",
     "SCHEMA_VERSION",
     "SeriesHandle",
+    "SeriesSnapshot",
     "StandingQuery",
     "StandingQueryHandle",
     "load_density_series_npz",

@@ -17,6 +17,8 @@ micro-batch, concatenated column-wise at load time.
 
 from __future__ import annotations
 
+import os
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -67,10 +69,19 @@ def _savez_exact(path: Path, **arrays: np.ndarray) -> None:
     """``np.savez`` to the literal path (no silent ``.npz`` suffixing).
 
     Writing through an open handle keeps save and load symmetric for
-    suffix-less paths.
+    suffix-less paths.  The write lands in a same-directory temp file that
+    is renamed over the target, so a concurrent reader (or a crash
+    mid-write) never observes a truncated file — the catalog's snapshot
+    readers rely on every *named* segment being complete.
     """
-    with path.open("wb") as handle:
-        np.savez(handle, **arrays)
+    tmp = path.with_name(f".{path.name}.tmp")
+    try:
+        with tmp.open("wb") as handle:
+            np.savez(handle, **arrays)
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
 
 
 def _open_npz(path: str | Path, kind: str) -> np.lib.npyio.NpzFile:
@@ -79,7 +90,10 @@ def _open_npz(path: str | Path, kind: str) -> np.lib.npyio.NpzFile:
         payload = np.load(path, allow_pickle=False)
     except FileNotFoundError:
         raise StoreError(f"no such store file: {path}") from None
-    except (OSError, ValueError) as exc:
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        # BadZipFile (a truncated/corrupt archive) subclasses neither
+        # OSError nor ValueError; without it a damaged segment would leak
+        # a raw zipfile exception past the ReproError hierarchy.
         raise DataError(f"{path} is not a readable npz file: {exc}") from exc
     if "schema" not in payload or "kind" not in payload:
         raise DataError(f"{path} carries no schema/kind header")

@@ -37,7 +37,10 @@ from __future__ import annotations
 import json
 import os
 import re
+import uuid
+from collections.abc import Sequence
 from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
 from pathlib import Path
 from typing import Any
 
@@ -57,7 +60,7 @@ from repro.store.standing import StandingQuery, StandingQueryHandle
 from repro.view.omega import OmegaGrid
 from repro.view.sigma_cache import SigmaCache
 
-__all__ = ["AppendResult", "Catalog", "SeriesHandle"]
+__all__ = ["AppendResult", "Catalog", "SeriesHandle", "SeriesSnapshot"]
 
 _CATALOG_FILE = "catalog.json"
 _SERIES_FILE = "series.json"
@@ -120,6 +123,84 @@ def _read_json(path: Path, what: str) -> dict[str, Any]:
     return payload
 
 
+def _load_view_from_segments(
+    directory: Path, series_id: str, names: Sequence[str]
+) -> ProbabilisticView:
+    """Column-concatenate the named segment files into one view.
+
+    Shared by the live :class:`SeriesHandle` read path and the read-only
+    :class:`SeriesSnapshot` path, so both materialise bit-identical views
+    from the same segment list.
+    """
+    if not names:
+        return ProbabilisticView.from_columns(
+            series_id,
+            np.empty(0, dtype=np.int64),
+            np.empty(0),
+            np.empty(0),
+            np.empty(0),
+        )
+    chunks = [load_view_columns_npz(directory / name) for name in names]
+    pool: dict[str, int] = {}
+    codes = []
+    for chunk in chunks:
+        labels = [str(label) for label in chunk["labels"]]
+        remap = np.array(
+            [pool.setdefault(label, len(pool)) for label in labels],
+            dtype=np.int64,
+        )
+        codes.append(remap[chunk["label_code"]])
+    return ProbabilisticView.from_columns(
+        series_id,
+        np.concatenate([chunk["t"] for chunk in chunks]),
+        np.concatenate([chunk["low"] for chunk in chunks]),
+        np.concatenate([chunk["high"] for chunk in chunks]),
+        np.concatenate([chunk["probability"] for chunk in chunks]),
+        label_code=np.concatenate(codes),
+        label_pool=tuple(pool) if pool else ("",),
+    )
+
+
+@dataclass(frozen=True)
+class SeriesSnapshot:
+    """A point-in-time, read-only capture of one series' stored state.
+
+    Taken by :meth:`Catalog.snapshot` / :meth:`Catalog.open_many` from one
+    atomic ``series.json`` read.  Segments named here are immutable once
+    listed (appends only add new names, and every segment file is fully
+    written before its name is flushed), so :meth:`load_view` is safe to
+    call from any thread while a single writer keeps appending — the
+    snapshot simply does not see rows landed after it was taken.
+    """
+
+    series_id: str
+    directory: Path
+    kind: str
+    segments: tuple[str, ...]
+    tuple_count: int
+    next_t: int | None
+    created: str = ""
+
+    @property
+    def generation(self) -> tuple[str, int, int, str]:
+        """Cache token: changes whenever the stored view's contents change.
+
+        Appends grow the segment list and a static re-save changes the
+        last segment's name; ``created`` (a per-creation nonce) breaks the
+        remaining collision — dropping a series and recreating it under
+        the same id restarts segment numbering, so segment names alone
+        could repeat across the two incarnations.
+        """
+        last = self.segments[-1] if self.segments else ""
+        return (self.created, len(self.segments), self.tuple_count, last)
+
+    def load_view(self) -> ProbabilisticView:
+        """Materialise the captured view (all captured segments)."""
+        return _load_view_from_segments(
+            self.directory, self.series_id, self.segments
+        )
+
+
 @dataclass
 class AppendResult:
     """What one micro-batch append produced.
@@ -157,8 +238,16 @@ class SeriesHandle:
         # must not pay for metric construction or cache population.
         self._pipeline: OnlinePipeline | None = None
         self._closed = False  # Set when the series is dropped or replaced.
+        self._poisoned = False  # Set when an append died mid-transaction.
 
     def _check_open(self) -> None:
+        if self._poisoned:
+            raise StoreError(
+                f"series {self.series_id!r} handle is stale: a previous "
+                "append failed between feeding the pipeline and flushing "
+                "series.json; re-open the catalog to resume from the last "
+                "durable state"
+            )
         if self._closed:
             raise StoreError(
                 f"series {self.series_id!r} was dropped or replaced; "
@@ -257,20 +346,31 @@ class SeriesHandle:
         result = AppendResult(
             series_id=self.series_id, fed=int(values.size), emitted=len(matrix)
         )
-        suffix: ProbabilisticView | None = None
-        if len(matrix):
-            grid = self.grid
-            assert grid is not None
-            suffix = ProbabilisticView.from_matrix(
-                f"{self.series_id}@t{int(matrix.t[0])}", matrix, grid
-            )
-            self._write_segment(suffix)
-            result.times = suffix.times
-            self._view_cache = None  # Warm-up appends leave the view as is.
-        # Resume state moves even during pure warm-up appends.
-        self._meta["next_t"] = pipeline.t
-        self._meta["window"] = pipeline.window_values.tolist()
-        self._flush_meta()
+        # The pipeline has consumed the batch; from here to the metadata
+        # flush the handle is mid-transaction.  A failure leaves disk at the
+        # last durable state (at worst plus an orphan segment that the next
+        # resumed append overwrites), but the in-memory pipeline is ahead of
+        # it — poison the handle so the caller cannot double-feed, and make
+        # Catalog.series() hand out a fresh handle read back from disk.
+        try:
+            suffix: ProbabilisticView | None = None
+            if len(matrix):
+                grid = self.grid
+                assert grid is not None
+                suffix = ProbabilisticView.from_matrix(
+                    f"{self.series_id}@t{int(matrix.t[0])}", matrix, grid
+                )
+                self._write_segment(suffix)
+                result.times = suffix.times
+                self._view_cache = None  # Warm-up appends keep the view.
+            # Resume state moves even during pure warm-up appends.
+            self._meta["next_t"] = pipeline.t
+            self._meta["window"] = pipeline.window_values.tolist()
+            self._flush_meta()
+        except BaseException:
+            self._poisoned = True
+            self.catalog._handles.pop(self.series_id, None)
+            raise
         if suffix is not None:
             for handle in self._queries:
                 result.deltas.append((handle, handle.update(suffix)))
@@ -306,35 +406,8 @@ class SeriesHandle:
         return self._view_cache
 
     def _load_segments(self) -> ProbabilisticView:
-        names = self.segment_names
-        if not names:
-            return ProbabilisticView.from_columns(
-                self.series_id,
-                np.empty(0, dtype=np.int64),
-                np.empty(0),
-                np.empty(0),
-                np.empty(0),
-            )
-        chunks = [
-            load_view_columns_npz(self.directory / name) for name in names
-        ]
-        pool: dict[str, int] = {}
-        codes = []
-        for chunk in chunks:
-            labels = [str(label) for label in chunk["labels"]]
-            remap = np.array(
-                [pool.setdefault(label, len(pool)) for label in labels],
-                dtype=np.int64,
-            )
-            codes.append(remap[chunk["label_code"]])
-        return ProbabilisticView.from_columns(
-            self.series_id,
-            np.concatenate([chunk["t"] for chunk in chunks]),
-            np.concatenate([chunk["low"] for chunk in chunks]),
-            np.concatenate([chunk["high"] for chunk in chunks]),
-            np.concatenate([chunk["probability"] for chunk in chunks]),
-            label_code=np.concatenate(codes),
-            label_pool=tuple(pool) if pool else ("",),
+        return _load_view_from_segments(
+            self.directory, self.series_id, self.segment_names
         )
 
     # ------------------------------------------------------------------
@@ -428,6 +501,60 @@ class Catalog:
     def __contains__(self, series_id: str) -> bool:
         return series_id in self._manifest["series"]
 
+    def select_series(self, pattern: str = "*") -> list[str]:
+        """Series ids matching a shell-style glob, sorted.
+
+        ``*``/``?``/``[...]`` match as in :mod:`fnmatch` (case-sensitive);
+        the manifest is re-read first so selection sees on-disk reality.
+        """
+        self._reload_manifest()
+        return sorted(
+            series_id
+            for series_id in self._manifest["series"]
+            if fnmatchcase(series_id, pattern)
+        )
+
+    def snapshot(self, series_id: str) -> SeriesSnapshot:
+        """A read-only point-in-time capture of one series.
+
+        One atomic ``series.json`` read; no pipeline, no metric, no handle
+        caching — the cheap path for query fan-out.  The returned snapshot
+        stays loadable while a writer appends (segments are immutable once
+        listed); it simply will not include rows landed after the capture.
+        """
+        if series_id not in self:
+            self._reload_manifest()
+        if series_id not in self:
+            raise QueryError(
+                f"unknown series {series_id!r}; stored: {self.list_series()}"
+            )
+        directory = self.root / series_id
+        meta = _read_json(directory / _SERIES_FILE, "series")
+        return SeriesSnapshot(
+            series_id=series_id,
+            directory=directory,
+            kind=meta["kind"],
+            segments=tuple(meta.get("segments", ())),
+            tuple_count=int(meta.get("tuple_count", 0)),
+            next_t=meta.get("next_t"),
+            created=str(meta.get("created", "")),
+        )
+
+    def open_many(self, pattern: str = "*") -> list[SeriesSnapshot]:
+        """Snapshot every series matching ``pattern``, sorted by id.
+
+        The set-oriented read entry point :mod:`repro.service` plans over.
+        Raises :class:`~repro.exceptions.QueryError` when nothing matches,
+        so a typo'd pattern fails loudly instead of returning zero rows.
+        """
+        ids = self.select_series(pattern)
+        if not ids:
+            raise QueryError(
+                f"no series matches pattern {pattern!r}; "
+                f"stored: {self.list_series()}"
+            )
+        return [self.snapshot(series_id) for series_id in ids]
+
     def create_series(
         self,
         series_id: str,
@@ -475,6 +602,10 @@ class Catalog:
         meta = {
             "schema_version": SCHEMA_VERSION,
             "kind": "dynamic",
+            # Per-creation nonce: distinguishes incarnations of a reused
+            # series id (drop + recreate restarts segment numbering, so
+            # names alone cannot identify cached contents).
+            "created": uuid.uuid4().hex,
             "metric": str(metric),
             "metric_params": dict(metric_params or {}),
             "H": int(H),
@@ -517,6 +648,7 @@ class Catalog:
         meta: dict[str, Any] = {
             "schema_version": SCHEMA_VERSION,
             "kind": "static",
+            "created": uuid.uuid4().hex,
             "grid": None,
             "segments": [],
             "next_segment": index,

@@ -15,7 +15,13 @@ from repro.view.hellinger import (
 )
 from repro.view.omega import OmegaGrid, OmegaRange
 from repro.view.sigma_cache import CacheStatistics, SigmaCache
-from repro.view.sql import ViewQuery, parse_view_query
+from repro.view.sql import (
+    SelectQuery,
+    ViewQuery,
+    parse_select_query,
+    parse_statement,
+    parse_view_query,
+)
 
 __all__ = [
     "CacheStatistics",
@@ -23,10 +29,13 @@ __all__ = [
     "OmegaRange",
     "ProbabilityMatrix",
     "ProbabilityRow",
+    "SelectQuery",
     "SigmaCache",
     "ViewBuilder",
     "ViewQuery",
     "hellinger_distance",
+    "parse_select_query",
+    "parse_statement",
     "parse_view_query",
     "ratio_threshold_for_distance",
     "ratio_threshold_for_memory",

@@ -20,9 +20,22 @@ syntax plus the natural extensions the framework needs (all optional):
   view in the :class:`repro.store.catalog.Catalog` at that path, where it
   survives the process.
 
+A second statement queries every stored view of a catalog at once::
+
+    SELECT exceedance(21.0) FROM CATALOG '/data/catalogs/main'
+        SERIES 'sensor-*'
+        WHERE t BETWEEN 100 AND 500
+        TOP 5
+
+The aggregate is one of ``threshold(tau)``, ``expected_value``,
+``exceedance(threshold)`` or ``time_above(threshold, window)``; ``SERIES``
+glob-selects the series ids (default: all); ``TOP k`` keeps the k
+highest-scoring series.  Parsing yields an inert :class:`SelectQuery`;
+planning and execution belong to :mod:`repro.service`.
+
 Keywords are case-insensitive; identifiers and numbers follow Python rules.
-Parsing produces an inert :class:`ViewQuery`; execution belongs to
-:class:`repro.db.engine.Database`.
+Parsing produces an inert :class:`ViewQuery` / :class:`SelectQuery`;
+execution belongs to :class:`repro.db.engine.Database`.
 """
 
 from __future__ import annotations
@@ -34,7 +47,13 @@ from typing import Any
 from repro.exceptions import ParseError
 from repro.view.omega import OmegaGrid
 
-__all__ = ["ViewQuery", "parse_view_query"]
+__all__ = [
+    "SelectQuery",
+    "ViewQuery",
+    "parse_select_query",
+    "parse_statement",
+    "parse_view_query",
+]
 
 _TOKEN_RE = re.compile(
     r"""
@@ -47,6 +66,11 @@ _TOKEN_RE = re.compile(
     re.VERBOSE,
 )
 
+# Reserved words rejected where an identifier is expected.  The SELECT
+# statement's own keywords (select/catalog/series/top) are deliberately
+# NOT in this set: they are matched positionally by the select grammar,
+# so CREATE VIEW statements can keep using words like ``series`` as
+# table or column names.
 _KEYWORDS = {
     "create", "view", "as", "density", "over", "omega", "metric",
     "window", "cache", "from", "where", "and", "between", "persist",
@@ -96,6 +120,25 @@ class ViewQuery:
         through the columnar batch path.
         """
         return OmegaGrid(delta=self.delta, n=self.n)
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """Parsed form of a ``SELECT ... FROM CATALOG ...`` statement.
+
+    ``aggregate`` names what to compute per series and ``arguments`` its
+    positional numeric arguments, exactly as written — validating them
+    against the known aggregates is the planner's job
+    (:mod:`repro.service.planner`), keeping this form inert.
+    """
+
+    aggregate: str
+    arguments: tuple[float, ...]
+    catalog_path: str
+    series_pattern: str = "*"
+    time_lo: float | None = None
+    time_hi: float | None = None
+    top_k: int | None = None
 
 
 def _tokenize(text: str) -> list[_Token]:
@@ -187,6 +230,71 @@ class _Parser:
         return int(value)
 
     # -- grammar --------------------------------------------------------
+    def parse_statement(self) -> ViewQuery | SelectQuery:
+        """Dispatch on the leading keyword (CREATE vs SELECT)."""
+        token = self.peek()
+        if token.kind == "ident" and token.lowered == "select":
+            return self.parse_select()
+        return self.parse()
+
+    def parse_select(self) -> SelectQuery:
+        self.expect_keyword("select")
+        aggregate, arguments = self._parse_aggregate()
+        self.expect_keyword("from")
+        self.expect_keyword("catalog")
+        catalog_path = self.expect_string("catalog path")
+        series_pattern = "*"
+        if self.accept_keyword("series"):
+            series_pattern = self.expect_string("series pattern")
+        time_lo: float | None = None
+        time_hi: float | None = None
+        if self.accept_keyword("where"):
+            time_lo, time_hi = self._parse_where("t")
+        top_k: int | None = None
+        if self.accept_keyword("top"):
+            top_k = self.expect_int("TOP count")
+            if top_k < 1:
+                raise ParseError(f"TOP count must be >= 1, got {top_k}")
+        tail = self.peek()
+        if tail.kind != "end":
+            raise ParseError(
+                f"unexpected trailing input {tail.text!r}", tail.position
+            )
+        return SelectQuery(
+            aggregate=aggregate,
+            arguments=arguments,
+            catalog_path=catalog_path,
+            series_pattern=series_pattern,
+            time_lo=time_lo,
+            time_hi=time_hi,
+            top_k=top_k,
+        )
+
+    def _parse_aggregate(self) -> tuple[str, tuple[float, ...]]:
+        """``<name> [( number {, number} )]`` — e.g. ``time_above(21, 5)``."""
+        token = self.advance()
+        if token.kind != "ident" or token.lowered in _KEYWORDS:
+            raise ParseError(
+                f"expected an aggregate name, got {token.text!r}",
+                token.position,
+            )
+        name = token.lowered
+        arguments: list[float] = []
+        if self.peek().kind == "op" and self.peek().text == "(":
+            self.advance()
+            while True:
+                arguments.append(self.expect_number("aggregate argument"))
+                token = self.advance()
+                if token.kind == "op" and token.text == ")":
+                    break
+                if not (token.kind == "op" and token.text == ","):
+                    raise ParseError(
+                        f"expected ',' or ')' in aggregate arguments, got "
+                        f"{token.text!r}",
+                        token.position,
+                    )
+        return name, tuple(arguments)
+
     def parse(self) -> ViewQuery:
         self.expect_keyword("create")
         self.expect_keyword("view")
@@ -362,8 +470,17 @@ class _Parser:
                 f"expected a comparison operator, got {token.text!r}",
                 token.position,
             )
+        if token.text in (">", "<"):
+            # Bounds are applied inclusively everywhere downstream;
+            # accepting the strict form would silently include the
+            # boundary row.  Fail loudly instead.
+            raise ParseError(
+                f"strict comparison {token.text!r} is not supported; time "
+                f"bounds are inclusive — use '{token.text}=' or BETWEEN",
+                token.position,
+            )
         value = self.expect_number("time bound")
-        if token.text in (">=", ">"):
+        if token.text == ">=":
             if lo is not None:
                 raise ParseError("duplicate lower time bound in WHERE")
             return value, hi
@@ -384,3 +501,24 @@ def parse_view_query(text: str) -> ViewQuery:
     if not text or not text.strip():
         raise ParseError("empty query")
     return _Parser(text).parse()
+
+
+def parse_select_query(text: str) -> SelectQuery:
+    """Parse a ``SELECT ... FROM CATALOG ...`` statement.
+
+    >>> query = parse_select_query(
+    ...     "SELECT time_above(21.0, 5) FROM CATALOG '/tmp/cat' "
+    ...     "SERIES 'sensor-*' WHERE t BETWEEN 10 AND 90 TOP 3")
+    >>> query.aggregate, query.arguments, query.series_pattern, query.top_k
+    ('time_above', (21.0, 5.0), 'sensor-*', 3)
+    """
+    if not text or not text.strip():
+        raise ParseError("empty query")
+    return _Parser(text).parse_select()
+
+
+def parse_statement(text: str) -> ViewQuery | SelectQuery:
+    """Parse either statement kind, dispatching on the leading keyword."""
+    if not text or not text.strip():
+        raise ParseError("empty query")
+    return _Parser(text).parse_statement()

@@ -1,0 +1,243 @@
+"""Fault-injection and concurrency tests for the persistent catalog.
+
+The store subsystem promises two things its unit tests never exercised:
+
+* **Reader/writer isolation** — a reader snapshotting the catalog while a
+  single writer appends must always see a *consistent* view (some durable
+  prefix of the series), never a torn one.
+* **Crash atomicity** — an append that dies between the segment write and
+  the ``series.json`` flush leaves the catalog at its last durable state:
+  reopening resumes at the recorded ``next_t``, the orphan segment is
+  overwritten by the resumed append, and the recovered end state is
+  bit-identical to a run that never crashed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+import repro.store.catalog as catalog_module
+from repro.exceptions import StoreError
+from repro.store import Catalog
+from repro.store.binary import load_view_npz, save_view_npz
+from repro.view.omega import OmegaGrid
+
+H = 16
+GRID = OmegaGrid(delta=0.5, n=4)
+
+
+def _values(count: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return 20.0 + np.cumsum(rng.normal(0.0, 0.1, size=count))
+
+
+def _assert_views_identical(left, right) -> None:
+    cols_left, cols_right = left.columns, right.columns
+    np.testing.assert_array_equal(cols_right.t, cols_left.t)
+    np.testing.assert_array_equal(cols_right.low, cols_left.low)
+    np.testing.assert_array_equal(cols_right.high, cols_left.high)
+    np.testing.assert_array_equal(
+        cols_right.probability, cols_left.probability
+    )
+    assert cols_right.labels == cols_left.labels
+
+
+class TestConcurrentReaders:
+    def test_readers_always_see_consistent_prefix(self, tmp_path):
+        root = tmp_path / "cat"
+        writer_catalog = Catalog(root)
+        writer_catalog.create_series(
+            "s", metric="variable_threshold", H=H, grid=GRID
+        )
+        values = _values(600)
+        stop = threading.Event()
+        errors: list[Exception] = []
+        observed: list[int] = []
+
+        def reader() -> None:
+            # Fresh Catalog objects per read: exactly what a concurrent
+            # query process would do.
+            while not stop.is_set():
+                try:
+                    snapshot = Catalog(root, create=False).snapshot("s")
+                    view = snapshot.load_view()  # Validates mass + ranges.
+                    assert len(view) == snapshot.tuple_count
+                    times = view.columns.times
+                    if times.size:
+                        # A consistent prefix: warm-up ends at t=H and
+                        # emitted times are gapless from there.
+                        assert times[0] == H
+                        assert np.all(np.diff(times) == 1)
+                    observed.append(len(view))
+                except Exception as exc:  # noqa: BLE001 - collected below.
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            for start in range(0, values.size, 25):
+                writer_catalog.append("s", values[start : start + 25])
+                time.sleep(0)  # Encourage interleaving.
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert not errors, errors[0]
+        assert observed, "readers never completed a snapshot read"
+        # Readers observed the series growing, and every observation was a
+        # prefix of the final durable state.
+        final = (values.size - H) * GRID.n
+        assert max(observed) <= final
+        assert all(count % GRID.n == 0 for count in observed)
+
+    def test_snapshot_stays_loadable_while_writer_appends(self, tmp_path):
+        root = tmp_path / "cat"
+        catalog = Catalog(root)
+        catalog.create_series(
+            "s", metric="variable_threshold", H=H, grid=GRID
+        )
+        catalog.append("s", _values(80))
+        snapshot = Catalog(root, create=False).snapshot("s")
+        before = snapshot.load_view()
+        catalog.append("s", _values(40, seed=1) + 1.0)
+        after = snapshot.load_view()  # Same capture: same rows, still valid.
+        _assert_views_identical(before, after)
+        assert len(Catalog(root).view("s")) > len(after)
+
+
+class _FlushCrash(RuntimeError):
+    """Stands in for the process dying mid-append."""
+
+
+@pytest.fixture
+def crashed_catalog(tmp_path, monkeypatch):
+    """A catalog whose second append died between segment and meta flush.
+
+    Returns ``(root, handle, batch1, batch2)`` with the crash already
+    injected and verified to have fired.
+    """
+    root = tmp_path / "cat"
+    catalog = Catalog(root)
+    catalog.create_series("s", metric="variable_threshold", H=H, grid=GRID)
+    batch1, batch2 = _values(60), _values(30, seed=7) + 0.5
+    catalog.append("s", batch1)
+    handle = catalog.series("s")
+
+    real_write = catalog_module._write_json_atomic
+
+    def failing_write(path, payload):
+        if path.name == catalog_module._SERIES_FILE:
+            raise _FlushCrash(f"simulated crash before flushing {path}")
+        real_write(path, payload)
+
+    monkeypatch.setattr(catalog_module, "_write_json_atomic", failing_write)
+    with pytest.raises(_FlushCrash):
+        catalog.append("s", batch2)
+    monkeypatch.setattr(catalog_module, "_write_json_atomic", real_write)
+    return root, catalog, handle, batch1, batch2
+
+
+class TestCrashRecovery:
+    def test_crash_leaves_orphan_segment_and_durable_prefix(
+        self, crashed_catalog
+    ):
+        root, _catalog, _handle, batch1, _batch2 = crashed_catalog
+        reopened = Catalog(root)
+        handle = reopened.series("s")
+        # Durable state is exactly the pre-crash prefix...
+        assert handle.next_t == batch1.size
+        assert handle.tuple_count == (batch1.size - H) * GRID.n
+        # ...while the crashed append's segment is an on-disk orphan the
+        # metadata never admitted.
+        on_disk = {
+            path.name
+            for path in (root / "s").glob("seg-*.npz")
+        }
+        assert set(handle.segment_names) < on_disk
+
+    def test_recovered_run_bit_identical_to_uninterrupted(
+        self, crashed_catalog, tmp_path
+    ):
+        root, _catalog, _handle, batch1, batch2 = crashed_catalog
+        reopened = Catalog(root)
+        reopened.append("s", batch2)  # Resume: re-feed the lost batch.
+
+        control = Catalog(tmp_path / "control")
+        control.create_series(
+            "s", metric="variable_threshold", H=H, grid=GRID
+        )
+        control.append("s", batch1)
+        control.append("s", batch2)
+
+        recovered_handle = reopened.series("s")
+        control_handle = control.series("s")
+        assert recovered_handle.next_t == control_handle.next_t
+        assert recovered_handle.segment_names == control_handle.segment_names
+        _assert_views_identical(
+            control_handle.view(), recovered_handle.view()
+        )
+
+    def test_poisoned_handle_refuses_further_use(self, crashed_catalog):
+        _root, _catalog, handle, _batch1, batch2 = crashed_catalog
+        with pytest.raises(StoreError, match="stale"):
+            handle.append(batch2)
+        with pytest.raises(StoreError, match="stale"):
+            handle.view()
+
+    def test_in_process_recovery_via_fresh_handle(self, crashed_catalog):
+        root, catalog, poisoned, batch1, batch2 = crashed_catalog
+        fresh = catalog.series("s")
+        assert fresh is not poisoned
+        result = fresh.append(batch2)  # Works without reopening the catalog.
+        assert result.fed == batch2.size
+        assert fresh.next_t == batch1.size + batch2.size
+        # The durable file agrees with the in-memory handle again.
+        assert Catalog(root).series("s").next_t == fresh.next_t
+
+
+class TestAtomicSegmentWrites:
+    def test_failed_fresh_write_leaves_nothing(self, tmp_path, monkeypatch):
+        catalog = Catalog(tmp_path / "cat")
+        catalog.create_series(
+            "s", metric="variable_threshold", H=H, grid=GRID
+        )
+        catalog.append("s", _values(40))
+        view = catalog.view("s")
+        target = tmp_path / "out.npz"
+
+        def exploding_savez(handle, **arrays):
+            handle.write(b"partial garbage")
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez", exploding_savez)
+        with pytest.raises(OSError, match="disk full"):
+            save_view_npz(view, target)
+        assert not target.exists()
+        assert list(tmp_path.glob(".out.npz.tmp")) == []
+
+    def test_failed_overwrite_keeps_old_content(self, tmp_path, monkeypatch):
+        catalog = Catalog(tmp_path / "cat")
+        catalog.create_series(
+            "s", metric="variable_threshold", H=H, grid=GRID
+        )
+        catalog.append("s", _values(40))
+        view = catalog.view("s")
+        target = tmp_path / "out.npz"
+        save_view_npz(view, target)
+        original_bytes = target.read_bytes()
+
+        def exploding_savez(handle, **arrays):
+            handle.write(b"partial garbage")
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez", exploding_savez)
+        with pytest.raises(OSError, match="disk full"):
+            save_view_npz(view, target)
+        assert target.read_bytes() == original_bytes
+        _assert_views_identical(view, load_view_npz(target))

@@ -112,3 +112,114 @@ class TestStoreCommands:
     def test_store_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["store"])
+
+    def test_query_missing_series_fails_cleanly(self, tmp_path, capsys):
+        catalog = str(tmp_path / "catalog")
+        assert main([
+            "store", "init", catalog, "room",
+            "--metric", "vt", "--window", "40", "--n", "4",
+        ]) == 0
+        capsys.readouterr()
+        exit_code = main(["store", "query", catalog, "ghost"])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err
+
+    def test_ingest_missing_csv_fails_cleanly(self, tmp_path, capsys):
+        catalog = str(tmp_path / "catalog")
+        assert main([
+            "store", "init", catalog, "room",
+            "--metric", "vt", "--window", "40", "--n", "4",
+        ]) == 0
+        capsys.readouterr()
+        exit_code = main([
+            "store", "ingest", catalog, "room",
+            "--data", str(tmp_path / "absent.csv"),
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err
+
+
+class TestServiceCommands:
+    @staticmethod
+    def _make_catalog(tmp_path, capsys) -> str:
+        catalog = str(tmp_path / "catalog")
+        for series in ("room-a", "room-b"):
+            assert main([
+                "store", "init", catalog, series,
+                "--metric", "vt", "--window", "30", "--n", "4",
+            ]) == 0
+            assert main([
+                "store", "ingest", catalog, series,
+                "--data", "campus", "--scale", "0.03", "--batch", "60",
+            ]) == 0
+        capsys.readouterr()
+        return catalog
+
+    def test_select_over_whole_catalog(self, tmp_path, capsys):
+        catalog = self._make_catalog(tmp_path, capsys)
+        exit_code = main([
+            "service", "query",
+            f"SELECT exceedance(21.0) FROM CATALOG '{catalog}' "
+            "SERIES 'room-*' TOP 2",
+            "--head", "3",
+        ])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "2 matched series" in out
+        assert "room-a" in out and "room-b" in out
+        assert "max_p" in out
+
+    def test_select_threshold_prints_tuple_rows(self, tmp_path, capsys):
+        catalog = self._make_catalog(tmp_path, capsys)
+        exit_code = main([
+            "service", "query",
+            f"SELECT threshold(0.4) FROM CATALOG '{catalog}'",
+            "--head", "2",
+        ])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "probability" in out and "label" in out
+
+    def test_missing_catalog_fails_cleanly(self, tmp_path, capsys):
+        exit_code = main([
+            "service", "query",
+            f"SELECT exceedance(21.0) FROM CATALOG '{tmp_path / 'absent'}'",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err
+
+    def test_unmatched_series_fails_cleanly(self, tmp_path, capsys):
+        catalog = self._make_catalog(tmp_path, capsys)
+        exit_code = main([
+            "service", "query",
+            f"SELECT exceedance(21.0) FROM CATALOG '{catalog}' SERIES 'z*'",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "no series matches" in captured.err
+
+    def test_bad_statement_fails_cleanly(self, tmp_path, capsys):
+        exit_code = main(["service", "query", "SELECT GARBAGE"])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert captured.err.startswith("error:")
+
+    def test_query_command_redirects_select_cleanly(self, tmp_path, capsys):
+        exit_code = main([
+            "query", "SELECT exceedance(21.0) FROM CATALOG '/tmp/x'",
+            "--data", "campus", "--scale", "0.03",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "service query" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_service_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["service"])

@@ -1,0 +1,380 @@
+"""Tests for the catalog-wide query service (`repro.service`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db.engine import Database
+from repro.db.queries import expected_value_query, threshold_query
+from repro.db.stream_queries import (
+    exceedance_probability,
+    expected_time_above,
+)
+from repro.exceptions import InvalidParameterError, QueryError, StoreError
+from repro.service import (
+    CatalogQueryService,
+    MatrixCache,
+    SelectResult,
+    execute_select,
+    plan_select,
+)
+from repro.service.cache import view_nbytes
+from repro.service.executor import restrict_time_range
+from repro.store import Catalog
+from repro.view.omega import OmegaGrid
+from repro.view.sql import SelectQuery, parse_select_query
+
+H = 20
+GRID = OmegaGrid(delta=0.5, n=4)
+
+
+def _fill_catalog(root, series_count=5, length=90, seed=0) -> Catalog:
+    catalog = Catalog(root)
+    rng = np.random.default_rng(seed)
+    for index in range(series_count):
+        series_id = f"sensor-{index:02d}"
+        catalog.create_series(
+            series_id, metric="variable_threshold", H=H, grid=GRID
+        )
+        values = 20.0 + index * 0.5 + np.cumsum(
+            rng.normal(0.0, 0.15, size=length)
+        )
+        catalog.append(series_id, values)
+    return catalog
+
+
+@pytest.fixture
+def catalog(tmp_path) -> Catalog:
+    return _fill_catalog(tmp_path / "catalog")
+
+
+def _sql(catalog: Catalog, body: str) -> str:
+    return f"SELECT {body} FROM CATALOG '{catalog.root}'"
+
+
+class TestParity:
+    """The acceptance criterion: SELECT == the per-series sequential loop."""
+
+    def test_exceedance_matches_per_series_loop(self, catalog):
+        result = CatalogQueryService(catalog, max_workers=4).execute(
+            _sql(catalog, "exceedance(21.0)")
+        )
+        assert result.matched == tuple(catalog.list_series())
+        for entry in result.results:
+            expected = exceedance_probability(
+                catalog.view(entry.series_id), 21.0
+            )
+            assert entry.result == expected
+            assert entry.score == max(expected.values())
+
+    def test_threshold_matches_per_series_loop(self, catalog):
+        result = CatalogQueryService(catalog, max_workers=4).execute(
+            _sql(catalog, "threshold(0.4)")
+        )
+        for entry in result.results:
+            expected = threshold_query(catalog.view(entry.series_id), 0.4)
+            assert entry.result == expected
+            assert entry.score == float(len(expected))
+
+    def test_expected_value_matches_per_series_loop(self, catalog):
+        result = CatalogQueryService(catalog, max_workers=3).execute(
+            _sql(catalog, "expected_value")
+        )
+        for entry in result.results:
+            assert entry.result == expected_value_query(
+                catalog.view(entry.series_id)
+            )
+
+    def test_time_above_matches_per_series_loop(self, catalog):
+        result = CatalogQueryService(catalog, max_workers=3).execute(
+            _sql(catalog, "time_above(21.0, 5)")
+        )
+        for entry in result.results:
+            assert entry.result == expected_time_above(
+                catalog.view(entry.series_id), 21.0, 5
+            )
+
+    def test_parallel_equals_sequential(self, catalog):
+        statement = _sql(catalog, "exceedance(20.5)") + " TOP 3"
+        sequential = CatalogQueryService(catalog, max_workers=1).execute(
+            statement
+        )
+        parallel = CatalogQueryService(catalog, max_workers=8).execute(
+            statement
+        )
+        assert sequential.results == parallel.results
+        assert sequential.matched == parallel.matched
+
+    def test_where_clause_matches_sliced_loop(self, catalog):
+        result = CatalogQueryService(catalog, max_workers=2).execute(
+            _sql(catalog, "exceedance(21.0)") + " WHERE t BETWEEN 30 AND 60"
+        )
+        for entry in result.results:
+            full = exceedance_probability(catalog.view(entry.series_id), 21.0)
+            expected = {t: v for t, v in full.items() if 30 <= t <= 60}
+            assert entry.result == expected
+
+
+class TestSelection:
+    def test_series_glob_selects_subset(self, catalog):
+        catalog.create_series(
+            "other", metric="variable_threshold", H=H, grid=GRID
+        )
+        result = execute_select(
+            _sql(catalog, "expected_value") + " SERIES 'sensor-*'"
+        )
+        assert result.matched == tuple(
+            s for s in catalog.list_series() if s.startswith("sensor-")
+        )
+
+    def test_top_k_ranks_by_score_descending(self, catalog):
+        result = execute_select(_sql(catalog, "exceedance(21.0)") + " TOP 2")
+        assert len(result.results) == 2
+        scores = [entry.score for entry in result.results]
+        assert scores == sorted(scores, reverse=True)
+        # The dropped series all score at or below the kept ones.
+        full = execute_select(_sql(catalog, "exceedance(21.0)"))
+        assert min(scores) >= sorted(
+            (e.score for e in full.results), reverse=True
+        )[1]
+
+    def test_results_ordered_by_series_id_without_top(self, catalog):
+        result = execute_select(_sql(catalog, "expected_value"))
+        ids = [entry.series_id for entry in result.results]
+        assert ids == sorted(ids)
+
+    def test_no_match_raises(self, catalog):
+        with pytest.raises(QueryError, match="no series matches"):
+            execute_select(
+                _sql(catalog, "expected_value") + " SERIES 'zzz-*'"
+            )
+
+    def test_missing_catalog_raises_store_error(self, tmp_path):
+        with pytest.raises(StoreError, match="no catalog"):
+            execute_select(
+                f"SELECT expected_value FROM CATALOG '{tmp_path / 'nope'}'"
+            )
+
+
+class TestPlannerValidation:
+    def test_unknown_aggregate(self, catalog):
+        with pytest.raises(QueryError, match="unknown aggregate"):
+            execute_select(_sql(catalog, "median"))
+
+    def test_wrong_arity(self, catalog):
+        with pytest.raises(InvalidParameterError, match="takes"):
+            execute_select(_sql(catalog, "exceedance"))
+        with pytest.raises(InvalidParameterError, match="takes"):
+            execute_select(_sql(catalog, "expected_value(3)"))
+
+    def test_tau_domain(self, catalog):
+        with pytest.raises(InvalidParameterError, match="tau"):
+            execute_select(_sql(catalog, "threshold(1.5)"))
+
+    def test_window_must_be_positive_integer(self, catalog):
+        with pytest.raises(InvalidParameterError, match="window"):
+            execute_select(_sql(catalog, "time_above(21.0, 2.5)"))
+        with pytest.raises(InvalidParameterError, match="window"):
+            execute_select(_sql(catalog, "time_above(21.0, 0)"))
+
+    def test_empty_time_range(self, catalog):
+        with pytest.raises(InvalidParameterError, match="empty time range"):
+            execute_select(
+                _sql(catalog, "expected_value") + " WHERE t BETWEEN 50 AND 10"
+            )
+
+    def test_per_series_failure_names_the_series(self, catalog):
+        # A window longer than any series' stored times fails inside the
+        # aggregate; the error must say which series broke.
+        with pytest.raises(QueryError, match="sensor-00"):
+            execute_select(_sql(catalog, "time_above(21.0, 5000)"))
+
+    def test_corrupt_segment_failure_names_the_series(self, catalog):
+        # Load failures count too: truncate one series' segment and the
+        # error must still say which of the five broke.
+        segment = next((catalog.root / "sensor-02").glob("seg-*.npz"))
+        segment.write_bytes(b"PK\x03\x04 truncated")
+        with pytest.raises(QueryError, match="sensor-02"):
+            CatalogQueryService(catalog, max_workers=4).execute(
+                _sql(catalog, "expected_value")
+            )
+
+
+class TestServiceWiring:
+    def test_statement_must_address_bound_catalog(self, catalog, tmp_path):
+        other = Catalog(tmp_path / "other")
+        other.create_series(
+            "x", metric="variable_threshold", H=H, grid=GRID
+        )
+        service = CatalogQueryService(catalog)
+        with pytest.raises(QueryError, match="bound to"):
+            service.execute(
+                f"SELECT expected_value FROM CATALOG '{other.root}'"
+            )
+
+    def test_create_statement_rejected(self, catalog):
+        service = CatalogQueryService(catalog)
+        with pytest.raises(QueryError, match="SELECT"):
+            service.execute(
+                "CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1, n=2 FROM x"
+            )
+
+    def test_max_workers_validated(self, catalog):
+        with pytest.raises(InvalidParameterError, match="max_workers"):
+            CatalogQueryService(catalog, max_workers=0)
+
+    def test_engine_dispatches_select(self, catalog):
+        result = Database().execute(_sql(catalog, "exceedance(21.0)"))
+        assert isinstance(result, SelectResult)
+        assert len(result.results) == 5
+
+    def test_plan_describes_itself(self, catalog):
+        plan = plan_select(
+            catalog, parse_select_query(_sql(catalog, "exceedance(21.0)"))
+        )
+        description = plan.describe()
+        assert "exceedance(21)" in description and "5 series" in description
+
+
+class TestMatrixCache:
+    def test_warm_query_skips_reloads(self, catalog):
+        service = CatalogQueryService(catalog, max_workers=2)
+        statement = _sql(catalog, "expected_value")
+        service.execute(statement)
+        cold = service.cache.stats
+        assert cold.misses == 5 and cold.hits == 0
+        service.execute(statement)
+        warm = service.cache.stats
+        assert warm.misses == 5 and warm.hits == 5
+
+    def test_append_invalidates_generation(self, catalog):
+        service = CatalogQueryService(catalog, max_workers=1)
+        statement = _sql(catalog, "expected_value")
+        before = service.execute(statement)
+        catalog.append("sensor-00", 21.0 + 0.01 * np.arange(10))
+        after = service.execute(statement)
+        stats = service.cache.stats
+        # Exactly one series was re-materialised...
+        assert stats.misses == 6 and stats.hits == 4
+        assert len(service.cache) == 5  # ...and its stale entry dropped.
+        ev_before = before.results[0].result
+        ev_after = after.results[0].result
+        assert len(ev_after) == len(ev_before) + 10
+        assert all(ev_after[t] == v for t, v in ev_before.items())
+
+    def test_budget_evicts_lru(self, catalog):
+        views = {
+            series_id: catalog.view(series_id)
+            for series_id in catalog.list_series()
+        }
+        one_view = view_nbytes(next(iter(views.values())))
+        service = CatalogQueryService(
+            catalog, max_workers=1, cache_budget_bytes=int(one_view * 2.5)
+        )
+        service.execute(_sql(catalog, "expected_value"))
+        stats = service.cache.stats
+        assert stats.entries == 2
+        assert stats.evictions == 3
+        assert stats.current_bytes <= service.cache.budget_bytes
+
+    def test_oversize_entry_not_cached(self, catalog):
+        service = CatalogQueryService(
+            catalog, max_workers=1, cache_budget_bytes=128
+        )
+        result = service.execute(_sql(catalog, "expected_value"))
+        assert len(result.results) == 5  # Still answered, just uncached.
+        stats = service.cache.stats
+        assert stats.entries == 0
+        assert stats.oversize_skips == 5
+
+    def test_shared_cache_between_services(self, catalog):
+        cache = MatrixCache(64 << 20)
+        CatalogQueryService(catalog, max_workers=1, cache=cache).execute(
+            _sql(catalog, "expected_value")
+        )
+        CatalogQueryService(catalog, max_workers=1, cache=cache).execute(
+            _sql(catalog, "exceedance(21.0)")
+        )
+        assert cache.stats.hits == 5
+
+    def test_clear_resets_bytes(self, catalog):
+        service = CatalogQueryService(catalog, max_workers=1)
+        service.execute(_sql(catalog, "expected_value"))
+        service.cache.clear()
+        stats = service.cache.stats
+        assert stats.entries == 0 and stats.current_bytes == 0
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(InvalidParameterError):
+            MatrixCache(0)
+
+    def test_drop_and_recreate_never_serves_stale_data(self, catalog):
+        # A recreated series restarts segment numbering, so segment names
+        # repeat across incarnations; the per-creation nonce in the
+        # generation token must keep the old entry unreachable.
+        service = CatalogQueryService(catalog, max_workers=1)
+        statement = _sql(catalog, "expected_value") + " SERIES 'sensor-00'"
+        before = service.execute(statement).results[0]
+        catalog.drop_series("sensor-00")
+        catalog.create_series(
+            "sensor-00", metric="variable_threshold", H=H, grid=GRID
+        )
+        catalog.append("sensor-00", 40.0 + 0.01 * np.arange(90))
+        after = service.execute(statement).results[0]
+        assert after.score > before.score + 15  # ~20 vs ~40: fresh data.
+        assert after.result == expected_value_query(
+            catalog.view("sensor-00")
+        )
+
+
+class TestRestrictTimeRange:
+    def test_unbounded_returns_same_object(self, catalog):
+        view = catalog.view("sensor-00")
+        assert restrict_time_range(view, None, None) is view
+
+    def test_covering_bounds_return_same_object(self, catalog):
+        view = catalog.view("sensor-00")
+        assert restrict_time_range(view, -1e9, 1e9) is view
+
+    def test_slice_preserves_labels_and_mass(self, catalog):
+        view = catalog.view("sensor-00")
+        sliced = restrict_time_range(view, 25, 40)
+        assert sliced.times == [t for t in view.times if 25 <= t <= 40]
+        for t in sliced.times:
+            assert sliced.tuples_at(t) == view.tuples_at(t)
+
+    def test_empty_slice_is_empty_view(self, catalog):
+        view = catalog.view("sensor-00")
+        assert len(restrict_time_range(view, 1e6, 2e6)) == 0
+
+
+class TestSnapshots:
+    def test_snapshot_matches_handle_view(self, catalog):
+        snapshot = catalog.snapshot("sensor-01")
+        via_snapshot = snapshot.load_view()
+        via_handle = catalog.view("sensor-01")
+        cols_a, cols_b = via_snapshot.columns, via_handle.columns
+        for a, b in zip(cols_a[:5], cols_b[:5]):
+            np.testing.assert_array_equal(a, b)
+        assert cols_a.labels == cols_b.labels
+
+    def test_open_many_sorted(self, catalog):
+        snapshots = catalog.open_many("sensor-*")
+        assert [s.series_id for s in snapshots] == catalog.list_series()
+
+    def test_snapshot_unknown_series(self, catalog):
+        with pytest.raises(QueryError, match="unknown series"):
+            catalog.snapshot("ghost")
+
+    def test_generation_changes_on_append(self, catalog):
+        before = catalog.snapshot("sensor-00").generation
+        catalog.append("sensor-00", 21.0 + 0.01 * np.arange(5))
+        after = catalog.snapshot("sensor-00").generation
+        assert before != after
+
+    def test_select_series_glob(self, catalog):
+        assert catalog.select_series("sensor-0[01]") == [
+            "sensor-00", "sensor-01",
+        ]
+        assert catalog.select_series("nope*") == []

@@ -5,7 +5,13 @@ from __future__ import annotations
 import pytest
 
 from repro.exceptions import ParseError
-from repro.view.sql import parse_view_query
+from repro.view.sql import (
+    SelectQuery,
+    ViewQuery,
+    parse_select_query,
+    parse_statement,
+    parse_view_query,
+)
 
 PAPER_QUERY = (
     "CREATE VIEW prob_view AS DENSITY r OVER t "
@@ -176,4 +182,104 @@ class TestErrors:
         with pytest.raises(ParseError, match="FROM"):
             parse_view_query(
                 "CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1, n=2"
+            )
+
+
+class TestSelectStatement:
+    def test_full_statement(self):
+        query = parse_select_query(
+            "SELECT time_above(21.0, 5) FROM CATALOG '/data/cat' "
+            "SERIES 'sensor-*' WHERE t BETWEEN 100 AND 500 TOP 5"
+        )
+        assert query.aggregate == "time_above"
+        assert query.arguments == (21.0, 5.0)
+        assert query.catalog_path == "/data/cat"
+        assert query.series_pattern == "sensor-*"
+        assert (query.time_lo, query.time_hi) == (100.0, 500.0)
+        assert query.top_k == 5
+
+    def test_minimal_statement_defaults(self):
+        query = parse_select_query(
+            "SELECT expected_value FROM CATALOG '/data/cat'"
+        )
+        assert query.aggregate == "expected_value"
+        assert query.arguments == ()
+        assert query.series_pattern == "*"
+        assert query.time_lo is None and query.time_hi is None
+        assert query.top_k is None
+
+    def test_comparison_where(self):
+        query = parse_select_query(
+            "SELECT exceedance(2.5) FROM CATALOG '/c' "
+            "WHERE t >= 10 AND t <= 90"
+        )
+        assert (query.time_lo, query.time_hi) == (10.0, 90.0)
+
+    def test_strict_comparison_rejected(self):
+        # Bounds apply inclusively downstream; a silently accepted '<'
+        # would include the boundary row.
+        with pytest.raises(ParseError, match="inclusive"):
+            parse_select_query(
+                "SELECT exceedance(2.5) FROM CATALOG '/c' WHERE t < 90"
+            )
+        with pytest.raises(ParseError, match="inclusive"):
+            parse_view_query(
+                "CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1, n=2 "
+                "FROM x WHERE t > 1"
+            )
+
+    def test_keywords_case_insensitive(self):
+        query = parse_select_query(
+            "select Threshold(0.5) from catalog '/c' series 'a?' top 1"
+        )
+        assert query.aggregate == "threshold"
+        assert query.series_pattern == "a?"
+        assert query.top_k == 1
+
+    def test_parse_statement_dispatches_both_kinds(self):
+        select = parse_statement("SELECT expected_value FROM CATALOG '/c'")
+        assert isinstance(select, SelectQuery)
+        create = parse_statement(
+            "CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1, n=2 FROM x"
+        )
+        assert isinstance(create, ViewQuery)
+
+    @pytest.mark.parametrize(
+        "bad_query, pattern",
+        [
+            ("SELECT FROM CATALOG '/c'", "aggregate name"),
+            ("SELECT exceedance(21.0) FROM '/c'", "CATALOG"),
+            ("SELECT exceedance(21.0) FROM CATALOG", "quoted string"),
+            ("SELECT exceedance(21.0) FROM CATALOG '/c' SERIES sensor",
+             "quoted string"),
+            ("SELECT exceedance(21.0,) FROM CATALOG '/c'", "argument"),
+            ("SELECT exceedance(tau=1) FROM CATALOG '/c'", "argument"),
+            ("SELECT exceedance(1) CATALOG '/c'", "FROM"),
+            ("SELECT exceedance(1) FROM CATALOG '/c' TOP 0", ">= 1"),
+            ("SELECT exceedance(1) FROM CATALOG '/c' TOP 2 extra",
+             "trailing"),
+            ("SELECT exceedance(1) FROM CATALOG '/c' WHERE x >= 1",
+             "time column"),
+        ],
+    )
+    def test_malformed_select_raises_parse_error(self, bad_query, pattern):
+        with pytest.raises(ParseError, match=pattern):
+            parse_select_query(bad_query)
+
+    def test_select_keywords_stay_valid_create_identifiers(self):
+        # select/catalog/series/top are positional keywords of the SELECT
+        # grammar only — CREATE VIEW statements may keep using them as
+        # table or column names.
+        query = parse_view_query(
+            "CREATE VIEW top AS DENSITY catalog OVER t "
+            "OMEGA delta=1, n=2 FROM series"
+        )
+        assert query.view_name == "top"
+        assert query.value_column == "catalog"
+        assert query.table_name == "series"
+
+    def test_select_entry_point_rejects_create(self):
+        with pytest.raises(ParseError, match="SELECT"):
+            parse_select_query(
+                "CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1, n=2 FROM x"
             )
