@@ -7,7 +7,6 @@ EWMA (fixed-parameter recursion), ARMA-GARCH (per-window MLE).
 
 import time
 
-import numpy as np
 
 from repro.data.synthetic import make_dataset
 from repro.evaluation.density_distance import density_distance

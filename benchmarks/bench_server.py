@@ -1,0 +1,282 @@
+"""Query-server load benchmark: sustained throughput and tail latency.
+
+A real :class:`~repro.server.app.QueryServer` is started on a background
+event-loop thread and hammered by several concurrent blocking clients —
+each connection issuing a rotating mix of catalog-wide SELECT statements
+over its own socket.  Three claims are recorded in ``BENCH_server.json``
+and asserted as pytest floors:
+
+1. **Batched is never slower** — with request coalescing enabled
+   (concurrent identical statements share one execution), sustained
+   throughput is at least on par with the one-query-per-request server;
+   under an overlapping workload it is typically *faster* because the
+   catalog does each unit of work once.
+2. **Tail latency is recorded honestly** — per-request wall times from
+   ``>= 4`` concurrent connections, reported as p50/p95/p99 plus
+   sustained requests/second.
+3. **The wire adds no semantics** — every statement's served result is
+   bit-identical (canonical-JSON bytes) to running the same statement
+   through ``Database.execute`` in process.
+
+Run directly (``python benchmarks/bench_server.py``) or via pytest
+(``pytest benchmarks/bench_server.py``).  Set ``REPRO_BENCH_QUICK=1``
+(the CI smoke job does) to shrink the catalog and request counts while
+keeping the same shape.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import shutil
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.db.engine import Database
+from repro.server import (
+    Client,
+    QueryServer,
+    ServerThread,
+    canonical_dumps,
+    serialize_result,
+)
+from repro.store import Catalog
+from repro.view.omega import OmegaGrid
+
+_QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+_GRID = OmegaGrid(delta=0.5, n=8)
+_H = 40
+_SERIES_COUNT = 16 if _QUICK else 64
+_TIMES_PER_SERIES = 120 if _QUICK else 300
+_CONNECTIONS = 4 if _QUICK else 8
+_REQUESTS_PER_CONNECTION = 40 if _QUICK else 120
+_MAX_INFLIGHT = 64  # Admission control must never skew the measurement.
+_CACHE_BUDGET = 256 << 20
+_OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_server.json"
+
+
+def build_catalog(workdir: Path) -> Catalog:
+    catalog = Catalog(workdir / "catalog")
+    rng = np.random.default_rng(42)
+    for index in range(_SERIES_COUNT):
+        series_id = f"sensor-{index:03d}"
+        catalog.create_series(
+            series_id, metric="variable_threshold", H=_H, grid=_GRID
+        )
+        values = 20.0 + np.cumsum(
+            rng.normal(0.0, 0.1, size=_TIMES_PER_SERIES + _H)
+        )
+        catalog.append(series_id, values)
+    return catalog
+
+
+def _statements(catalog: Catalog) -> list[str]:
+    root = catalog.root
+    return [
+        f"SELECT exceedance(21.0) FROM CATALOG '{root}'",
+        f"SELECT expected_value FROM CATALOG '{root}' SERIES 'sensor-0*'",
+        f"SELECT threshold(0.3) FROM CATALOG '{root}' TOP 5",
+        f"SELECT time_above(21.0, 5) FROM CATALOG '{root}' TOP 3",
+    ]
+
+
+def _run_load(
+    address: tuple[str, int], statements: list[str]
+) -> dict:
+    """Hammer the server from ``_CONNECTIONS`` concurrent client threads."""
+    latencies: list[list[float]] = [[] for _ in range(_CONNECTIONS)]
+    failures: list[str] = []
+    barrier = threading.Barrier(_CONNECTIONS + 1)
+
+    def worker(slot: int) -> None:
+        with Client(*address, timeout=120.0) as client:
+            barrier.wait()
+            for index in range(_REQUESTS_PER_CONNECTION):
+                # Per-connection offset keeps concurrent connections on
+                # the same statement much of the time — the coalescing
+                # opportunity a polling fleet produces naturally.
+                statement = statements[(slot + index) % len(statements)]
+                start = time.perf_counter()
+                try:
+                    client.query(statement)
+                except Exception as exc:  # noqa: BLE001 - recorded below.
+                    failures.append(f"conn {slot} req {index}: {exc}")
+                    return
+                latencies[slot].append(time.perf_counter() - start)
+
+    threads = [
+        threading.Thread(target=worker, args=(slot,))
+        for slot in range(_CONNECTIONS)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+    if failures:
+        raise AssertionError(
+            f"{len(failures)} requests failed, first: {failures[0]}"
+        )
+    flat = np.array([value for per in latencies for value in per])
+    total = int(flat.size)
+    return {
+        "requests": total,
+        "wall_s": wall,
+        "throughput_rps": total / wall,
+        "p50_ms": float(np.percentile(flat, 50) * 1e3),
+        "p95_ms": float(np.percentile(flat, 95) * 1e3),
+        "p99_ms": float(np.percentile(flat, 99) * 1e3),
+        "mean_ms": float(flat.mean() * 1e3),
+    }
+
+
+def _bench_mode(catalog: Catalog, *, coalesce: bool) -> dict:
+    server = QueryServer(
+        catalog,
+        port=0,
+        coalesce=coalesce,
+        max_inflight=_MAX_INFLIGHT,
+        cache_budget_bytes=_CACHE_BUDGET,
+    )
+    statements = _statements(catalog)
+    with ServerThread(server) as address:
+        with Client(*address, timeout=120.0) as warmer:
+            for statement in statements:  # Warm the matrix cache.
+                warmer.query(statement)
+        measured = _run_load(address, statements)
+        with Client(*address) as observer:
+            stats = observer.stats()
+    measured["coalesced"] = stats["coalesced"]
+    measured["executed"] = stats["executed"]
+    measured["rejected"] = stats["rejected"]
+    label = "batched" if coalesce else "unbatched"
+    print(
+        f"{label:>9}: {measured['throughput_rps']:8.1f} req/s over "
+        f"{_CONNECTIONS} connections | p50 {measured['p50_ms']:6.2f} ms, "
+        f"p95 {measured['p95_ms']:6.2f} ms, p99 {measured['p99_ms']:6.2f} ms"
+        f" | executed {measured['executed']}, coalesced "
+        f"{measured['coalesced']}"
+    )
+    return measured
+
+
+def _check_bit_identical(catalog: Catalog) -> bool:
+    """Served bytes == in-process ``Database.execute`` bytes, statement by
+    statement."""
+    server = QueryServer(catalog, port=0, cache_budget_bytes=_CACHE_BUDGET)
+    database = Database()
+    identical = True
+    with ServerThread(server) as address:
+        with Client(*address) as client:
+            for statement in _statements(catalog):
+                served = canonical_dumps(client.query(statement))
+                direct = canonical_dumps(
+                    serialize_result(database.execute(statement))
+                )
+                if served != direct:
+                    identical = False
+                    print(f"MISMATCH for {statement!r}")
+    return identical
+
+
+def run_benchmark() -> dict:
+    workdir = Path(tempfile.mkdtemp(prefix="bench_server_"))
+    try:
+        catalog = build_catalog(workdir)
+        batched = _bench_mode(catalog, coalesce=True)
+        unbatched = _bench_mode(catalog, coalesce=False)
+        bit_identical = _check_bit_identical(catalog)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    ratio = batched["throughput_rps"] / unbatched["throughput_rps"]
+    results = {
+        "quick": _QUICK,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "series_count": _SERIES_COUNT,
+        "times_per_series": _TIMES_PER_SERIES,
+        "connections": _CONNECTIONS,
+        "requests_per_connection": _REQUESTS_PER_CONNECTION,
+        "statements": len(_statements(catalog)),
+        "batched": batched,
+        "unbatched": unbatched,
+        "bit_identical": bit_identical,
+        "headline": {
+            "throughput_rps": batched["throughput_rps"],
+            "p50_ms": batched["p50_ms"],
+            "p95_ms": batched["p95_ms"],
+            "p99_ms": batched["p99_ms"],
+            "batched_vs_unbatched": ratio,
+        },
+    }
+    _OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
+    print(
+        f"\nbatched/unbatched throughput ratio: {ratio:.2f}x; "
+        f"bit-identical to Database.execute: {bit_identical}"
+    )
+    print(f"wrote {_OUTPUT}")
+    return results
+
+
+# ----------------------------------------------------------------------
+# Pytest entry points (the acceptance floors).
+# ----------------------------------------------------------------------
+_RESULTS: dict | None = None
+
+
+def _results() -> dict:
+    global _RESULTS
+    if _RESULTS is None:
+        _RESULTS = run_benchmark()
+    return _RESULTS
+
+
+def test_load_ran_at_required_concurrency():
+    results = _results()
+    assert results["connections"] >= 4
+    expected = results["connections"] * results["requests_per_connection"]
+    assert results["batched"]["requests"] == expected
+    assert results["batched"]["rejected"] == 0
+
+
+def test_batched_path_is_no_slower():
+    results = _results()
+    ratio = results["headline"]["batched_vs_unbatched"]
+    # "No slower" with a noise band: scheduling jitter on busy CI hosts
+    # can move either side by a few percent.
+    assert ratio >= 0.85, (
+        f"coalescing made the server {1 / ratio:.2f}x slower than "
+        f"one-query-per-request"
+    )
+
+
+def test_coalescing_actually_happened():
+    results = _results()
+    assert results["batched"]["coalesced"] > 0
+    assert results["unbatched"]["coalesced"] == 0
+    assert (
+        results["batched"]["executed"]
+        < results["batched"]["requests"]
+    )
+
+
+def test_served_results_bit_identical_to_engine():
+    assert _results()["bit_identical"] is True
+
+
+def test_latency_percentiles_are_coherent():
+    results = _results()
+    for mode in ("batched", "unbatched"):
+        entry = results[mode]
+        assert 0 < entry["p50_ms"] <= entry["p95_ms"] <= entry["p99_ms"]
+
+
+if __name__ == "__main__":
+    run_benchmark()

@@ -96,6 +96,12 @@ from repro.service import (
     SelectResult,
     execute_select,
 )
+from repro.server import (
+    Client,
+    QueryServer,
+    ServerError,
+    ServerThread,
+)
 from repro.cleaning import SVRResult, learn_sv_max, successive_variance_reduction
 from repro.evaluation.calibration import CalibrationReport, calibration_report
 from repro.metrics import (
@@ -162,6 +168,7 @@ __all__ = [
     "CacheConstraintError",
     "CalibrationReport",
     "CatalogQueryService",
+    "Client",
     "DataError",
     "Database",
     "DensityForecast",
@@ -194,6 +201,7 @@ __all__ = [
     "ProbabilisticView",
     "ProbabilityRow",
     "QueryError",
+    "QueryServer",
     "Region",
     "RegionSet",
     "RegionView",
@@ -204,6 +212,8 @@ __all__ = [
     "SelectResult",
     "SeriesHandle",
     "SeriesSnapshot",
+    "ServerError",
+    "ServerThread",
     "SigmaCache",
     "StandingQuery",
     "StandingQueryHandle",

@@ -14,7 +14,11 @@ Six subcommands cover the workflows a user reaches for first:
   ``store list`` shows what the catalog holds;
 * ``service`` — the catalog-wide query engine: ``service query`` executes
   one ``SELECT <aggregate> FROM CATALOG '<path>' ...`` statement across
-  every matched series in parallel.
+  every matched series in parallel;
+* ``server`` — the network layer: ``server serve`` runs the asyncio NDJSON
+  query server over a catalog (request coalescing, admission control,
+  draining shutdown), ``server query`` sends one statement to a running
+  server and prints the result.
 """
 
 from __future__ import annotations
@@ -174,8 +178,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     vquery.add_argument(
         "sql",
-        help="SELECT <aggregate> FROM CATALOG '<path>' [SERIES '<glob>'] "
-             "[WHERE t BETWEEN a AND b] [TOP k] statement",
+        nargs="+",
+        help="one or more SELECT <aggregate> FROM CATALOG '<path>' "
+             "[SERIES '<glob>'] [WHERE t BETWEEN a AND b] [TOP k] "
+             "statements; several statements run as one batched fan-out "
+             "sharing the matrix cache",
     )
     vquery.add_argument("--workers", type=int, default=None,
                         help="thread fan-out width (default: cpus + 4)")
@@ -183,6 +190,39 @@ def build_parser() -> argparse.ArgumentParser:
                         help="matrix-cache byte budget in MiB")
     vquery.add_argument("--head", type=int, default=8,
                         help="result rows to print for the top series")
+
+    server = sub.add_parser(
+        "server", help="network query server over a catalog"
+    )
+    server_sub = server.add_subparsers(dest="server_command", required=True)
+    serve = server_sub.add_parser(
+        "serve", help="run the asyncio NDJSON query server"
+    )
+    serve.add_argument("catalog", help="catalog directory to serve")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7411,
+                       help="TCP port (0 picks a free one)")
+    serve.add_argument("--max-inflight", type=int, default=8,
+                       help="statements admitted concurrently before "
+                            "new queries get a 'saturated' rejection")
+    serve.add_argument("--no-coalesce", action="store_true",
+                       help="disable sharing one execution between "
+                            "concurrent identical statements")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="per-statement thread fan-out width")
+    serve.add_argument("--cache-mb", type=float, default=64.0,
+                       help="matrix-cache byte budget in MiB")
+
+    cquery = server_sub.add_parser(
+        "query", help="send one statement to a running server"
+    )
+    cquery.add_argument("sql", help="SELECT or CREATE VIEW statement")
+    cquery.add_argument("--host", default="127.0.0.1")
+    cquery.add_argument("--port", type=int, default=7411)
+    cquery.add_argument("--json", action="store_true",
+                        help="print the raw canonical JSON result")
+    cquery.add_argument("--head", type=int, default=8,
+                        help="result rows to print per section")
     return parser
 
 
@@ -332,14 +372,41 @@ def _cmd_store(args: argparse.Namespace) -> int:
 
 
 def _cmd_service(args: argparse.Namespace) -> int:
-    from repro.db.prob_view import ProbTuple
-    from repro.service import execute_select
+    from repro.service import CatalogQueryService, execute_select
+    from repro.view.sql import SelectQuery, parse_statement
 
-    result = execute_select(
-        args.sql,
-        max_workers=args.workers,
-        cache_budget_bytes=max(int(args.cache_mb * (1 << 20)), 1),
-    )
+    cache_budget = max(int(args.cache_mb * (1 << 20)), 1)
+    if len(args.sql) == 1:
+        results = [execute_select(
+            args.sql[0],
+            max_workers=args.workers,
+            cache_budget_bytes=cache_budget,
+        )]
+    else:
+        # Several statements: one batched fan-out through a shared
+        # service, so they dedupe and share the warm matrix cache.
+        first = parse_statement(args.sql[0])
+        if not isinstance(first, SelectQuery):
+            raise InvalidParameterError(
+                "the 'service query' command runs SELECT statements; use "
+                "'repro query' for CREATE VIEW"
+            )
+        with CatalogQueryService(
+            first.catalog_path,
+            max_workers=args.workers,
+            cache_budget_bytes=cache_budget,
+        ) as service:
+            results = service.execute_many(args.sql)
+    for index, result in enumerate(results):
+        if index:
+            print()
+        _print_select_result(result, args.head)
+    return 0
+
+
+def _print_select_result(result, head: int) -> None:
+    from repro.db.prob_view import ProbTuple
+
     print(
         f"{result.aggregate} over {len(result.matched)} matched series "
         f"({len(result.results)} returned):\n"
@@ -355,7 +422,7 @@ def _cmd_service(args: argparse.Namespace) -> int:
         if isinstance(top.result, list):
             rows = [
                 [tup.t, tup.low, tup.high, tup.probability, tup.label]
-                for tup in top.result[: args.head]
+                for tup in top.result[:head]
                 if isinstance(tup, ProbTuple)
             ]
             print(format_table(
@@ -364,12 +431,91 @@ def _cmd_service(args: argparse.Namespace) -> int:
         else:
             rows = [
                 [t, round(v, 6)]
-                for t, v in list(top.result.items())[: args.head]
+                for t, v in list(top.result.items())[:head]
             ]
             print(format_table(["t", "value"], rows))
-        if top.size > args.head:
-            print(f"... ({top.size - args.head} more rows)")
+        if top.size > head:
+            print(f"... ({top.size - head} more rows)")
+
+
+def _cmd_server(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.server import Client, QueryServer
+
+    if args.server_command == "serve":
+        server = QueryServer(
+            args.catalog,
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            coalesce=not args.no_coalesce,
+            max_workers=args.workers,
+            cache_budget_bytes=max(int(args.cache_mb * (1 << 20)), 1),
+        )
+
+        async def _serve() -> None:
+            await server.start()
+            host, port = server.address
+            print(
+                f"serving catalog {args.catalog} on {host}:{port} "
+                f"(max_inflight={args.max_inflight}, "
+                f"coalesce={not args.no_coalesce}); Ctrl-C to drain and stop",
+                flush=True,
+            )
+            await server.run()
+            print("drained in-flight work; server stopped", flush=True)
+
+        # Ctrl-C cancels the serve task (the asyncio runner's SIGINT
+        # handling); QueryServer.run drains in-flight statements in its
+        # finally block, so the first interrupt is a clean exit.
+        asyncio.run(_serve())
+        return 0
+
+    with Client(args.host, args.port) as client:
+        result = client.query(args.sql)
+    if args.json:
+        from repro.server import canonical_dumps
+
+        print(canonical_dumps(result))
+        return 0
+    _print_server_result(result, args.head)
     return 0
+
+
+def _print_server_result(result: dict, head: int) -> None:
+    """Human-readable rendering of a serialized server result."""
+    if result.get("kind") == "view":
+        tuples = result.get("tuples", [])
+        print(f"created view {result.get('name')!r} ({len(tuples)} tuples)")
+        print(format_table(
+            ["t", "low", "high", "probability", "label"], tuples[:head]
+        ))
+        if len(tuples) > head:
+            print(f"... ({len(tuples) - head} more tuples)")
+        return
+    entries = result.get("results", [])
+    print(
+        f"{result.get('aggregate')} over {len(result.get('matched', []))} "
+        f"matched series ({len(entries)} returned):\n"
+    )
+    print(format_table(
+        ["series", result.get("score_label", "score"), "rows"],
+        [[entry["series"], round(entry["score"], 6), len(entry["rows"])]
+         for entry in entries],
+    ))
+    if entries:
+        top = entries[0]
+        print(f"\nhead of {top['series']!r}:")
+        rows = top["rows"][:head]
+        if rows and len(rows[0]) == 5:
+            print(format_table(
+                ["t", "low", "high", "probability", "label"], rows
+            ))
+        else:
+            print(format_table(["t", "value"], rows))
+        if len(top["rows"]) > head:
+            print(f"... ({len(top['rows']) - head} more rows)")
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -383,9 +529,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         "arch-test": _cmd_arch_test,
         "store": _cmd_store,
         "service": _cmd_service,
+        "server": _cmd_server,
     }
     try:
         return handlers[args.command](args)
+    except KeyboardInterrupt:
+        # Ctrl-C mid-query or while serving: the asyncio runner / executor
+        # has already unwound (draining in-flight work on the way out);
+        # exit with the conventional 130, never a traceback.
+        print("interrupted", file=sys.stderr)
+        return 130
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -27,7 +27,7 @@ from repro.view.builder import ViewBuilder
 from repro.view.sql import SelectQuery, ViewQuery, parse_statement
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service -> db).
-    from repro.service.executor import SelectResult
+    from repro.service.executor import CatalogQueryService, SelectResult
 
 __all__ = ["Database"]
 
@@ -54,9 +54,12 @@ class Database:
     'pv'
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self, *, select_service: "CatalogQueryService | None" = None
+    ) -> None:
         self._tables: dict[str, Table] = {}
         self._views: dict[str, ProbabilisticView] = {}
+        self._select_service = select_service
 
     # ------------------------------------------------------------------
     # Catalog.
@@ -101,6 +104,19 @@ class Database:
             return self.execute_select(statement)
         return self.execute_query(statement)
 
+    def bind_select_service(
+        self, service: "CatalogQueryService | None"
+    ) -> None:
+        """Route catalog SELECTs for the service's catalog through it.
+
+        A long-lived executor (the query server binds one per process)
+        brings its persistent worker pool and warm matrix cache to every
+        statement this database executes; statements addressing *other*
+        catalogs still fall back to the one-shot path.  Pass ``None`` to
+        unbind.
+        """
+        self._select_service = service
+
     def execute_select(
         self, query: "str | SelectQuery"
     ) -> "SelectResult":
@@ -108,6 +124,17 @@ class Database:
         # Imported lazily: the service layer sits above the engine.
         from repro.service.executor import execute_select
 
+        if isinstance(query, str):
+            parsed = parse_statement(query)
+            if not isinstance(parsed, SelectQuery):
+                raise QueryError(
+                    "execute_select handles SELECT statements; use "
+                    "execute_query for CREATE VIEW"
+                )
+            query = parsed
+        service = self._select_service
+        if service is not None and service.accepts(query):
+            return service.execute(query)
         return execute_select(query)
 
     def execute_query(self, query: ViewQuery) -> ProbabilisticView:

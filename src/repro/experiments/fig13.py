@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
 
 from repro.data.errors import inject_errors
 from repro.data.synthetic import CAMPUS_SAMPLES, campus_temperature

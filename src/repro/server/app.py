@@ -1,0 +1,468 @@
+"""Asyncio query server over a persistent catalog.
+
+One :class:`QueryServer` owns a bound :class:`~repro.store.catalog.Catalog`,
+a shared :class:`~repro.service.executor.CatalogQueryService` (worker pool +
+byte-budgeted matrix cache), and a :class:`~repro.db.engine.Database` facade
+routed through that service.  Connections speak the NDJSON protocol of
+:mod:`repro.server.protocol`; statements execute on a bounded thread pool so
+the event loop only ever parses frames and shuttles bytes.
+
+Three service-grade behaviours live here rather than in the engine:
+
+* **Request coalescing** — concurrent identical statements (whitespace-
+  normalised) share one execution: the first arrival runs, later arrivals
+  await the same future and receive the same serialized result.  With many
+  dashboards polling the same SELECT, the catalog does the work once.
+* **Admission control** — at most ``max_inflight`` statements execute at
+  once; beyond that, new queries get an immediate ``saturated`` error (the
+  429 analogue) instead of queueing without bound.  Coalesced arrivals
+  attach to in-flight work and are never rejected.
+* **Graceful shutdown** — :meth:`shutdown` stops accepting connections,
+  rejects new statements with ``shutting_down``, *drains* every in-flight
+  execution so its response is written, then closes connections and the
+  underlying service.
+
+:class:`ServerThread` runs a server on a background event-loop thread —
+what the tests, the benchmark, and embedding applications use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.db.engine import Database
+from repro.exceptions import ReproError
+from repro.server import protocol
+from repro.service.executor import CatalogQueryService
+from repro.store.catalog import Catalog
+
+__all__ = ["QueryServer", "ServerStats", "ServerThread"]
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 7411
+
+
+@dataclass
+class ServerStats:
+    """Lifetime counters, exposed over the wire via ``{"op": "stats"}``."""
+
+    connections: int = 0
+    requests: int = 0
+    executed: int = 0
+    coalesced: int = 0
+    rejected: int = 0
+    errors: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "connections": self.connections,
+            "requests": self.requests,
+            "executed": self.executed,
+            "coalesced": self.coalesced,
+            "rejected": self.rejected,
+            "errors": self.errors,
+        }
+
+
+class QueryServer:
+    """NDJSON query server fronting one catalog.
+
+    Parameters
+    ----------
+    catalog:
+        The served :class:`Catalog` or its path (must exist).
+    host, port:
+        Bind address; port ``0`` picks a free port (see :attr:`address`).
+    max_inflight:
+        Concurrent statement executions admitted before new queries are
+        rejected with ``saturated``.
+    coalesce:
+        Share one execution between concurrent identical statements.
+    max_workers, cache_budget_bytes:
+        Forwarded to the shared :class:`CatalogQueryService`.
+    database:
+        Optionally a pre-built :class:`Database` (e.g. with raw tables
+        registered so ``CREATE VIEW`` statements have data to run over).
+        Its ``select_service`` binding is installed automatically.
+
+    Examples
+    --------
+    >>> # server = QueryServer("/data/catalogs/main", port=7411)
+    >>> # asyncio.run(server.run())
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog | str | Path,
+        *,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        max_inflight: int = 8,
+        coalesce: bool = True,
+        max_statement_chars: int = protocol.MAX_STATEMENT_CHARS,
+        frame_limit_bytes: int = protocol.DEFAULT_FRAME_LIMIT,
+        max_workers: int | None = None,
+        cache_budget_bytes: int = 64 << 20,
+        database: Database | None = None,
+    ) -> None:
+        self.service = CatalogQueryService(
+            catalog,
+            max_workers=max_workers,
+            cache_budget_bytes=cache_budget_bytes,
+        )
+        self.database = database if database is not None else Database()
+        self.database.bind_select_service(self.service)
+        self.host = host
+        self.port = int(port)
+        self.max_inflight = int(max_inflight)
+        self.coalesce = bool(coalesce)
+        self.max_statement_chars = int(max_statement_chars)
+        self.frame_limit_bytes = int(frame_limit_bytes)
+        self.stats = ServerStats()
+        # Statement execution happens here, never on the event loop; the
+        # pool is exactly max_inflight wide so admission control and real
+        # concurrency agree.
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.max_inflight, thread_name_prefix="repro-server"
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._active = 0
+        self._draining = False
+        self._tasks: set[asyncio.Future] = set()
+        self._handlers: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (resolves ``port=0`` after start)."""
+        if self._server is not None and self._server.sockets:
+            name = self._server.sockets[0].getsockname()
+            return str(name[0]), int(name[1])
+        return self.host, self.port
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (idempotent)."""
+        if self._server is not None:
+            return
+        self._server = await asyncio.start_server(
+            self._on_connection,
+            self.host,
+            self.port,
+            limit=self.frame_limit_bytes,
+        )
+
+    async def run(self) -> None:
+        """Serve until cancelled, then drain and shut down."""
+        await self.start()
+        assert self._server is not None
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self.shutdown()
+
+    async def shutdown(self, *, grace: float = 2.0) -> None:
+        """Drain in-flight work, then close connections and the service.
+
+        New statements arriving during the drain are rejected with
+        ``shutting_down``; every execution already admitted completes and
+        its response is written before the connection is closed.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+        if self._handlers:
+            # In-flight responses are being written now; clients that hang
+            # around past the grace period are disconnected.
+            _, pending = await asyncio.wait(
+                list(self._handlers), timeout=grace
+            )
+            for writer in list(self._writers):
+                writer.close()
+            if pending:
+                await asyncio.wait(list(pending), timeout=1.0)
+        self._executor.shutdown(wait=True)
+        self.service.close()
+
+    # ------------------------------------------------------------------
+    # Connection handling (event-loop side).
+    # ------------------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.stats.connections += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
+        self._writers.add(writer)
+        try:
+            await self._serve_connection(reader, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # Client went away mid-write: their call, not an error.
+        except asyncio.CancelledError:
+            raise
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            try:
+                line = await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                # The line outgrew the read buffer: it can be neither
+                # parsed nor reliably skipped.  Answer, then hang up.
+                await self._send(
+                    writer,
+                    protocol.error_frame(
+                        None,
+                        "frame_too_large",
+                        f"frame exceeds {self.frame_limit_bytes} bytes",
+                    ),
+                )
+                return
+            if not line:
+                return  # Clean EOF.
+            if not line.strip():
+                continue
+            response = await self._respond(line)
+            await self._send(writer, response)
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, payload: dict[str, Any]
+    ) -> None:
+        try:
+            frame = protocol.encode_frame(payload)
+        except ValueError:
+            # A non-finite float slipped into the response (canonical
+            # encoding forbids NaN/Infinity).  The contract is structured
+            # errors, never a dropped connection — degrade to one.
+            self.stats.errors += 1
+            frame = protocol.encode_frame(
+                protocol.error_frame(
+                    None,
+                    "internal",
+                    "response contained non-finite numbers",
+                )
+            )
+        writer.write(frame)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Request dispatch.
+    # ------------------------------------------------------------------
+    async def _respond(self, line: bytes) -> dict[str, Any]:
+        self.stats.requests += 1
+        try:
+            payload = protocol.loads_frame(line)
+        except (UnicodeDecodeError, ValueError) as exc:
+            self.stats.errors += 1
+            return protocol.error_frame(
+                None, "bad_request", f"malformed JSON frame: {exc}"
+            )
+        if not isinstance(payload, dict):
+            self.stats.errors += 1
+            return protocol.error_frame(
+                None, "bad_request", "frame must be a JSON object"
+            )
+        request_id = payload.get("id")
+        if isinstance(request_id, float) and not math.isfinite(request_id):
+            # "1e999" parses to inf without tripping loads_frame; an id
+            # that cannot be echoed canonically is dropped, not fatal.
+            request_id = None
+        op = payload.get("op", "query")
+        if op == "ping":
+            return protocol.result_frame(request_id, {"kind": "pong"})
+        if op == "stats":
+            return protocol.result_frame(request_id, self._stats_payload())
+        if op != "query":
+            self.stats.errors += 1
+            return protocol.error_frame(
+                request_id, "bad_request", f"unknown op {op!r}"
+            )
+        statement = payload.get("statement")
+        if not isinstance(statement, str) or not statement.strip():
+            self.stats.errors += 1
+            return protocol.error_frame(
+                request_id, "bad_request", "frame is missing a statement"
+            )
+        if len(statement) > self.max_statement_chars:
+            self.stats.errors += 1
+            return protocol.error_frame(
+                request_id,
+                "statement_too_large",
+                f"statement has {len(statement)} characters "
+                f"(limit {self.max_statement_chars})",
+            )
+        return await self._execute_admitted(request_id, statement)
+
+    async def _execute_admitted(
+        self, request_id: Any, statement: str
+    ) -> dict[str, Any]:
+        # All bookkeeping below runs on the event-loop thread, so the
+        # counters and the coalescing map need no lock.  The key is the
+        # statement text verbatim (modulo outer whitespace): collapsing
+        # inner whitespace would conflate statements that differ only
+        # inside a quoted glob or path — silent wrong results.  Polling
+        # fleets repeat byte-identical statements, which is the case
+        # coalescing exists for.
+        key = statement.strip()
+        future = self._inflight.get(key) if self.coalesce else None
+        if future is not None:
+            self.stats.coalesced += 1
+        elif self._draining:
+            self.stats.rejected += 1
+            return protocol.error_frame(
+                request_id, "shutting_down", "server is draining; retry "
+                "against another instance"
+            )
+        elif self._active >= self.max_inflight:
+            self.stats.rejected += 1
+            return protocol.error_frame(
+                request_id,
+                "saturated",
+                f"{self._active} statements in flight (limit "
+                f"{self.max_inflight}); retry after a backoff",
+            )
+        else:
+            loop = asyncio.get_running_loop()
+            future = loop.run_in_executor(
+                self._executor, self._execute, statement
+            )
+            self._active += 1
+            self.stats.executed += 1
+            self._tasks.add(future)
+            if self.coalesce:
+                self._inflight[key] = future
+            future.add_done_callback(
+                lambda fut, key=key: self._on_done(key, fut)
+            )
+        try:
+            result = await asyncio.shield(future)
+        except ReproError as exc:
+            self.stats.errors += 1
+            return protocol.error_frame(
+                request_id, protocol.error_type(exc), str(exc)
+            )
+        except OSError as exc:
+            self.stats.errors += 1
+            return protocol.error_frame(request_id, "io_error", str(exc))
+        except Exception as exc:  # noqa: BLE001 - wire boundary.
+            self.stats.errors += 1
+            return protocol.error_frame(
+                request_id,
+                "internal",
+                f"{type(exc).__name__}: {exc}",
+            )
+        return protocol.result_frame(request_id, result)
+
+    def _on_done(self, key: str, future: asyncio.Future) -> None:
+        self._active -= 1
+        self._tasks.discard(future)
+        if self._inflight.get(key) is future:
+            del self._inflight[key]
+
+    def _stats_payload(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {"kind": "stats", "active": self._active}
+        payload.update(self.stats.as_dict())
+        cache = self.service.cache.stats
+        payload["cache"] = {
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "entries": cache.entries,
+            "bytes": cache.current_bytes,
+        }
+        return payload
+
+    # ------------------------------------------------------------------
+    # Statement execution (worker-thread side).
+    # ------------------------------------------------------------------
+    def _execute(self, statement: str) -> dict[str, Any]:
+        """Parse, execute, and serialize one statement.
+
+        Runs on the executor pool: the engine work is numpy-heavy and the
+        serialisation allocates, neither belongs on the event loop.
+        """
+        return protocol.serialize_result(self.database.execute(statement))
+
+
+class ServerThread:
+    """A :class:`QueryServer` on a dedicated event-loop thread.
+
+    ``start()`` returns the bound address once the server is accepting;
+    ``stop()`` runs the graceful shutdown and joins the thread.  Usable as
+    a context manager.
+
+    Examples
+    --------
+    >>> # with ServerThread(QueryServer(catalog, port=0)) as (host, port):
+    >>> #     Client(host, port).query("SELECT ...")
+    """
+
+    def __init__(self, server: QueryServer) -> None:
+        self.server = server
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._startup_error: BaseException | None = None
+
+    def start(self, *, timeout: float = 10.0) -> tuple[str, int]:
+        if self._thread is not None:
+            raise RuntimeError("server thread already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-server-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise TimeoutError("server did not start in time")
+        if self._startup_error is not None:
+            self._thread.join()
+            raise self._startup_error
+        return self.server.address
+
+    def stop(self, *, timeout: float = 10.0) -> None:
+        if self._thread is None or self._loop is None or self._stop is None:
+            return
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout)
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            await self.server.start()
+        except BaseException as exc:  # noqa: BLE001 - reported to start().
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        await self._stop.wait()
+        await self.server.shutdown()
+
+    def __enter__(self) -> tuple[str, int]:
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

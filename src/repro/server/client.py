@@ -1,0 +1,139 @@
+"""Blocking client for the catalog query server.
+
+A thin, dependency-free wrapper over one TCP connection speaking the
+NDJSON protocol (:mod:`repro.server.protocol`).  Engine-side failures
+surface as :class:`ServerError` carrying the structured ``error.type``;
+transport failures surface as :class:`ServerConnectionError`.  The client
+is deliberately synchronous — it is what scripts, the CLI, and the load
+generator use; async callers can speak the one-line protocol directly.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any
+
+from repro.exceptions import ReproError
+from repro.server import protocol
+from repro.server.app import DEFAULT_HOST, DEFAULT_PORT
+
+__all__ = ["Client", "ServerConnectionError", "ServerError"]
+
+
+class ServerError(ReproError):
+    """The server answered ``ok: false``; mirrors the wire error object."""
+
+    def __init__(self, error: dict[str, Any]) -> None:
+        self.type = str(error.get("type", "internal"))
+        self.message = str(error.get("message", ""))
+        super().__init__(f"{self.type}: {self.message}")
+
+    @property
+    def retryable(self) -> bool:
+        """Whether backing off and retrying can succeed."""
+        return self.type in ("saturated", "shutting_down")
+
+
+class ServerConnectionError(ReproError, ConnectionError):
+    """The connection failed or closed before a response arrived."""
+
+
+class Client:
+    """One blocking connection to a :class:`~repro.server.app.QueryServer`.
+
+    Examples
+    --------
+    >>> # with Client("127.0.0.1", 7411) as client:
+    >>> #     result = client.query(
+    >>> #         "SELECT exceedance(21.0) FROM CATALOG '/data/cat'")
+    >>> #     result["results"][0]["series"]
+    """
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        *,
+        timeout: float = 30.0,
+    ) -> None:
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=timeout
+            )
+        except OSError as exc:
+            raise ServerConnectionError(
+                f"cannot connect to {host}:{port}: {exc}"
+            ) from exc
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Wire round-trips.
+    # ------------------------------------------------------------------
+    def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Send one frame, read one response frame (low-level)."""
+        try:
+            self._file.write(protocol.encode_frame(payload))
+            self._file.flush()
+            line = self._file.readline()
+        except OSError as exc:
+            raise ServerConnectionError(
+                f"connection lost mid-request: {exc}"
+            ) from exc
+        if not line:
+            raise ServerConnectionError(
+                "server closed the connection before responding"
+            )
+        try:
+            response = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ServerConnectionError(
+                f"unparseable response frame: {exc}"
+            ) from exc
+        if not isinstance(response, dict):
+            raise ServerConnectionError("response frame is not an object")
+        return response
+
+    def _roundtrip(self, payload: dict[str, Any]) -> dict[str, Any]:
+        self._next_id += 1
+        payload.setdefault("id", self._next_id)
+        response = self.request(payload)
+        if not response.get("ok"):
+            raise ServerError(response.get("error") or {})
+        result = response.get("result")
+        return result if isinstance(result, dict) else {}
+
+    def query(self, statement: str) -> dict[str, Any]:
+        """Execute one statement; the serialized result on success.
+
+        Raises :class:`ServerError` (with the structured ``type``) when
+        the server rejects or fails the statement.
+        """
+        return self._roundtrip({"statement": statement})
+
+    def ping(self) -> bool:
+        return self._roundtrip({"op": "ping"}).get("kind") == "pong"
+
+    def stats(self) -> dict[str, Any]:
+        """The server's lifetime counters (admissions, coalescing, cache)."""
+        return self._roundtrip({"op": "stats"})
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

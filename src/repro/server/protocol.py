@@ -1,0 +1,227 @@
+"""Wire protocol of the catalog query server.
+
+The server speaks **newline-delimited JSON** (NDJSON): every request and
+every response is one JSON object on one line, UTF-8 encoded, terminated
+by ``\\n``.  The format is deliberately transport-trivial — ``nc`` and
+three lines of any language's socket code are full clients.
+
+Request frames::
+
+    {"id": 1, "statement": "SELECT exceedance(21.0) FROM CATALOG '...'"}
+    {"id": 2, "op": "ping"}
+    {"id": 3, "op": "stats"}
+
+``id`` is echoed back verbatim (any JSON scalar; optional).  ``op``
+defaults to ``"query"``, which requires ``statement``.
+
+Response frames::
+
+    {"id": 1, "ok": true, "result": {...}}
+    {"id": 1, "ok": false, "error": {"type": "query_error", "message": "..."}}
+
+Responses are rendered **canonically** (sorted keys, compact separators),
+so the bytes for a given result are deterministic: the benchmark asserts
+that a statement served over the wire is *bit-identical* to the same
+statement run through :meth:`repro.db.engine.Database.execute` and
+serialised with the same functions.
+
+Error taxonomy (``error.type``):
+
+``bad_request``
+    The frame is not a JSON object, or lacks a usable ``statement``.
+``statement_too_large``
+    The statement exceeds :data:`MAX_STATEMENT_CHARS`.
+``frame_too_large``
+    The raw line exceeded the server's read buffer; the connection is
+    closed after this response because the stream cannot be resynced.
+``saturated``
+    Admission control rejected the query (too many in flight) — the
+    429-equivalent; retry after a backoff.
+``shutting_down``
+    The server is draining; no new queries are admitted.
+``parse_error`` / ``invalid_parameter`` / ``store_error`` / ``query_error``
+    The statement failed in the engine; the message says why.
+``io_error`` / ``internal``
+    Filesystem trouble / an unexpected server-side failure.  Never a
+    traceback on the wire, never a dropped connection.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.db.prob_view import ProbabilisticView
+from repro.exceptions import (
+    InvalidParameterError,
+    ParseError,
+    QueryError,
+    ReproError,
+    StoreError,
+)
+from repro.service.executor import SelectResult
+
+__all__ = [
+    "MAX_STATEMENT_CHARS",
+    "DEFAULT_FRAME_LIMIT",
+    "canonical_dumps",
+    "encode_frame",
+    "error_frame",
+    "error_type",
+    "loads_frame",
+    "result_frame",
+    "serialize_result",
+]
+
+#: Hard cap on one statement's character count; longer statements are
+#: rejected with ``statement_too_large`` (the frame itself was readable,
+#: so the connection stays usable).
+MAX_STATEMENT_CHARS = 64_000
+
+#: Default read-buffer limit per frame.  A line that exceeds it cannot be
+#: parsed *or skipped* reliably, so the server answers ``frame_too_large``
+#: and closes that connection.
+DEFAULT_FRAME_LIMIT = 1 << 20
+
+
+def canonical_dumps(payload: Any) -> str:
+    """Deterministic JSON: sorted keys, compact separators, no NaN."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def _reject_constant(name: str) -> float:
+    raise ValueError(f"non-finite JSON constant {name} is not allowed")
+
+
+def loads_frame(line: bytes | str) -> Any:
+    """Parse one request frame, rejecting ``NaN``/``Infinity`` constants.
+
+    Python's ``json.loads`` accepts them by default, but they could never
+    be encoded back by :func:`canonical_dumps` (``allow_nan=False``) — a
+    frame carrying one must fail *here*, as a ``bad_request``, not later
+    while writing the response.
+    """
+    return json.loads(line, parse_constant=_reject_constant)
+
+
+def encode_frame(payload: dict[str, Any]) -> bytes:
+    """One response/request as wire bytes (canonical JSON + newline)."""
+    return canonical_dumps(payload).encode("utf-8") + b"\n"
+
+
+def result_frame(request_id: Any, result: dict[str, Any]) -> dict[str, Any]:
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_frame(
+    request_id: Any, kind: str, message: str
+) -> dict[str, Any]:
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"type": kind, "message": message},
+    }
+
+
+def error_type(exc: BaseException) -> str:
+    """The wire ``error.type`` for an engine/runtime exception."""
+    if isinstance(exc, ParseError):
+        return "parse_error"
+    if isinstance(exc, InvalidParameterError):
+        return "invalid_parameter"
+    if isinstance(exc, StoreError):
+        return "store_error"
+    if isinstance(exc, QueryError):
+        return "query_error"
+    if isinstance(exc, ReproError):
+        return "repro_error"
+    if isinstance(exc, OSError):
+        return "io_error"
+    return "internal"
+
+
+def _scalar_time(value: Any) -> int | float:
+    """JSON-safe time key: integral times stay ints, others floats."""
+    number = float(value)
+    integral = int(number)
+    return integral if number == integral else number
+
+
+def _serialize_rows(result: Any) -> list[list[Any]]:
+    """One series' per-query payload as a deterministic row list.
+
+    ``threshold`` returns :class:`ProbTuple` lists (5-column rows); every
+    other aggregate returns a per-time mapping (2-column rows, sorted by
+    time so dict ordering can never leak into the wire bytes).
+    """
+    if isinstance(result, list):
+        return [
+            [
+                _scalar_time(tup.t),
+                float(tup.low),
+                float(tup.high),
+                float(tup.probability),
+                str(tup.label),
+            ]
+            for tup in result
+        ]
+    return [
+        [_scalar_time(t), float(v)] for t, v in sorted(result.items())
+    ]
+
+
+def serialize_select(result: SelectResult) -> dict[str, Any]:
+    """A catalog-wide SELECT result as a JSON-ready dict."""
+    return {
+        "kind": "select",
+        "aggregate": result.aggregate,
+        "score_label": result.score_label,
+        "matched": [str(series_id) for series_id in result.matched],
+        "results": [
+            {
+                "series": entry.series_id,
+                "score": float(entry.score),
+                "rows": _serialize_rows(entry.result),
+            }
+            for entry in result.results
+        ],
+    }
+
+
+def serialize_view(view: ProbabilisticView) -> dict[str, Any]:
+    """A created probabilistic view as a JSON-ready dict."""
+    cols = view.columns
+    labels = cols.labels
+    return {
+        "kind": "view",
+        "name": view.name,
+        "tuples": [
+            [
+                _scalar_time(t),
+                float(low),
+                float(high),
+                float(probability),
+                labels[code],
+            ]
+            for t, low, high, probability, code in zip(
+                cols.t.tolist(),
+                cols.low.tolist(),
+                cols.high.tolist(),
+                cols.probability.tolist(),
+                cols.label_code.tolist(),
+            )
+        ],
+    }
+
+
+def serialize_result(result: Any) -> dict[str, Any]:
+    """Serialize whatever ``Database.execute`` returned."""
+    if isinstance(result, SelectResult):
+        return serialize_select(result)
+    if isinstance(result, ProbabilisticView):
+        return serialize_view(result)
+    raise TypeError(
+        f"cannot serialize {type(result).__name__} over the wire"
+    )

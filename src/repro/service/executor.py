@@ -166,6 +166,9 @@ class CatalogQueryService:
         self.cache = cache if cache is not None else MatrixCache(
             cache_budget_bytes
         )
+        # Resolved once: statement/catalog matching happens per request,
+        # and the bound root never changes for the service's lifetime.
+        self._root_resolved = Path(self.catalog.root).resolve()
         # Created on first parallel statement, reused for the service's
         # lifetime: a warm query must not pay pool setup/teardown.
         self._pool: ThreadPoolExecutor | None = None
@@ -180,6 +183,55 @@ class CatalogQueryService:
         service's catalog so a statement aimed elsewhere fails loudly
         instead of silently querying the wrong data.
         """
+        return self.execute_plan(
+            plan_select(self.catalog, self._coerce(statement))
+        )
+
+    def execute_many(
+        self, statements: "list[str | SelectQuery] | tuple"
+    ) -> list[SelectResult]:
+        """Batch entry point: run several SELECTs as one fan-out.
+
+        Duplicate statements (after parsing) are planned and executed
+        **once** and their result shared across the answer list — the
+        synchronous counterpart of the server's per-statement request
+        coalescing, for callers holding a whole batch up front (the CLI
+        accepts several statements per invocation; library users get one
+        warm-cache fan-out instead of N).  The per-series tasks of every
+        distinct plan are flattened into a single pool pass, so a batch
+        keeps all workers busy even when its individual statements match
+        only a few series each.  Results come back in request order.
+        """
+        queries = [self._coerce(statement) for statement in statements]
+        plans: dict[SelectQuery, QueryPlan] = {}
+        for query in queries:
+            if query not in plans:
+                plans[query] = plan_select(self.catalog, query)
+        jobs = [
+            (plan, task) for plan in plans.values() for task in plan.tasks
+        ]
+        outcomes = self._map_tasks(jobs)
+        results: dict[SelectQuery, SelectResult] = {}
+        offset = 0
+        for query, plan in plans.items():
+            count = len(plan.tasks)
+            results[query] = self._finalize(
+                plan, outcomes[offset : offset + count]
+            )
+            offset += count
+        return [results[query] for query in queries]
+
+    def execute_plan(self, plan: QueryPlan) -> SelectResult:
+        """Run an already-bound plan: fan out, gather, rank."""
+        gathered = self._map_tasks([(plan, task) for task in plan.tasks])
+        return self._finalize(plan, gathered)
+
+    def accepts(self, query: SelectQuery) -> bool:
+        """Whether a parsed statement addresses this service's catalog."""
+        return Path(query.catalog_path).resolve() == self._root_resolved
+
+    def _coerce(self, statement: str | SelectQuery) -> SelectQuery:
+        """Parse if needed and pin the statement to this catalog."""
         if isinstance(statement, str):
             parsed = parse_statement(statement)
             if not isinstance(parsed, SelectQuery):
@@ -188,32 +240,49 @@ class CatalogQueryService:
                     "Database.execute for CREATE VIEW"
                 )
             statement = parsed
-        if Path(statement.catalog_path).resolve() != Path(
-            self.catalog.root
-        ).resolve():
+        if not self.accepts(statement):
             raise QueryError(
                 f"statement addresses catalog {statement.catalog_path!r} "
                 f"but this service is bound to {str(self.catalog.root)!r}"
             )
-        return self.execute_plan(plan_select(self.catalog, statement))
+        return statement
 
-    def execute_plan(self, plan: QueryPlan) -> SelectResult:
-        """Run an already-bound plan: fan out, gather, rank."""
-        if self.max_workers == 1 or len(plan.tasks) <= 1:
-            gathered = [self._run_task(plan, task) for task in plan.tasks]
-        else:
+    def _map_tasks(
+        self, jobs: list[tuple[QueryPlan, SeriesTask]]
+    ) -> list[SeriesResult]:
+        """Run ``(plan, task)`` jobs, parallel when it can pay off.
+
+        A pool that was shut down concurrently (a ``close()`` racing a
+        late statement — the service-CLI shutdown path) surfaces as
+        :class:`~repro.exceptions.QueryError` instead of a bare
+        ``RuntimeError`` traceback.
+        """
+        if self.max_workers == 1 or len(jobs) <= 1:
+            return [self._run_task(plan, task) for plan, task in jobs]
+        try:
             if self._pool is None:
                 self._pool = ThreadPoolExecutor(
                     max_workers=self.max_workers,
                     thread_name_prefix="repro-service",
                 )
-            gathered = list(
-                self._pool.map(lambda task: self._run_task(plan, task),
-                               plan.tasks)
+            return list(
+                self._pool.map(lambda job: self._run_task(*job), jobs)
             )
+        except RuntimeError as exc:
+            # "cannot schedule new futures after (interpreter) shutdown".
+            raise QueryError(
+                f"catalog query service is shut down: {exc}"
+            ) from exc
+
+    @staticmethod
+    def _finalize(
+        plan: QueryPlan, gathered: list[SeriesResult]
+    ) -> SelectResult:
+        """Rank, truncate, and wrap one plan's gathered results."""
         if plan.query.top_k is not None:
-            gathered.sort(key=lambda entry: (-entry.score, entry.series_id))
-            gathered = gathered[: plan.query.top_k]
+            gathered = sorted(
+                gathered, key=lambda entry: (-entry.score, entry.series_id)
+            )[: plan.query.top_k]
         return SelectResult(
             aggregate=plan.aggregate.name,
             score_label=plan.aggregate.score_label,

@@ -37,6 +37,7 @@ from __future__ import annotations
 import json
 import os
 import re
+import threading
 import uuid
 from collections.abc import Sequence
 from dataclasses import dataclass, field
@@ -473,6 +474,14 @@ class Catalog:
         else:
             raise StoreError(f"no catalog at {self.root}")
         self._handles: dict[str, SeriesHandle] = {}
+        # Snapshot reuse: repeated reads of an unchanged series.json (every
+        # statement a query server executes re-plans its fan-out) skip the
+        # JSON parse.  Guarded by a lock because a server plans statements
+        # from several executor threads against one shared Catalog.
+        self._snapshot_lock = threading.Lock()
+        self._snapshot_cache: dict[str, tuple[tuple, SeriesSnapshot]] = {}
+        self._snapshot_hits = 0
+        self._snapshot_misses = 0
 
     def _flush_manifest(self) -> None:
         _write_json_atomic(self.root / _CATALOG_FILE, self._manifest)
@@ -521,6 +530,13 @@ class Catalog:
         caching — the cheap path for query fan-out.  The returned snapshot
         stays loadable while a writer appends (segments are immutable once
         listed); it simply will not include rows landed after the capture.
+
+        Snapshots are memoised against the metadata file's stat identity
+        (mtime, size, inode): re-snapshotting an unchanged series — every
+        repeated statement through a long-lived service or server does —
+        returns the cached immutable capture without re-reading the file.
+        Any append rewrites ``series.json`` atomically (new inode), so a
+        stale capture can never be served once the write is durable.
         """
         if series_id not in self:
             self._reload_manifest()
@@ -529,6 +545,37 @@ class Catalog:
                 f"unknown series {series_id!r}; stored: {self.list_series()}"
             )
         directory = self.root / series_id
+        token: tuple | None = None
+        try:
+            stat = (directory / _SERIES_FILE).stat()
+            token = (stat.st_mtime_ns, stat.st_size, stat.st_ino)
+        except OSError:
+            pass  # Missing metadata: fall through to _read_json's error.
+        if token is not None:
+            with self._snapshot_lock:
+                cached = self._snapshot_cache.get(series_id)
+                if cached is not None and cached[0] == token:
+                    self._snapshot_hits += 1
+                    return cached[1]
+        snapshot = self._read_snapshot(series_id, directory)
+        if token is not None:
+            with self._snapshot_lock:
+                self._snapshot_misses += 1
+                self._snapshot_cache[series_id] = (token, snapshot)
+        return snapshot
+
+    def snapshot_cache_info(self) -> tuple[int, int]:
+        """``(hits, misses)`` of the snapshot memo — observability hook."""
+        with self._snapshot_lock:
+            return self._snapshot_hits, self._snapshot_misses
+
+    def _drop_snapshot(self, series_id: str) -> None:
+        with self._snapshot_lock:
+            self._snapshot_cache.pop(series_id, None)
+
+    def _read_snapshot(
+        self, series_id: str, directory: Path
+    ) -> SeriesSnapshot:
         meta = _read_json(directory / _SERIES_FILE, "series")
         return SeriesSnapshot(
             series_id=series_id,
@@ -743,6 +790,7 @@ class Catalog:
         handle = self._handles.pop(series_id, None)
         if handle is not None:
             handle._closed = True
+        self._drop_snapshot(series_id)
 
     # ------------------------------------------------------------------
     # Convenience pass-throughs.

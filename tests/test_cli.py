@@ -223,3 +223,103 @@ class TestServiceCommands:
     def test_service_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["service"])
+
+
+class TestServerCommands:
+    @staticmethod
+    def _make_catalog(tmp_path, capsys) -> str:
+        catalog = str(tmp_path / "catalog")
+        assert main([
+            "store", "init", catalog, "room-a",
+            "--metric", "vt", "--window", "30", "--n", "4",
+        ]) == 0
+        assert main([
+            "store", "ingest", catalog, "room-a",
+            "--data", "campus", "--scale", "0.03", "--batch", "60",
+        ]) == 0
+        capsys.readouterr()
+        return catalog
+
+    def test_server_query_round_trip(self, tmp_path, capsys):
+        from repro.server import QueryServer, ServerThread
+
+        catalog = self._make_catalog(tmp_path, capsys)
+        with ServerThread(QueryServer(catalog, port=0)) as (host, port):
+            exit_code = main([
+                "server", "query",
+                f"SELECT exceedance(21.0) FROM CATALOG '{catalog}'",
+                "--host", host, "--port", str(port), "--head", "3",
+            ])
+            out = capsys.readouterr().out
+            assert exit_code == 0
+            assert "1 matched series" in out
+            assert "room-a" in out
+
+            exit_code = main([
+                "server", "query",
+                f"SELECT expected_value FROM CATALOG '{catalog}'",
+                "--host", host, "--port", str(port), "--json",
+            ])
+            out = capsys.readouterr().out
+            assert exit_code == 0
+            assert out.startswith('{"aggregate":"expected_value"')
+
+    def test_server_query_structured_engine_error(self, tmp_path, capsys):
+        from repro.server import QueryServer, ServerThread
+
+        catalog = self._make_catalog(tmp_path, capsys)
+        with ServerThread(QueryServer(catalog, port=0)) as (host, port):
+            exit_code = main([
+                "server", "query",
+                f"SELECT exceedance(21.0) FROM CATALOG '{catalog}' "
+                "SERIES 'z*'",
+                "--host", host, "--port", str(port),
+            ])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert captured.err.startswith("error: query_error")
+        assert "Traceback" not in captured.err
+
+    def test_server_query_without_server_fails_cleanly(self, capsys):
+        exit_code = main([
+            "server", "query", "SELECT expected_value FROM CATALOG 'x'",
+            "--port", "1",  # Nothing listens on port 1.
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err
+
+    def test_keyboard_interrupt_exits_cleanly(self, capsys, monkeypatch):
+        import repro.service
+
+        def interrupted(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(repro.service, "execute_select", interrupted)
+        exit_code = main([
+            "service", "query", "SELECT expected_value FROM CATALOG 'x'",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 130
+        assert "interrupted" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_server_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["server"])
+
+    def test_service_query_multi_statement_batch(self, tmp_path, capsys):
+        catalog = self._make_catalog(tmp_path, capsys)
+        exceedance = f"SELECT exceedance(21.0) FROM CATALOG '{catalog}'"
+        exit_code = main([
+            "service", "query",
+            exceedance,
+            f"SELECT threshold(0.4) FROM CATALOG '{catalog}' TOP 1",
+            exceedance,  # Duplicate: planned and executed once.
+            "--head", "2",
+        ])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert out.count("matched series") == 3
+        assert "max_p" in out and "hits" in out

@@ -5,8 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.data.synthetic import campus_temperature
-from repro.db.density_store import DensityStore, StoredDensity
+from repro.db.density_store import DensityStore
 from repro.distributions.gaussian import Gaussian
 from repro.distributions.histogram import HistogramDistribution
 from repro.distributions.uniform import Uniform

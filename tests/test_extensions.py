@@ -20,7 +20,7 @@ from repro.evaluation.calibration import (
     ks_uniformity_test,
     pit_histogram,
 )
-from repro.exceptions import DataError, EstimationError, InvalidParameterError
+from repro.exceptions import DataError, InvalidParameterError
 from repro.metrics.ewma import EWMAMetric
 from repro.metrics.registry import create_metric
 from repro.metrics.variable_threshold import VariableThresholdingMetric

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.data.errors import inject_errors
 from repro.data.synthetic import campus_temperature

@@ -29,10 +29,12 @@ class TestDensityForecast:
 
 class TestDensitySeries:
     def test_ordering_enforced(self):
-        make = lambda t: DensityForecast(
-            t=t, mean=0.0, distribution=Gaussian(0.0, 1.0),
-            lower=-3, upper=3, volatility=1.0,
-        )
+        def make(t):
+            return DensityForecast(
+                t=t, mean=0.0, distribution=Gaussian(0.0, 1.0),
+                lower=-3, upper=3, volatility=1.0,
+            )
+
         with pytest.raises(DataError):
             DensitySeries([make(5), make(5)])
         with pytest.raises(DataError):

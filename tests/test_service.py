@@ -23,7 +23,7 @@ from repro.service.cache import view_nbytes
 from repro.service.executor import restrict_time_range
 from repro.store import Catalog
 from repro.view.omega import OmegaGrid
-from repro.view.sql import SelectQuery, parse_select_query
+from repro.view.sql import parse_select_query
 
 H = 20
 GRID = OmegaGrid(delta=0.5, n=4)

@@ -9,7 +9,6 @@ materialised view.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.data.synthetic import campus_temperature

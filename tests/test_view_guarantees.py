@@ -9,11 +9,9 @@ Theorem 1 to the quantity users consume.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.data.synthetic import campus_temperature
 from repro.db.prob_view import ProbabilisticView
 from repro.distributions.gaussian import Gaussian
 from repro.metrics.base import DensityForecast, DensitySeries

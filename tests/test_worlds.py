@@ -103,7 +103,9 @@ class TestMonteCarloQuery:
 
     def test_standard_error_shrinks_with_samples(self):
         view = _view()
-        indicator = lambda world: float(world.in_range(1, 0.0, 1.0))
+        def indicator(world):
+            return float(world.in_range(1, 0.0, 1.0))
+
         small = monte_carlo_query(view, indicator, n_samples=100, rng=5)
         large = monte_carlo_query(view, indicator, n_samples=6400, rng=5)
         assert large.standard_error < small.standard_error
