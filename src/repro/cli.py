@@ -123,6 +123,12 @@ def build_parser() -> argparse.ArgumentParser:
     init = store_sub.add_parser("init", help="create a series in a catalog")
     init.add_argument("catalog", help="catalog directory (created if missing)")
     init.add_argument("series", help="series id")
+    init.add_argument("--layout", default=None, choices=["npz", "v2"],
+                      help="segment layout for this series' appends: 'v2' "
+                           "(uncompressed .npy-per-column) enables zero-copy "
+                           "mmap reads for the process executor backend "
+                           "(default: the catalog's recorded layout, npz "
+                           "for new catalogs)")
     init.add_argument("--metric", default="arma_garch",
                       help="dynamic density metric registry name")
     init.add_argument("--window", type=int, default=60,
@@ -185,7 +191,13 @@ def build_parser() -> argparse.ArgumentParser:
              "sharing the matrix cache",
     )
     vquery.add_argument("--workers", type=int, default=None,
-                        help="thread fan-out width (default: cpus + 4)")
+                        help="fan-out width (default: cpus + 4 for the "
+                             "thread backend, cpus for the process backend)")
+    vquery.add_argument("--backend", default="thread",
+                        choices=["sequential", "thread", "process"],
+                        help="executor backend: 'process' sidesteps the "
+                             "GIL for CPU-bound aggregates on multi-core "
+                             "hosts")
     vquery.add_argument("--cache-mb", type=float, default=64.0,
                         help="matrix-cache byte budget in MiB")
     vquery.add_argument("--head", type=int, default=8,
@@ -209,7 +221,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable sharing one execution between "
                             "concurrent identical statements")
     serve.add_argument("--workers", type=int, default=None,
-                       help="per-statement thread fan-out width")
+                       help="per-statement fan-out width")
+    serve.add_argument("--backend", default="thread",
+                       choices=["sequential", "thread", "process"],
+                       help="per-statement executor backend")
     serve.add_argument("--cache-mb", type=float, default=64.0,
                        help="matrix-cache byte budget in MiB")
 
@@ -287,7 +302,7 @@ def _cmd_store(args: argparse.Namespace) -> int:
     from repro.view.omega import OmegaGrid
 
     if args.store_command == "init":
-        catalog = Catalog(args.catalog)
+        catalog = Catalog(args.catalog, segment_layout=args.layout)
         handle = catalog.create_series(
             args.series,
             metric=args.metric,
@@ -381,6 +396,7 @@ def _cmd_service(args: argparse.Namespace) -> int:
             args.sql[0],
             max_workers=args.workers,
             cache_budget_bytes=cache_budget,
+            backend=args.backend,
         )]
     else:
         # Several statements: one batched fan-out through a shared
@@ -395,6 +411,7 @@ def _cmd_service(args: argparse.Namespace) -> int:
             first.catalog_path,
             max_workers=args.workers,
             cache_budget_bytes=cache_budget,
+            backend=args.backend,
         ) as service:
             results = service.execute_many(args.sql)
     for index, result in enumerate(results):
@@ -451,6 +468,7 @@ def _cmd_server(args: argparse.Namespace) -> int:
             max_inflight=args.max_inflight,
             coalesce=not args.no_coalesce,
             max_workers=args.workers,
+            backend=args.backend,
             cache_budget_bytes=max(int(args.cache_mb * (1 << 20)), 1),
         )
 
@@ -460,7 +478,8 @@ def _cmd_server(args: argparse.Namespace) -> int:
             print(
                 f"serving catalog {args.catalog} on {host}:{port} "
                 f"(max_inflight={args.max_inflight}, "
-                f"coalesce={not args.no_coalesce}); Ctrl-C to drain and stop",
+                f"coalesce={not args.no_coalesce}, "
+                f"backend={args.backend}); Ctrl-C to drain and stop",
                 flush=True,
             )
             await server.run()

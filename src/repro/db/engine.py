@@ -118,9 +118,15 @@ class Database:
         self._select_service = service
 
     def execute_select(
-        self, query: "str | SelectQuery"
+        self, query: "str | SelectQuery", *, backend: str | None = None
     ) -> "SelectResult":
-        """Run a catalog-wide SELECT through :mod:`repro.service`."""
+        """Run a catalog-wide SELECT through :mod:`repro.service`.
+
+        A bound service (see :meth:`bind_select_service`) carries its own
+        executor backend, worker pool, and warm cache; ``backend`` only
+        steers the one-shot fallback path for statements addressing other
+        catalogs (``"sequential"``/``"thread"``/``"process"``).
+        """
         # Imported lazily: the service layer sits above the engine.
         from repro.service.executor import execute_select
 
@@ -135,7 +141,9 @@ class Database:
         service = self._select_service
         if service is not None and service.accepts(query):
             return service.execute(query)
-        return execute_select(query)
+        return execute_select(
+            query, backend=backend if backend is not None else "thread"
+        )
 
     def execute_query(self, query: ViewQuery) -> ProbabilisticView:
         """Execute an already-parsed :class:`ViewQuery`."""

@@ -84,8 +84,10 @@ class QueryServer:
         rejected with ``saturated``.
     coalesce:
         Share one execution between concurrent identical statements.
-    max_workers, cache_budget_bytes:
-        Forwarded to the shared :class:`CatalogQueryService`.
+    max_workers, cache_budget_bytes, backend:
+        Forwarded to the shared :class:`CatalogQueryService`; ``backend``
+        selects the per-statement executor (``"thread"`` default,
+        ``"process"`` for true multi-core aggregate execution).
     database:
         Optionally a pre-built :class:`Database` (e.g. with raw tables
         registered so ``CREATE VIEW`` statements have data to run over).
@@ -109,12 +111,14 @@ class QueryServer:
         frame_limit_bytes: int = protocol.DEFAULT_FRAME_LIMIT,
         max_workers: int | None = None,
         cache_budget_bytes: int = 64 << 20,
+        backend: str = "thread",
         database: Database | None = None,
     ) -> None:
         self.service = CatalogQueryService(
             catalog,
             max_workers=max_workers,
             cache_budget_bytes=cache_budget_bytes,
+            backend=backend,
         )
         self.database = database if database is not None else Database()
         self.database.bind_select_service(self.service)
@@ -380,10 +384,23 @@ class QueryServer:
             del self._inflight[key]
 
     def _stats_payload(self) -> dict[str, Any]:
-        payload: dict[str, Any] = {"kind": "stats", "active": self._active}
+        payload: dict[str, Any] = {
+            "kind": "stats",
+            "active": self._active,
+            "backend": self.service.backend_name,
+        }
         payload.update(self.stats.as_dict())
         cache = self.service.cache.stats
         payload["cache"] = {
+            # The process backend keeps one private cache per worker;
+            # those counters are invisible here, so the shared-cache
+            # numbers below legitimately stay at zero.  ``scope`` tells
+            # an operator which situation they are reading.
+            "scope": (
+                "per-worker"
+                if self.service.backend_name == "process"
+                else "shared"
+            ),
             "hits": cache.hits,
             "misses": cache.misses,
             "entries": cache.entries,

@@ -3,17 +3,30 @@
 The layer that turns a directory of persisted probabilistic views
 (:mod:`repro.store`) into something queryable *as a database*: one
 ``SELECT`` statement evaluates an aggregate over every (or a glob-selected
-subset of) series in a catalog, per-series work fans out over a thread
-pool, and materialised view matrices are kept warm in a byte-budgeted LRU
-cache so repeated statements never reload a segment.
+subset of) series in a catalog, per-series work fans out over a pluggable
+executor backend (sequential / thread pool / spawn-safe process pool with
+zero-copy mmap segment reads), and materialised view matrices are kept
+warm in a byte-budgeted LRU cache so repeated statements never reload a
+segment.
 
 * :mod:`repro.service.planner` — binds a parsed statement to a catalog:
-  aggregate resolution + argument checks + snapshot fan-out list;
-* :mod:`repro.service.executor` — runs the plan (parallel or sequential)
-  and ranks the per-series results;
+  aggregate resolution + argument checks + snapshot fan-out list, plus
+  the picklable per-series task envelopes backends consume;
+* :mod:`repro.service.backends` — the executor backends and the single
+  per-envelope compute path they all share;
+* :mod:`repro.service.executor` — runs the plan through the selected
+  backend and ranks the per-series results;
 * :mod:`repro.service.cache` — the shared materialised-view cache.
 """
 
+from repro.service.backends import (
+    BACKEND_NAMES,
+    ExecutorBackend,
+    ProcessBackend,
+    SequentialBackend,
+    ThreadBackend,
+    make_backend,
+)
 from repro.service.cache import CacheStats, MatrixCache
 from repro.service.executor import (
     CatalogQueryService,
@@ -25,12 +38,18 @@ from repro.service.planner import AGGREGATES, QueryPlan, plan_select
 
 __all__ = [
     "AGGREGATES",
+    "BACKEND_NAMES",
     "CacheStats",
     "CatalogQueryService",
+    "ExecutorBackend",
     "MatrixCache",
+    "ProcessBackend",
     "QueryPlan",
     "SelectResult",
+    "SequentialBackend",
     "SeriesResult",
+    "ThreadBackend",
     "execute_select",
+    "make_backend",
     "plan_select",
 ]

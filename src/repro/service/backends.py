@@ -1,0 +1,460 @@
+"""Pluggable executor backends for catalog-wide SELECT fan-out.
+
+One :class:`~repro.service.executor.CatalogQueryService` delegates its
+per-series work to an :class:`ExecutorBackend`.  Three implementations
+cover the execution spectrum:
+
+* :class:`SequentialBackend` — a plain loop, the parity reference every
+  other backend must match bit-for-bit;
+* :class:`ThreadBackend` — the historical default: one persistent
+  :class:`~concurrent.futures.ThreadPoolExecutor` sharing the service's
+  :class:`~repro.service.cache.MatrixCache`.  Scales where the per-task
+  work releases the GIL (bulk numpy, file IO), serialises where it does
+  not;
+* :class:`ProcessBackend` — true multi-core execution over a
+  :class:`~concurrent.futures.ProcessPoolExecutor`.  Workers start under
+  the ``spawn`` method (the only one safe on every platform and the
+  default on macOS/Windows), warm a per-worker catalog cache via a
+  spawn-safe initializer, and receive work as *chunks* of picklable
+  :class:`~repro.service.planner.TaskEnvelope` objects so IPC overhead
+  amortises across many series.  Combined with the store's layout-v2
+  mmap segments, workers share page-cache pages instead of each
+  rehydrating its own copy of every segment.
+
+All backends consume envelopes and produce :class:`ResultEnvelope`
+objects in input order; per-series failures travel *inside* the envelope
+(as a message, never a pickled traceback) so one broken series aborts the
+statement with a diagnostic naming that series.  A worker process dying
+outright surfaces as :class:`~repro.exceptions.QueryError` naming every
+series whose chunk was lost, and the pool is rebuilt lazily on the next
+statement.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from dataclasses import dataclass
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.db.prob_view import ProbabilisticView
+from repro.exceptions import (
+    InvalidParameterError,
+    QueryError,
+    ReproError,
+)
+from repro.service.cache import MatrixCache
+from repro.service.planner import AGGREGATES, TaskEnvelope
+from repro.store.catalog import _load_view_from_segments
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ExecutorBackend",
+    "ProcessBackend",
+    "ResultEnvelope",
+    "SequentialBackend",
+    "ThreadBackend",
+    "make_backend",
+    "restrict_time_range",
+    "run_envelope",
+]
+
+#: Spellings accepted wherever a backend is selected by name (service
+#: constructor, ``server serve --backend``, ``service query --backend``).
+BACKEND_NAMES = ("sequential", "thread", "process")
+
+#: Fault-injection hook for the crash tests: a worker *process* whose
+#: chunk contains this series id exits hard before computing, simulating
+#: an OOM kill / segfault mid-query.  Checked only on the process-pool
+#: worker side — never in-process — so enabling it cannot kill the
+#: service itself.
+_CRASH_ENV = "REPRO_FAULT_WORKER_CRASH"
+
+
+def restrict_time_range(
+    view: ProbabilisticView, lo: float | None, hi: float | None
+) -> ProbabilisticView:
+    """The sub-view whose tuples satisfy ``lo <= t <= hi``.
+
+    Returns the input unchanged when no bound cuts anything — the common
+    unbounded query never copies columns.
+    """
+    if lo is None and hi is None:
+        return view
+    cols = view.columns
+    mask = np.ones(cols.t.size, dtype=bool)
+    if lo is not None:
+        mask &= cols.t >= lo
+    if hi is not None:
+        mask &= cols.t <= hi
+    if bool(mask.all()):
+        return view
+    indices = np.flatnonzero(mask)
+    return ProbabilisticView.from_columns(
+        view.name,
+        cols.t[indices],
+        cols.low[indices],
+        cols.high[indices],
+        cols.probability[indices],
+        label_code=cols.label_code[indices],
+        label_pool=cols.labels,
+    )
+
+
+@dataclass(frozen=True)
+class ResultEnvelope:
+    """What one envelope produced: a result or a one-line diagnostic.
+
+    ``error`` carries the failure message instead of an exception object
+    so the envelope pickles identically no matter which backend produced
+    it — a worker process never ships a traceback across the pipe.
+    """
+
+    series_id: str
+    score: float
+    result: Any
+    error: str | None = None
+
+
+def run_envelope(
+    envelope: TaskEnvelope, cache: MatrixCache, *, mmap: bool = False
+) -> ResultEnvelope:
+    """Execute one envelope against a materialised-view cache.
+
+    The single compute path every backend runs — sequentially, on a pool
+    thread, or inside a worker process — which is what makes the parity
+    guarantee (identical results across backends) structural rather than
+    coincidental.
+    """
+    spec = AGGREGATES[envelope.aggregate]
+    try:
+        view = cache.get(
+            envelope.cache_key,
+            lambda: _load_view_from_segments(
+                Path(envelope.directory),
+                envelope.series_id,
+                envelope.segments,
+                mmap=mmap,
+            ),
+        )
+        view = restrict_time_range(view, envelope.time_lo, envelope.time_hi)
+        result, score = spec.compute(view, envelope.arguments)
+    except (ReproError, OSError) as exc:
+        # Loading counts too: in a fan-out over hundreds of series,
+        # "which series is broken" is the whole diagnostic.
+        return ResultEnvelope(
+            series_id=envelope.series_id,
+            score=0.0,
+            result=None,
+            error=(
+                f"aggregate {envelope.aggregate!r} failed on series "
+                f"{envelope.series_id!r}: {exc}"
+            ),
+        )
+    return ResultEnvelope(
+        series_id=envelope.series_id, score=score, result=result
+    )
+
+
+class ExecutorBackend:
+    """Strategy interface: run envelopes, return results in input order.
+
+    Subclasses implement :meth:`map`; :meth:`close` releases any pool the
+    backend holds and is idempotent.  ``name`` identifies the backend in
+    stats output and benchmarks.
+    """
+
+    name: str = "abstract"
+    max_workers: int = 1
+
+    def map(self, envelopes: list[TaskEnvelope]) -> list[ResultEnvelope]:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default.
+        pass
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(name={self.name!r}, "
+            f"max_workers={self.max_workers})"
+        )
+
+
+class SequentialBackend(ExecutorBackend):
+    """The parity reference: a plain in-order loop, no pool at all."""
+
+    name = "sequential"
+
+    def __init__(self, cache: MatrixCache, *, mmap: bool = False) -> None:
+        self.cache = cache
+        self.mmap = bool(mmap)
+        self.max_workers = 1
+
+    def map(self, envelopes: list[TaskEnvelope]) -> list[ResultEnvelope]:
+        return [
+            run_envelope(envelope, self.cache, mmap=self.mmap)
+            for envelope in envelopes
+        ]
+
+
+class ThreadBackend(ExecutorBackend):
+    """Thread-pool fan-out sharing the service's matrix cache.
+
+    The pool is created on first use and reused for the backend's
+    lifetime — a warm statement must not pay pool setup.  A pool that was
+    shut down underneath a live statement (a ``close()`` racing a late
+    ``execute`` — the service-CLI shutdown path) surfaces as
+    :class:`~repro.exceptions.QueryError` instead of a bare
+    ``RuntimeError`` traceback.
+    """
+
+    name = "thread"
+
+    def __init__(
+        self,
+        max_workers: int,
+        cache: MatrixCache,
+        *,
+        mmap: bool = False,
+    ) -> None:
+        if max_workers < 1:
+            raise InvalidParameterError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        self.max_workers = int(max_workers)
+        self.cache = cache
+        self.mmap = bool(mmap)
+        # Lazy pool creation is locked: a server fans concurrent first
+        # statements at one shared service, and an unsynchronised
+        # check-then-set would build (and leak) duplicate pools.
+        self._pool_lock = threading.Lock()
+        self._pool: ThreadPoolExecutor | None = None
+
+    def map(self, envelopes: list[TaskEnvelope]) -> list[ResultEnvelope]:
+        if self.max_workers == 1 or len(envelopes) <= 1:
+            return [
+                run_envelope(envelope, self.cache, mmap=self.mmap)
+                for envelope in envelopes
+            ]
+        try:
+            with self._pool_lock:
+                if self._pool is None:
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self.max_workers,
+                        thread_name_prefix="repro-service",
+                    )
+                pool = self._pool
+            return list(
+                pool.map(
+                    lambda envelope: run_envelope(
+                        envelope, self.cache, mmap=self.mmap
+                    ),
+                    envelopes,
+                )
+            )
+        except RuntimeError as exc:
+            # "cannot schedule new futures after (interpreter) shutdown".
+            raise QueryError(
+                f"catalog query service is shut down: {exc}"
+            ) from exc
+
+    def close(self) -> None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+# ----------------------------------------------------------------------
+# Process backend: worker-process side.
+# ----------------------------------------------------------------------
+# Populated by _worker_init inside each worker process.  Module-level
+# because ProcessPoolExecutor initializers cannot return state; spawn-safe
+# because initialisation happens after the interpreter (re-)imports this
+# module, never by inheriting parent memory.
+_WORKER_CACHE: MatrixCache | None = None
+_WORKER_MMAP: bool = False
+
+
+def _worker_init(cache_budget_bytes: int, mmap: bool) -> None:
+    """Per-process warm state: one matrix cache, built once per worker."""
+    global _WORKER_CACHE, _WORKER_MMAP
+    _WORKER_CACHE = MatrixCache(cache_budget_bytes)
+    _WORKER_MMAP = bool(mmap)
+
+
+def _run_chunk(chunk: list[TaskEnvelope]) -> list[ResultEnvelope]:
+    """Worker-side entry point: run one chunk against the warm cache."""
+    crash = os.environ.get(_CRASH_ENV)
+    if crash and any(envelope.series_id == crash for envelope in chunk):
+        os._exit(17)  # Fault injection: die like an OOM-killed worker.
+    cache = _WORKER_CACHE
+    if cache is None:  # pragma: no cover - initializer always ran.
+        cache = MatrixCache()
+    return [
+        run_envelope(envelope, cache, mmap=_WORKER_MMAP)
+        for envelope in chunk
+    ]
+
+
+class ProcessBackend(ExecutorBackend):
+    """Process-pool fan-out: true multi-core, per-worker warm caches.
+
+    Envelopes are batched into at most ``chunks_per_worker`` chunks per
+    worker and each chunk crosses the pipe as one submission, so the
+    per-task IPC cost amortises.  Workers always start under ``spawn`` —
+    fork would duplicate the parent's pool locks and (on macOS) deadlock
+    outright — and each builds its own :class:`MatrixCache`, so repeated
+    statements hit worker-resident views exactly like the thread backend
+    hits the shared one.
+
+    ``mmap`` defaults to on: combined with layout-v2 segments the workers
+    map the same bytes the page cache already holds.  The flag is a no-op
+    for ``.npz`` segments.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        max_workers: int,
+        *,
+        cache_budget_bytes: int = 64 << 20,
+        mmap: bool = True,
+        chunks_per_worker: int = 2,
+    ) -> None:
+        if max_workers < 1:
+            raise InvalidParameterError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        if chunks_per_worker < 1:
+            raise InvalidParameterError(
+                f"chunks_per_worker must be >= 1, got {chunks_per_worker}"
+            )
+        self.max_workers = int(max_workers)
+        self.cache_budget_bytes = int(cache_budget_bytes)
+        self.mmap = bool(mmap)
+        self.chunks_per_worker = int(chunks_per_worker)
+        # Locked for the same reason as ThreadBackend — doubly so here,
+        # where a duplicate pool leaks whole worker *processes*.
+        self._pool_lock = threading.Lock()
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers,
+                    mp_context=get_context("spawn"),
+                    initializer=_worker_init,
+                    initargs=(self.cache_budget_bytes, self.mmap),
+                )
+            return self._pool
+
+    def _chunks(
+        self, envelopes: list[TaskEnvelope]
+    ) -> list[list[TaskEnvelope]]:
+        size = max(
+            1,
+            math.ceil(
+                len(envelopes) / (self.max_workers * self.chunks_per_worker)
+            ),
+        )
+        return [
+            envelopes[start : start + size]
+            for start in range(0, len(envelopes), size)
+        ]
+
+    def map(self, envelopes: list[TaskEnvelope]) -> list[ResultEnvelope]:
+        if not envelopes:
+            return []
+        chunks = self._chunks(envelopes)
+        try:
+            pool = self._ensure_pool()
+            futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
+        except RuntimeError as exc:
+            raise QueryError(
+                f"catalog query service is shut down: {exc}"
+            ) from exc
+        results: list[ResultEnvelope] = []
+        lost: list[str] = []
+        broken: BaseException | None = None
+        for future, chunk in zip(futures, chunks):
+            try:
+                results.extend(future.result())
+            except BrokenExecutor as exc:
+                broken = exc
+                lost.extend(envelope.series_id for envelope in chunk)
+        if broken is not None:
+            # The pool is dead; drop it so the next statement rebuilds a
+            # fresh one instead of failing forever.  Another statement
+            # may have raced to the same conclusion — only tear down the
+            # pool this map actually used.
+            with self._pool_lock:
+                if self._pool is pool:
+                    self._pool = None
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise QueryError(
+                f"worker process died while computing series "
+                f"{sorted(set(lost))}: {broken}"
+            ) from broken
+        return results
+
+    def close(self) -> None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+def make_backend(
+    backend: "str | ExecutorBackend",
+    *,
+    max_workers: int | None = None,
+    cache: MatrixCache,
+    cache_budget_bytes: int = 64 << 20,
+    mmap: bool | None = None,
+) -> ExecutorBackend:
+    """Resolve a backend spec (name or instance) into an instance.
+
+    ``max_workers=None`` picks ``min(16, cpus + 4)`` for threads (IO-ish
+    work overlaps beyond the core count) but exactly ``cpus`` for
+    processes (a process per core is the point; more only costs memory).
+    ``mmap=None`` resolves to on for the process backend and off
+    otherwise.  A ``max_workers=1`` thread backend degrades to the
+    sequential reference — same per-task code, no pool.
+    """
+    if isinstance(backend, ExecutorBackend):
+        return backend
+    if backend not in BACKEND_NAMES:
+        raise InvalidParameterError(
+            f"unknown executor backend {backend!r}; "
+            f"one of {', '.join(BACKEND_NAMES)}"
+        )
+    cpus = os.cpu_count() or 1
+    if max_workers is None:
+        max_workers = cpus if backend == "process" else min(16, cpus + 4)
+    if max_workers < 1:
+        raise InvalidParameterError(
+            f"max_workers must be >= 1, got {max_workers}"
+        )
+    if backend == "process":
+        return ProcessBackend(
+            max_workers,
+            cache_budget_bytes=cache_budget_bytes,
+            mmap=True if mmap is None else mmap,
+        )
+    mmap = False if mmap is None else mmap
+    if backend == "sequential" or max_workers == 1:
+        return SequentialBackend(cache, mmap=mmap)
+    return ThreadBackend(max_workers, cache, mmap=mmap)

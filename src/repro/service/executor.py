@@ -1,33 +1,34 @@
 """Parallel execution of planned catalog-wide SELECT statements.
 
-One :class:`CatalogQueryService` owns a catalog, a worker pool width, and a
-:class:`~repro.service.cache.MatrixCache`.  Executing a statement fans the
-plan's per-series tasks over a :class:`~concurrent.futures.ThreadPoolExecutor`
-— the work is numpy (``.npz`` decoding, vectorised validation, grouped
-reductions), which releases the GIL, so the fan-out scales with cores on
-cold reads and stays overhead-free on warm ones.  Results come back in
+One :class:`CatalogQueryService` owns a catalog, an executor backend, and
+a :class:`~repro.service.cache.MatrixCache`.  Executing a statement turns
+the plan's per-series tasks into picklable envelopes and hands them to
+the backend (:mod:`repro.service.backends`): ``sequential`` is the parity
+reference, ``thread`` fans out over a shared-memory pool, ``process``
+runs on true multi-core worker processes with per-worker warm caches and
+(with layout-v2 segments) zero-copy mmap reads.  Results come back in
 deterministic order: series id, or score-descending when ``TOP k`` ranks.
 
-The sequential path (``max_workers=1``) runs the exact same per-task code
-in a plain loop; the parity tests pin the two paths — and the ad-hoc
-one-series-at-a-time loop they replace — to identical results.
+Every backend runs the exact same per-task code
+(:func:`repro.service.backends.run_envelope`); the parity tests pin all
+of them — and the ad-hoc one-series-at-a-time loop they replaced — to
+identical results.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
-import numpy as np
-
-from repro.db.prob_view import ProbabilisticView
 from repro.exceptions import (
     InvalidParameterError,
     QueryError,
-    ReproError,
+)
+from repro.service.backends import (
+    ExecutorBackend,
+    make_backend,
+    restrict_time_range,
 )
 from repro.service.cache import MatrixCache
 from repro.service.planner import QueryPlan, SeriesTask, plan_select
@@ -41,36 +42,6 @@ __all__ = [
     "execute_select",
     "restrict_time_range",
 ]
-
-
-def restrict_time_range(
-    view: ProbabilisticView, lo: float | None, hi: float | None
-) -> ProbabilisticView:
-    """The sub-view whose tuples satisfy ``lo <= t <= hi``.
-
-    Returns the input unchanged when no bound cuts anything — the common
-    unbounded query never copies columns.
-    """
-    if lo is None and hi is None:
-        return view
-    cols = view.columns
-    mask = np.ones(cols.t.size, dtype=bool)
-    if lo is not None:
-        mask &= cols.t >= lo
-    if hi is not None:
-        mask &= cols.t <= hi
-    if bool(mask.all()):
-        return view
-    indices = np.flatnonzero(mask)
-    return ProbabilisticView.from_columns(
-        view.name,
-        cols.t[indices],
-        cols.low[indices],
-        cols.high[indices],
-        cols.probability[indices],
-        label_code=cols.label_code[indices],
-        label_pool=cols.labels,
-    )
 
 
 @dataclass(frozen=True)
@@ -131,16 +102,26 @@ class CatalogQueryService:
         read-only style: missing catalogs raise instead of being created).
     max_workers:
         Fan-out width; ``1`` runs sequentially (the parity reference),
-        ``None`` picks ``min(16, cpus + 4)``.
+        ``None`` picks ``min(16, cpus + 4)`` for threads and ``cpus`` for
+        processes.
     cache_budget_bytes:
         Byte budget of the materialised-view cache; repeated statements on
-        an unchanged catalog skip every ``.npz`` reload.
+        an unchanged catalog skip every segment reload.  The process
+        backend grants the same budget to each worker's private cache.
     cache:
         Share an existing :class:`MatrixCache` between services instead.
+    backend:
+        ``"thread"`` (default), ``"process"``, ``"sequential"``, or an
+        :class:`~repro.service.backends.ExecutorBackend` instance.
+    mmap:
+        Memory-map layout-v2 segments instead of copying them
+        (``None``: on for the process backend, off otherwise; ignored
+        for ``.npz`` segments).
 
     Examples
     --------
-    >>> # service = CatalogQueryService("/data/catalogs/main")
+    >>> # service = CatalogQueryService("/data/catalogs/main",
+    >>> #                               backend="process")
     >>> # service.execute("SELECT exceedance(21.0) FROM CATALOG "
     >>> #                 "'/data/catalogs/main' SERIES 'room*' TOP 3")
     """
@@ -152,26 +133,40 @@ class CatalogQueryService:
         max_workers: int | None = None,
         cache_budget_bytes: int = 64 << 20,
         cache: MatrixCache | None = None,
+        backend: "str | ExecutorBackend" = "thread",
+        mmap: bool | None = None,
     ) -> None:
         if not isinstance(catalog, Catalog):
             catalog = Catalog(catalog, create=False)
         self.catalog = catalog
-        if max_workers is None:
-            max_workers = min(16, (os.cpu_count() or 1) + 4)
-        if max_workers < 1:
+        if max_workers is not None and max_workers < 1:
             raise InvalidParameterError(
                 f"max_workers must be >= 1, got {max_workers}"
             )
-        self.max_workers = int(max_workers)
         self.cache = cache if cache is not None else MatrixCache(
             cache_budget_bytes
         )
+        self._backend = make_backend(
+            backend,
+            max_workers=max_workers,
+            cache=self.cache,
+            cache_budget_bytes=cache_budget_bytes,
+            mmap=mmap,
+        )
+        self.max_workers = self._backend.max_workers
         # Resolved once: statement/catalog matching happens per request,
         # and the bound root never changes for the service's lifetime.
         self._root_resolved = Path(self.catalog.root).resolve()
-        # Created on first parallel statement, reused for the service's
-        # lifetime: a warm query must not pay pool setup/teardown.
-        self._pool: ThreadPoolExecutor | None = None
+        self._closed = False
+
+    @property
+    def backend(self) -> ExecutorBackend:
+        """The live executor backend (read-only)."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        return self._backend.name
 
     # ------------------------------------------------------------------
     # Entry points.
@@ -250,29 +245,32 @@ class CatalogQueryService:
     def _map_tasks(
         self, jobs: list[tuple[QueryPlan, SeriesTask]]
     ) -> list[SeriesResult]:
-        """Run ``(plan, task)`` jobs, parallel when it can pay off.
+        """Run ``(plan, task)`` jobs through the backend.
 
-        A pool that was shut down concurrently (a ``close()`` racing a
-        late statement — the service-CLI shutdown path) surfaces as
-        :class:`~repro.exceptions.QueryError` instead of a bare
-        ``RuntimeError`` traceback.
+        A closed service refuses new statements with a clear
+        :class:`~repro.exceptions.QueryError` on *every* backend — the
+        process pool in particular must never surface a pickled
+        ``BrokenProcessPool`` traceback for a deliberate ``close()``.
         """
-        if self.max_workers == 1 or len(jobs) <= 1:
-            return [self._run_task(plan, task) for plan, task in jobs]
-        try:
-            if self._pool is None:
-                self._pool = ThreadPoolExecutor(
-                    max_workers=self.max_workers,
-                    thread_name_prefix="repro-service",
-                )
-            return list(
-                self._pool.map(lambda job: self._run_task(*job), jobs)
-            )
-        except RuntimeError as exc:
-            # "cannot schedule new futures after (interpreter) shutdown".
+        if self._closed:
             raise QueryError(
-                f"catalog query service is shut down: {exc}"
-            ) from exc
+                "service closed: CatalogQueryService.close() was called; "
+                "create a new service to keep querying"
+            )
+        envelopes = [plan.envelope(task) for plan, task in jobs]
+        gathered = self._backend.map(envelopes)
+        results: list[SeriesResult] = []
+        for outcome in gathered:
+            if outcome.error is not None:
+                raise QueryError(outcome.error)
+            results.append(
+                SeriesResult(
+                    series_id=outcome.series_id,
+                    score=outcome.score,
+                    result=outcome.result,
+                )
+            )
+        return results
 
     @staticmethod
     def _finalize(
@@ -294,11 +292,14 @@ class CatalogQueryService:
     # Lifecycle.
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut down the worker pool (idempotent; service stays usable —
-        the next parallel statement simply builds a fresh pool)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Shut down the backend and refuse further statements.
+
+        Idempotent.  Subsequent ``execute``/``execute_many`` calls raise
+        ``QueryError("service closed: ...")`` — uniformly across thread
+        and process backends, never a pool-internal traceback.
+        """
+        self._closed = True
+        self._backend.close()
 
     def __enter__(self) -> "CatalogQueryService":
         return self
@@ -306,39 +307,21 @@ class CatalogQueryService:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
-    # ------------------------------------------------------------------
-    # Per-series work (runs on pool threads).
-    # ------------------------------------------------------------------
-    def _run_task(self, plan: QueryPlan, task: SeriesTask) -> SeriesResult:
-        try:
-            view = self.cache.get(task.cache_key, task.snapshot.load_view)
-            view = restrict_time_range(
-                view, plan.query.time_lo, plan.query.time_hi
-            )
-            result, score = plan.aggregate.compute(view, plan.arguments)
-        except (ReproError, OSError) as exc:
-            # Loading counts too: in a fan-out over hundreds of series,
-            # "which series is broken" is the whole diagnostic.
-            raise QueryError(
-                f"aggregate {plan.aggregate.name!r} failed on series "
-                f"{task.series_id!r}: {exc}"
-            ) from exc
-        return SeriesResult(
-            series_id=task.series_id, score=score, result=result
-        )
-
 
 def execute_select(
     statement: str | SelectQuery,
     *,
     max_workers: int | None = None,
     cache_budget_bytes: int = 64 << 20,
+    backend: str = "thread",
+    mmap: bool | None = None,
 ) -> SelectResult:
     """One-shot convenience: open the statement's catalog and execute.
 
     The ergonomic path for ``Database.execute`` and the CLI; long-lived
     callers should hold a :class:`CatalogQueryService` so the matrix cache
-    survives between statements.
+    (and, for the process backend, the worker pool) survives between
+    statements.
     """
     if isinstance(statement, str):
         parsed = parse_statement(statement)
@@ -352,5 +335,7 @@ def execute_select(
         statement.catalog_path,
         max_workers=max_workers,
         cache_budget_bytes=cache_budget_bytes,
+        backend=backend,
+        mmap=mmap,
     ) as service:
         return service.execute(statement)

@@ -36,6 +36,7 @@ __all__ = [
     "AggregateSpec",
     "QueryPlan",
     "SeriesTask",
+    "TaskEnvelope",
     "plan_select",
 ]
 
@@ -161,6 +162,28 @@ class SeriesTask:
 
 
 @dataclass(frozen=True)
+class TaskEnvelope:
+    """The picklable, self-contained form of one per-series unit of work.
+
+    Everything a worker — a pool thread *or a separate process* — needs to
+    compute one series' contribution: where the segments live, which
+    aggregate to run (by registry name, so the callable never crosses a
+    process boundary), its already-validated arguments, and the cache key
+    identifying the materialised view.  Plain strings/tuples throughout so
+    the envelope pickles cheaply under any multiprocessing start method.
+    """
+
+    series_id: str
+    directory: str
+    segments: tuple[str, ...]
+    cache_key: tuple[str, str, tuple]
+    aggregate: str
+    arguments: tuple[float, ...]
+    time_lo: float | None
+    time_hi: float | None
+
+
+@dataclass(frozen=True)
 class QueryPlan:
     """A bound, executable form of one SELECT statement."""
 
@@ -172,6 +195,19 @@ class QueryPlan:
     @property
     def series_ids(self) -> list[str]:
         return [task.series_id for task in self.tasks]
+
+    def envelope(self, task: SeriesTask) -> TaskEnvelope:
+        """The backend-facing form of one of this plan's tasks."""
+        return TaskEnvelope(
+            series_id=task.series_id,
+            directory=str(task.snapshot.directory),
+            segments=task.snapshot.segments,
+            cache_key=task.cache_key,
+            aggregate=self.aggregate.name,
+            arguments=self.arguments,
+            time_lo=self.query.time_lo,
+            time_hi=self.query.time_hi,
+        )
 
     def describe(self) -> str:
         arguments = ", ".join(f"{a:g}" for a in self.arguments)

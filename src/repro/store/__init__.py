@@ -9,8 +9,10 @@ new results per append (see ``README.md`` for the architecture).
 from repro.store.binary import (
     SCHEMA_VERSION,
     load_density_series_npz,
+    load_view_columns,
     load_view_npz,
     save_density_series_npz,
+    save_view_columns,
     save_view_npz,
 )
 from repro.store.catalog import (
@@ -30,7 +32,9 @@ __all__ = [
     "StandingQuery",
     "StandingQueryHandle",
     "load_density_series_npz",
+    "load_view_columns",
     "load_view_npz",
     "save_density_series_npz",
+    "save_view_columns",
     "save_view_npz",
 ]

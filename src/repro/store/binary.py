@@ -17,7 +17,9 @@ micro-batch, concatenated column-wise at load time.
 
 from __future__ import annotations
 
+import json
 import os
+import shutil
 import zipfile
 from pathlib import Path
 
@@ -31,20 +33,38 @@ from repro.distributions.uniform import Uniform
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SEGMENT_SUFFIX_NPZ",
+    "SEGMENT_SUFFIX_V2",
     "check_schema_version",
     "load_density_series_npz",
+    "load_view_columns",
     "load_view_columns_npz",
+    "load_view_columns_v2",
     "load_view_npz",
     "save_density_series_npz",
+    "save_view_columns",
     "save_view_columns_npz",
+    "save_view_columns_v2",
     "save_view_npz",
 ]
 
 #: Version written into every binary file; bump on incompatible changes.
 SCHEMA_VERSION = 1
 
+#: Segment layout suffixes.  ``.npz`` is the original zipped archive (one
+#: file, zlib-framed members); ``.v2`` is a *directory* holding one raw,
+#: uncompressed ``.npy`` per column plus a small ``meta.json`` — the layout
+#: ``np.load(..., mmap_mode="r")`` can map zero-copy, so many reader
+#: processes share the same page-cache pages instead of each rehydrating
+#: its own arrays.
+SEGMENT_SUFFIX_NPZ = ".npz"
+SEGMENT_SUFFIX_V2 = ".v2"
+
 _KIND_VIEW = "view_columns"
 _KIND_DENSITY = "density_columns"
+
+_V2_META = "meta.json"
+_V2_COLUMNS = ("t", "low", "high", "probability", "label_code")
 
 #: Density-family dictionary codes (per-row, so mixed series round-trip).
 _FAMILIES = ("gaussian", "uniform")
@@ -157,6 +177,141 @@ def load_view_columns_npz(path: str | Path) -> dict[str, np.ndarray]:
         key: payload[key]
         for key in ("t", "low", "high", "probability", "label_code", "labels")
     }
+
+
+# ----------------------------------------------------------------------
+# Segment layout v2: one raw .npy per column, mmap-able.
+# ----------------------------------------------------------------------
+def save_view_columns_v2(
+    path: str | Path,
+    *,
+    t: np.ndarray,
+    low: np.ndarray,
+    high: np.ndarray,
+    probability: np.ndarray,
+    label_code: np.ndarray,
+    labels: tuple[str, ...],
+) -> None:
+    """Write one layout-v2 segment: a directory of uncompressed columns.
+
+    The whole segment lands in a same-directory temp dir that is renamed
+    over the target, so a reader never observes a half-written segment —
+    the same durability contract :func:`_savez_exact` gives ``.npz``
+    files.  A pre-existing target (an orphan from a crashed append being
+    overwritten on resume) is unreferenced by definition and is removed
+    first.
+    """
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.tmp")
+    shutil.rmtree(tmp, ignore_errors=True)
+    try:
+        tmp.mkdir(parents=True)
+        np.save(tmp / "t.npy", np.ascontiguousarray(t, dtype=np.int64))
+        np.save(tmp / "low.npy", np.ascontiguousarray(low, dtype=float))
+        np.save(tmp / "high.npy", np.ascontiguousarray(high, dtype=float))
+        np.save(
+            tmp / "probability.npy",
+            np.ascontiguousarray(probability, dtype=float),
+        )
+        np.save(
+            tmp / "label_code.npy",
+            np.ascontiguousarray(label_code, dtype=np.int64),
+        )
+        meta = {
+            "schema_version": SCHEMA_VERSION,
+            "kind": _KIND_VIEW,
+            "layout": 2,
+            "labels": [str(label) for label in (labels if labels else ("",))],
+        }
+        (tmp / _V2_META).write_text(
+            json.dumps(meta, indent=2, sort_keys=True) + "\n"
+        )
+        if path.exists():
+            shutil.rmtree(path)
+        os.replace(tmp, path)
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+
+
+def load_view_columns_v2(
+    path: str | Path, *, mmap: bool = False
+) -> dict[str, np.ndarray]:
+    """Load one layout-v2 segment, optionally memory-mapped.
+
+    With ``mmap=True`` the numeric columns come back as read-only
+    ``np.memmap`` views over the files — no copy, and concurrent reader
+    processes share the underlying page-cache pages.
+    """
+    path = Path(path)
+    meta_path = path / _V2_META
+    try:
+        meta = json.loads(meta_path.read_text())
+    except FileNotFoundError:
+        raise StoreError(f"no such store file: {path}") from None
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise DataError(f"{path} is not a readable v2 segment: {exc}") from exc
+    if "schema_version" not in meta or "kind" not in meta:
+        raise DataError(f"{path} carries no schema/kind header")
+    check_schema_version(int(meta["schema_version"]), path)
+    if meta["kind"] != _KIND_VIEW:
+        raise DataError(
+            f"{path} holds {meta['kind']!r} data, expected {_KIND_VIEW!r}"
+        )
+    mmap_mode = "r" if mmap else None
+    columns: dict[str, np.ndarray] = {}
+    for name in _V2_COLUMNS:
+        column_path = path / f"{name}.npy"
+        try:
+            columns[name] = np.load(
+                column_path, mmap_mode=mmap_mode, allow_pickle=False
+            )
+        except FileNotFoundError:
+            raise DataError(f"{path} is missing column {name!r}") from None
+        except (OSError, ValueError) as exc:
+            raise DataError(
+                f"{column_path} is not a readable npy file: {exc}"
+            ) from exc
+    columns["labels"] = np.array(meta.get("labels") or [""], dtype=np.str_)
+    return columns
+
+
+def save_view_columns(
+    path: str | Path,
+    *,
+    t: np.ndarray,
+    low: np.ndarray,
+    high: np.ndarray,
+    probability: np.ndarray,
+    label_code: np.ndarray,
+    labels: tuple[str, ...],
+) -> None:
+    """Write one segment, dispatching on the path's layout suffix."""
+    if Path(path).suffix == SEGMENT_SUFFIX_V2:
+        save_view_columns_v2(
+            path, t=t, low=low, high=high, probability=probability,
+            label_code=label_code, labels=labels,
+        )
+    else:
+        save_view_columns_npz(
+            path, t=t, low=low, high=high, probability=probability,
+            label_code=label_code, labels=labels,
+        )
+
+
+def load_view_columns(
+    path: str | Path, *, mmap: bool = False
+) -> dict[str, np.ndarray]:
+    """Load one segment of either layout.
+
+    ``mmap`` requests zero-copy reads; it applies to layout-v2 segments
+    and falls back transparently to a regular load for ``.npz`` (a zip
+    archive cannot be mapped).
+    """
+    path = Path(path)
+    if path.suffix == SEGMENT_SUFFIX_V2 or path.is_dir():
+        return load_view_columns_v2(path, mmap=mmap)
+    return load_view_columns_npz(path)
 
 
 def load_view_npz(path: str | Path, name: str | None = None) -> ProbabilisticView:

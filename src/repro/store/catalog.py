@@ -37,6 +37,7 @@ from __future__ import annotations
 import json
 import os
 import re
+import shutil
 import threading
 import uuid
 from collections.abc import Sequence
@@ -53,9 +54,11 @@ from repro.metrics.registry import create_metric
 from repro.pipeline import OnlinePipeline
 from repro.store.binary import (
     SCHEMA_VERSION,
+    SEGMENT_SUFFIX_NPZ,
+    SEGMENT_SUFFIX_V2,
     check_schema_version,
-    load_view_columns_npz,
-    save_view_npz,
+    load_view_columns,
+    save_view_columns,
 )
 from repro.store.standing import StandingQuery, StandingQueryHandle
 from repro.view.omega import OmegaGrid
@@ -65,9 +68,24 @@ __all__ = ["AppendResult", "Catalog", "SeriesHandle", "SeriesSnapshot"]
 
 _CATALOG_FILE = "catalog.json"
 _SERIES_FILE = "series.json"
-_SEGMENT_FORMAT = "seg-{:08d}.npz"
-_SEGMENT_RE = re.compile(r"^seg-(\d{8})\.npz$")
+#: Segment layouts: "npz" (zipped archive, the original format) and "v2"
+#: (uncompressed .npy-per-column directory, mmap-able).  Mixed layouts
+#: within one series load transparently — the name's suffix decides.
+_SEGMENT_FORMATS = {
+    "npz": "seg-{:08d}" + SEGMENT_SUFFIX_NPZ,
+    "v2": "seg-{:08d}" + SEGMENT_SUFFIX_V2,
+}
+_SEGMENT_RE = re.compile(r"^seg-(\d{8})(?:\.npz|\.v2)$")
 _SERIES_ID_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.\-]*$")
+
+
+def _remove_segment(directory: Path, name: str) -> None:
+    """Delete one segment of either layout (file or directory)."""
+    target = directory / name
+    if target.is_dir():
+        shutil.rmtree(target, ignore_errors=True)
+    else:
+        target.unlink(missing_ok=True)
 
 
 def _next_segment_index(existing: list[str]) -> int:
@@ -125,13 +143,20 @@ def _read_json(path: Path, what: str) -> dict[str, Any]:
 
 
 def _load_view_from_segments(
-    directory: Path, series_id: str, names: Sequence[str]
+    directory: Path,
+    series_id: str,
+    names: Sequence[str],
+    *,
+    mmap: bool = False,
 ) -> ProbabilisticView:
     """Column-concatenate the named segment files into one view.
 
     Shared by the live :class:`SeriesHandle` read path and the read-only
     :class:`SeriesSnapshot` path, so both materialise bit-identical views
-    from the same segment list.
+    from the same segment list.  ``mmap`` requests zero-copy reads for
+    layout-v2 segments (``.npz`` segments fall back to a regular load);
+    a single-segment series keeps the mapped columns as-is — the common
+    bulk-ingested case pays no concatenation copy at all.
     """
     if not names:
         return ProbabilisticView.from_columns(
@@ -141,7 +166,20 @@ def _load_view_from_segments(
             np.empty(0),
             np.empty(0),
         )
-    chunks = [load_view_columns_npz(directory / name) for name in names]
+    chunks = [
+        load_view_columns(directory / name, mmap=mmap) for name in names
+    ]
+    if len(chunks) == 1:
+        chunk = chunks[0]
+        return ProbabilisticView.from_columns(
+            series_id,
+            chunk["t"],
+            chunk["low"],
+            chunk["high"],
+            chunk["probability"],
+            label_code=chunk["label_code"],
+            label_pool=tuple(str(label) for label in chunk["labels"]),
+        )
     pool: dict[str, int] = {}
     codes = []
     for chunk in chunks:
@@ -195,10 +233,15 @@ class SeriesSnapshot:
         last = self.segments[-1] if self.segments else ""
         return (self.created, len(self.segments), self.tuple_count, last)
 
-    def load_view(self) -> ProbabilisticView:
-        """Materialise the captured view (all captured segments)."""
+    def load_view(self, *, mmap: bool = False) -> ProbabilisticView:
+        """Materialise the captured view (all captured segments).
+
+        ``mmap=True`` memory-maps layout-v2 segments read-only instead of
+        copying them into fresh arrays — reader processes then share page
+        cache.  ``.npz`` segments fall back to a regular load.
+        """
         return _load_view_from_segments(
-            self.directory, self.series_id, self.segments
+            self.directory, self.series_id, self.segments, mmap=mmap
         )
 
 
@@ -383,8 +426,24 @@ class SeriesHandle:
         index = self._meta.get("next_segment")
         if index is None:
             index = _next_segment_index(self.segment_names)
-        name = _SEGMENT_FORMAT.format(index)
-        save_view_npz(suffix, self.directory / name)
+        layout = self._meta.get("layout", "npz")
+        if layout not in _SEGMENT_FORMATS:
+            raise StoreError(
+                f"series {self.series_id!r} metadata records unknown "
+                f"segment layout {layout!r}; this build writes "
+                f"{sorted(_SEGMENT_FORMATS)}"
+            )
+        name = _SEGMENT_FORMATS[layout].format(index)
+        cols = suffix.columns
+        save_view_columns(
+            self.directory / name,
+            t=cols.t,
+            low=cols.low,
+            high=cols.high,
+            probability=cols.probability,
+            label_code=cols.label_code,
+            labels=cols.labels,
+        )
         self._meta.setdefault("segments", []).append(name)
         self._meta["next_segment"] = index + 1
         self._meta["tuple_count"] = self.tuple_count + len(suffix)
@@ -457,11 +516,36 @@ class Catalog:
     40
     """
 
-    def __init__(self, root: str | Path, *, create: bool = True) -> None:
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        create: bool = True,
+        segment_layout: str | None = None,
+    ) -> None:
+        if (
+            segment_layout is not None
+            and segment_layout not in _SEGMENT_FORMATS
+        ):
+            raise InvalidParameterError(
+                f"segment_layout must be one of "
+                f"{sorted(_SEGMENT_FORMATS)}, got {segment_layout!r}"
+            )
         self.root = Path(root)
         manifest = self.root / _CATALOG_FILE
         if manifest.exists():
             self._manifest = _read_json(manifest, "catalog")
+            # The manifest remembers the catalog's layout, so a plain
+            # Catalog(root) reopen keeps writing what the creator chose;
+            # an explicit argument overrides for this instance's writes.
+            recorded = self._manifest.get("segment_layout")
+            if recorded is not None and recorded not in _SEGMENT_FORMATS:
+                raise StoreError(
+                    f"catalog manifest {manifest} records unknown "
+                    f"segment_layout {recorded!r}; this build writes "
+                    f"{sorted(_SEGMENT_FORMATS)}"
+                )
+            self.segment_layout = segment_layout or recorded or "npz"
         elif create:
             try:
                 self.root.mkdir(parents=True, exist_ok=True)
@@ -469,7 +553,12 @@ class Catalog:
                 raise StoreError(
                     f"cannot create catalog directory {self.root}: {exc}"
                 ) from exc
-            self._manifest = {"schema_version": SCHEMA_VERSION, "series": []}
+            self.segment_layout = segment_layout or "npz"
+            self._manifest = {
+                "schema_version": SCHEMA_VERSION,
+                "segment_layout": self.segment_layout,
+                "series": [],
+            }
             self._flush_manifest()
         else:
             raise StoreError(f"no catalog at {self.root}")
@@ -658,6 +747,9 @@ class Catalog:
             "H": int(H),
             "grid": {"delta": grid.delta, "n": grid.n},
             "cache": cache_spec,
+            # New appends write this layout; existing segments of either
+            # layout keep loading by name.
+            "layout": self.segment_layout,
             "next_t": 0,
             "window": [],
             "segments": [],
@@ -697,20 +789,30 @@ class Catalog:
             "kind": "static",
             "created": uuid.uuid4().hex,
             "grid": None,
+            "layout": self.segment_layout,
             "segments": [],
             "next_segment": index,
             "tuple_count": 0,
         }
         if len(view):
-            name = _SEGMENT_FORMAT.format(index)
-            save_view_npz(view, directory / name)
+            name = _SEGMENT_FORMATS[self.segment_layout].format(index)
+            cols = view.columns
+            save_view_columns(
+                directory / name,
+                t=cols.t,
+                low=cols.low,
+                high=cols.high,
+                probability=cols.probability,
+                label_code=cols.label_code,
+                labels=cols.labels,
+            )
             meta["segments"] = [name]
             meta["next_segment"] = index + 1
             meta["tuple_count"] = len(view)
         _write_json_atomic(directory / _SERIES_FILE, meta)  # The cutover.
         for name in old_segments:
             if name not in meta["segments"]:
-                (directory / name).unlink(missing_ok=True)
+                _remove_segment(directory, name)
         if not exists:
             self._manifest["series"].append(series_id)
             self._flush_manifest()
@@ -776,7 +878,7 @@ class Catalog:
         except StoreError:
             segments = []  # Metadata already gone/corrupt: best effort.
         for name in segments:
-            (directory / name).unlink(missing_ok=True)
+            _remove_segment(directory, name)
         (directory / _SERIES_FILE).unlink(missing_ok=True)
         try:
             directory.rmdir()

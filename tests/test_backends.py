@@ -1,0 +1,299 @@
+"""Executor-backend suite: parity, selection, faults, mmap reads.
+
+The contract under test: every backend — sequential (the reference),
+thread, process — produces **bit-identical** results for the same
+statement over the same catalog, because all three run the same
+per-envelope compute path.  Fault behaviour is part of the contract too:
+a broken series names itself through any backend, a worker process dying
+mid-query surfaces as a :class:`QueryError` naming the lost series (and
+the pool rebuilds), and a deliberately closed service refuses further
+statements with ``"service closed"`` instead of a pool-internal
+traceback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError, QueryError
+from repro.server.protocol import canonical_dumps, serialize_result
+from repro.service import (
+    CatalogQueryService,
+    MatrixCache,
+    ProcessBackend,
+    SequentialBackend,
+    ThreadBackend,
+    make_backend,
+)
+from repro.store import Catalog
+from repro.view.omega import OmegaGrid
+
+H = 16
+GRID = OmegaGrid(delta=0.5, n=4)
+SERIES = 6
+
+
+def _build_catalog(root, layout: str) -> Catalog:
+    catalog = Catalog(root, segment_layout=layout)
+    rng = np.random.default_rng(7)
+    for index in range(SERIES):
+        series_id = f"s-{index}"
+        catalog.create_series(
+            series_id, metric="variable_threshold", H=H, grid=GRID
+        )
+        values = 20.0 + 0.05 * index + np.cumsum(
+            rng.normal(0.0, 0.05, size=48)
+        )
+        # Two appends -> two segments, so concatenation paths run too.
+        catalog.append(series_id, values[:30])
+        catalog.append(series_id, values[30:])
+    return catalog
+
+
+@pytest.fixture(scope="module")
+def v2_root(tmp_path_factory):
+    root = tmp_path_factory.mktemp("backends") / "cat-v2"
+    _build_catalog(root, "v2")
+    return root
+
+
+@pytest.fixture(scope="module")
+def npz_root(tmp_path_factory):
+    root = tmp_path_factory.mktemp("backends-npz") / "cat-npz"
+    _build_catalog(root, "npz")
+    return root
+
+
+def _statements(root) -> list[str]:
+    return [
+        f"SELECT expected_value FROM CATALOG '{root}'",
+        f"SELECT exceedance(20.3) FROM CATALOG '{root}'",
+        f"SELECT threshold(0.2) FROM CATALOG '{root}' TOP 3",
+        f"SELECT time_above(20.3, 5) FROM CATALOG '{root}' "
+        f"WHERE t BETWEEN 18 AND 60",
+    ]
+
+
+def _canonical(result) -> str:
+    return canonical_dumps(serialize_result(result))
+
+
+class TestBackendParity:
+    def test_thread_and_sequential_bit_identical(self, v2_root):
+        for statement in _statements(v2_root):
+            seq = CatalogQueryService(
+                v2_root, backend="sequential"
+            ).execute(statement)
+            thr = CatalogQueryService(
+                v2_root, backend="thread", max_workers=4
+            ).execute(statement)
+            assert _canonical(seq) == _canonical(thr)
+
+    def test_process_bit_identical_and_warm_cache_stable(self, v2_root):
+        statements = _statements(v2_root)
+        references = [
+            _canonical(
+                CatalogQueryService(v2_root, backend="sequential").execute(s)
+            )
+            for s in statements
+        ]
+        with CatalogQueryService(
+            v2_root, backend="process", max_workers=2
+        ) as service:
+            for statement, reference in zip(statements, references):
+                assert _canonical(service.execute(statement)) == reference
+            # Second pass hits the per-worker warm caches: same bytes.
+            for statement, reference in zip(statements, references):
+                assert _canonical(service.execute(statement)) == reference
+
+    def test_mmap_on_off_identical(self, v2_root):
+        statement = _statements(v2_root)[1]
+        plain = CatalogQueryService(
+            v2_root, backend="sequential", mmap=False
+        ).execute(statement)
+        mapped = CatalogQueryService(
+            v2_root, backend="sequential", mmap=True
+        ).execute(statement)
+        assert _canonical(plain) == _canonical(mapped)
+
+    def test_npz_catalog_identical_to_v2(self, v2_root, npz_root):
+        # Same data ingested under both layouts: the stored bytes differ,
+        # the query results must not.
+        seq_v2 = CatalogQueryService(v2_root, backend="sequential").execute(
+            f"SELECT exceedance(20.3) FROM CATALOG '{v2_root}'"
+        )
+        seq_npz = CatalogQueryService(
+            npz_root, backend="sequential", mmap=True  # npz: no-op fallback
+        ).execute(f"SELECT exceedance(20.3) FROM CATALOG '{npz_root}'")
+        assert seq_v2.scores() == seq_npz.scores()
+
+
+class TestBackendSelection:
+    def test_unknown_backend_rejected(self, v2_root):
+        with pytest.raises(InvalidParameterError, match="unknown executor"):
+            CatalogQueryService(v2_root, backend="fiber")
+
+    def test_single_worker_thread_degrades_to_sequential(self):
+        cache = MatrixCache()
+        backend = make_backend("thread", max_workers=1, cache=cache)
+        assert isinstance(backend, SequentialBackend)
+
+    def test_named_backends_resolve(self):
+        cache = MatrixCache()
+        assert isinstance(
+            make_backend("thread", max_workers=3, cache=cache), ThreadBackend
+        )
+        process = make_backend("process", max_workers=2, cache=cache)
+        assert isinstance(process, ProcessBackend)
+        assert process.mmap  # Zero-copy reads on by default for processes.
+        assert not make_backend("thread", max_workers=3, cache=cache).mmap
+
+    def test_instance_passthrough(self, v2_root):
+        backend = SequentialBackend(MatrixCache())
+        service = CatalogQueryService(v2_root, backend=backend)
+        assert service.backend is backend
+        assert service.backend_name == "sequential"
+
+    def test_invalid_max_workers(self, v2_root):
+        with pytest.raises(InvalidParameterError, match="max_workers"):
+            CatalogQueryService(v2_root, max_workers=0)
+        with pytest.raises(InvalidParameterError, match="max_workers"):
+            ProcessBackend(0)
+
+
+class TestBackendFaults:
+    def test_broken_series_named_through_process_backend(
+        self, tmp_path_factory
+    ):
+        root = tmp_path_factory.mktemp("broken") / "cat"
+        _build_catalog(root, "v2")
+        # Corrupt one series' segment column so its load fails in a
+        # worker process; the error must name the series, not the pool.
+        victim = root / "s-2" / "seg-00000001.v2" / "low.npy"
+        victim.write_bytes(b"garbage")
+        with CatalogQueryService(
+            root, backend="process", max_workers=2
+        ) as service:
+            with pytest.raises(QueryError, match="s-2"):
+                service.execute(
+                    f"SELECT expected_value FROM CATALOG '{root}'"
+                )
+
+    def test_worker_crash_names_series_and_pool_recovers(
+        self, v2_root, monkeypatch
+    ):
+        statement = f"SELECT expected_value FROM CATALOG '{v2_root}'"
+        monkeypatch.setenv("REPRO_FAULT_WORKER_CRASH", "s-3")
+        with CatalogQueryService(
+            v2_root, backend="process", max_workers=2
+        ) as service:
+            with pytest.raises(QueryError, match="s-3") as excinfo:
+                service.execute(statement)
+            assert "worker process died" in str(excinfo.value)
+            # The dead pool was dropped; with the fault cleared the next
+            # statement spawns a fresh pool and succeeds.
+            monkeypatch.delenv("REPRO_FAULT_WORKER_CRASH")
+            result = service.execute(statement)
+            assert len(result.results) == SERIES
+
+    def test_closed_process_service_raises_service_closed(self, v2_root):
+        service = CatalogQueryService(
+            v2_root, backend="process", max_workers=2
+        )
+        service.close()
+        with pytest.raises(QueryError, match="service closed"):
+            service.execute(
+                f"SELECT expected_value FROM CATALOG '{v2_root}'"
+            )
+
+    def test_closed_thread_service_raises_service_closed(self, v2_root):
+        statement = f"SELECT expected_value FROM CATALOG '{v2_root}'"
+        service = CatalogQueryService(v2_root, max_workers=4)
+        service.execute(statement)
+        service.close()
+        with pytest.raises(QueryError, match="service closed"):
+            service.execute(statement)
+
+
+class TestMixedLayoutFallback:
+    def test_series_with_mixed_segment_layouts_loads(self, tmp_path):
+        import json
+
+        root = tmp_path / "cat"
+        catalog = Catalog(root, segment_layout="npz")
+        catalog.create_series(
+            "mix", metric="variable_threshold", H=H, grid=GRID
+        )
+        values = 20.0 + np.cumsum(
+            np.random.default_rng(3).normal(0.0, 0.05, size=60)
+        )
+        catalog.append("mix", values[:40])
+        # Flip the series' write layout mid-life: old .npz segments stay,
+        # new segments land as .v2 directories.
+        meta_path = root / "mix" / "series.json"
+        meta = json.loads(meta_path.read_text())
+        meta["layout"] = "v2"
+        meta_path.write_text(json.dumps(meta))
+        reopened = Catalog(root)
+        reopened.append("mix", values[40:])
+        names = reopened.series("mix").segment_names
+        assert any(name.endswith(".npz") for name in names)
+        assert any(name.endswith(".v2") for name in names)
+        view = Catalog(root).snapshot("mix").load_view(mmap=True)
+        expected = reopened.view("mix")
+        assert np.array_equal(view.columns.t, expected.columns.t)
+        assert np.array_equal(
+            view.columns.probability, expected.columns.probability
+        )
+
+    def test_drop_series_removes_v2_directories(self, tmp_path):
+        root = tmp_path / "cat"
+        catalog = Catalog(root, segment_layout="v2")
+        catalog.create_series(
+            "gone", metric="variable_threshold", H=H, grid=GRID
+        )
+        catalog.append(
+            "gone", 20.0 + 0.01 * np.arange(40, dtype=float)
+        )
+        segment = root / "gone" / "seg-00000001.v2"
+        assert segment.is_dir()
+        catalog.drop_series("gone")
+        assert not segment.exists()
+        assert not (root / "gone").exists()
+
+    def test_invalid_layout_rejected(self, tmp_path):
+        with pytest.raises(InvalidParameterError, match="segment_layout"):
+            Catalog(tmp_path / "cat", segment_layout="parquet")
+
+    def test_unknown_manifest_layout_fails_loudly(self, tmp_path):
+        import json
+
+        from repro.exceptions import StoreError
+
+        root = tmp_path / "cat"
+        Catalog(root, segment_layout="v2")
+        manifest = root / "catalog.json"
+        payload = json.loads(manifest.read_text())
+        payload["segment_layout"] = "v3"
+        manifest.write_text(json.dumps(payload))
+        with pytest.raises(StoreError, match="segment_layout 'v3'"):
+            Catalog(root)
+
+    def test_layout_persists_across_reopen(self, tmp_path):
+        root = tmp_path / "cat"
+        Catalog(root, segment_layout="v2")
+        # A plain reopen — no layout argument — must keep writing what
+        # the catalog's creator chose, not silently revert to npz.
+        reopened = Catalog(root)
+        assert reopened.segment_layout == "v2"
+        reopened.create_series(
+            "later", metric="variable_threshold", H=H, grid=GRID
+        )
+        reopened.append(
+            "later", 20.0 + 0.01 * np.arange(40, dtype=float)
+        )
+        names = reopened.series("later").segment_names
+        assert names and all(name.endswith(".v2") for name in names)
+        # An explicit argument still overrides for that instance.
+        assert Catalog(root, segment_layout="npz").segment_layout == "npz"

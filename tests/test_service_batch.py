@@ -100,16 +100,24 @@ class TestClosedPoolRace:
         service = CatalogQueryService(catalog_root, max_workers=4)
         statement = f"SELECT expected_value FROM CATALOG '{catalog_root}'"
         service.execute(statement)  # Builds the persistent pool.
-        assert service._pool is not None
+        assert service.backend._pool is not None
         # Simulate the shutdown race: the pool dies under a live service
         # reference (what a Ctrl-C teardown interleaved with a late
-        # statement produces).
-        service._pool.shutdown(wait=True)
+        # statement produces) without the service-level closed flag.
+        service.backend._pool.shutdown(wait=True)
         with pytest.raises(QueryError, match="shut down"):
             service.execute(statement)
-        # A proper close() recovers: the next statement builds a new pool.
-        service.close()
+
+    def test_close_makes_further_statements_fail_clearly(self, catalog_root):
+        statement = f"SELECT expected_value FROM CATALOG '{catalog_root}'"
+        service = CatalogQueryService(catalog_root, max_workers=4)
         assert service.execute(statement).results
+        service.close()
+        service.close()  # Idempotent.
+        with pytest.raises(QueryError, match="service closed"):
+            service.execute(statement)
+        with pytest.raises(QueryError, match="service closed"):
+            service.execute_many([statement])
 
     def test_concurrent_close_never_leaks_runtime_error(self, catalog_root):
         statement = f"SELECT exceedance(20.5) FROM CATALOG '{catalog_root}'"
