@@ -1,0 +1,287 @@
+"""Segment-synopsis benchmark: zone-map pruning and APPROX speedups.
+
+Three claims back the synopsis design, recorded in ``BENCH_synopsis.json``
+at the repo root:
+
+1. **Pruning pays on selective queries**: a threshold query whose WHERE
+   range touches one of each series' many segments scans only the
+   surviving segments.  Over a 1000-series catalog (100 in quick mode)
+   the pruned cold query beats the unpruned cold query by >= 10x.
+2. **Pruned results are bit-identical**: for every benchmarked statement
+   the pruned and unpruned runs serialize to the same canonical bytes
+   (modulo the pruning-stats block).  Recorded as ``bit_identical`` and
+   gated as a boolean.
+3. **APPROX is sublinear and bounded**: ``SELECT APPROX`` answers from
+   synopses alone — orders of magnitude faster than the exact scan — and
+   every per-series interval contains the exact score (recorded as
+   ``within_bound``, gated as a boolean).
+
+Run directly (``python benchmarks/bench_synopsis.py``) or via pytest
+(``pytest benchmarks/bench_synopsis.py``); the pytest entries assert the
+floors.  Set ``REPRO_BENCH_QUICK=1`` (the CI smoke job does) to shrink
+the catalog 10x while keeping the same shape.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.server.protocol import canonical_dumps, serialize_result
+from repro.service import CatalogQueryService
+from repro.store import Catalog
+from repro.view.omega import OmegaGrid
+
+_QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+_GRID = OmegaGrid(delta=0.5, n=4)
+_H = 16
+_SERIES_COUNT = 100 if _QUICK else 1000
+_SEGMENTS_PER_SERIES = 24
+_TIMES_PER_SEGMENT = 8
+_CACHE_BUDGET = 512 << 20
+_OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_synopsis.json"
+
+
+def _time(function, *, repeat: int = 1):
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = function()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def build_catalog(workdir: Path) -> Catalog:
+    """Many series, each split over many segments (one per micro-batch)."""
+    catalog = Catalog(workdir / "catalog")
+    rng = np.random.default_rng(42)
+    total = _H + _SEGMENTS_PER_SERIES * _TIMES_PER_SEGMENT
+    for index in range(_SERIES_COUNT):
+        series_id = f"sensor-{index:04d}"
+        catalog.create_series(
+            series_id, metric="variable_threshold", H=_H, grid=_GRID
+        )
+        values = 20.0 + np.cumsum(rng.normal(0.0, 0.1, size=total))
+        # Warm-up feed first, then one append per emitted segment.
+        catalog.append(series_id, values[:_H])
+        for start in range(_H, total, _TIMES_PER_SEGMENT):
+            catalog.append(
+                series_id, values[start : start + _TIMES_PER_SEGMENT]
+            )
+    return catalog
+
+
+def _statements(catalog: Catalog) -> dict[str, str]:
+    # Inference times start after the H-value warm-up and each append
+    # lands as one segment of _TIMES_PER_SEGMENT consecutive times; the
+    # selective WHERE range covers exactly the last segment.
+    last_lo = _H + (_SEGMENTS_PER_SERIES - 1) * _TIMES_PER_SEGMENT
+    last_hi = last_lo + _TIMES_PER_SEGMENT - 1
+    return {
+        "selective_threshold": (
+            f"SELECT threshold(0.3) FROM CATALOG '{catalog.root}' "
+            f"WHERE t BETWEEN {last_lo} AND {last_hi}"
+        ),
+        "full_exceedance": (
+            f"SELECT exceedance(21.0) FROM CATALOG '{catalog.root}'"
+        ),
+        "windowed_expected_value": (
+            f"SELECT expected_value FROM CATALOG '{catalog.root}' "
+            f"WHERE t BETWEEN {last_lo} AND {last_hi}"
+        ),
+    }
+
+
+def _canonical_sans_stats(result) -> str:
+    payload = serialize_result(result)
+    payload.pop("pruning", None)
+    return canonical_dumps(payload)
+
+
+def bench_pruning(catalog: Catalog) -> tuple[dict, bool]:
+    """Cold pruned vs cold unpruned per statement, plus bit-identity."""
+    out: dict = {}
+    identical = True
+    pruned_service = CatalogQueryService(
+        catalog,
+        backend="sequential",
+        cache_budget_bytes=_CACHE_BUDGET,
+        pruning=True,
+    )
+    full_service = CatalogQueryService(
+        catalog,
+        backend="sequential",
+        cache_budget_bytes=_CACHE_BUDGET,
+        pruning=False,
+    )
+    for name, statement in _statements(catalog).items():
+
+        def pruned_run():
+            pruned_service.cache.clear()
+            return pruned_service.execute(statement)
+
+        def full_run():
+            full_service.cache.clear()
+            return full_service.execute(statement)
+
+        full_s, full_result = _time(full_run, repeat=3)
+        pruned_s, pruned_result = _time(pruned_run, repeat=3)
+        identical = identical and (
+            _canonical_sans_stats(pruned_result)
+            == _canonical_sans_stats(full_result)
+        )
+        stats = pruned_result.stats
+        out[name] = {
+            "unpruned_cold_s": full_s,
+            "pruned_cold_s": pruned_s,
+            "prune_speedup": full_s / pruned_s,
+            "segments_total": stats.segments_total,
+            "segments_pruned": stats.segments_pruned,
+            "series_skipped": stats.series_skipped,
+        }
+        print(
+            f"{name}: unpruned {full_s * 1e3:8.1f} ms, pruned "
+            f"{pruned_s * 1e3:8.1f} ms ({out[name]['prune_speedup']:.1f}x; "
+            f"{stats.segments_pruned}/{stats.segments_total} segments "
+            f"pruned, {stats.series_skipped} series skipped)"
+        )
+    pruned_service.close()
+    full_service.close()
+    return out, identical
+
+
+def bench_approx(catalog: Catalog) -> tuple[dict, bool]:
+    """APPROX wall time vs the exact cold scan, plus bound containment."""
+    out: dict = {}
+    within = True
+    service = CatalogQueryService(
+        catalog, backend="sequential", cache_budget_bytes=_CACHE_BUDGET
+    )
+    for name, statement in _statements(catalog).items():
+        approx_statement = statement.replace("SELECT ", "SELECT APPROX ", 1)
+
+        def exact_run():
+            service.cache.clear()
+            return service.execute(statement)
+
+        exact_s, exact_result = _time(exact_run, repeat=3)
+        approx_s, approx_result = _time(
+            lambda: service.execute(approx_statement), repeat=3
+        )
+        scores = exact_result.scores()
+        for entry in approx_result.results:
+            payload = entry.result
+            score = scores[entry.series_id]
+            within = within and (
+                payload["lower"] - 1e-9 <= score <= payload["upper"] + 1e-9
+            )
+            within = within and (
+                abs(score - payload["estimate"])
+                <= payload["error_bound"] + 1e-9
+            )
+        out[name] = {
+            "exact_cold_s": exact_s,
+            "approx_s": approx_s,
+            "approx_speedup": exact_s / approx_s,
+        }
+        print(
+            f"{name}: exact {exact_s * 1e3:8.1f} ms, approx "
+            f"{approx_s * 1e3:8.1f} ms "
+            f"({out[name]['approx_speedup']:.1f}x)"
+        )
+    service.close()
+    return out, within
+
+
+def run_benchmark() -> dict:
+    workdir = Path(tempfile.mkdtemp(prefix="bench_synopsis_"))
+    try:
+        build_s, catalog = _time(lambda: build_catalog(workdir))
+        print(
+            f"built {_SERIES_COUNT} series x {_SEGMENTS_PER_SERIES} "
+            f"segments in {build_s:.1f} s"
+        )
+        pruning, bit_identical = bench_pruning(catalog)
+        approx, within_bound = bench_approx(catalog)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    results = {
+        "quick": _QUICK,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "series_count": _SERIES_COUNT,
+        "segments_per_series": _SEGMENTS_PER_SERIES,
+        "times_per_segment": _TIMES_PER_SEGMENT,
+        "grid": {"delta": _GRID.delta, "n": _GRID.n},
+        "H": _H,
+        "pruning": pruning,
+        "approx": approx,
+        "bit_identical": bit_identical,
+        "within_bound": within_bound,
+        "headline": {
+            "prune_speedup": pruning["selective_threshold"]["prune_speedup"],
+            "approx_speedup": approx["full_exceedance"]["approx_speedup"],
+        },
+    }
+    _OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nwrote {_OUTPUT}")
+    return results
+
+
+# ----------------------------------------------------------------------
+# Pytest entry points (the acceptance floors).
+# ----------------------------------------------------------------------
+_RESULTS: dict | None = None
+
+
+def _results() -> dict:
+    global _RESULTS
+    if _RESULTS is None:
+        _RESULTS = run_benchmark()
+    return _RESULTS
+
+
+def test_selective_query_prunes_10x():
+    results = _results()
+    speedup = results["headline"]["prune_speedup"]
+    floor = 10.0
+    assert speedup >= floor, (
+        f"selective threshold query only {speedup:.1f}x faster with "
+        f"pruning over {results['series_count']} series (floor {floor}x)"
+    )
+
+
+def test_pruned_results_bit_identical():
+    results = _results()
+    assert results["bit_identical"], (
+        "pruned execution serialized differently from unpruned"
+    )
+
+
+def test_approx_beats_exact_scan():
+    results = _results()
+    speedup = results["headline"]["approx_speedup"]
+    floor = 5.0
+    assert speedup >= floor, (
+        f"APPROX only {speedup:.1f}x faster than the exact cold scan "
+        f"(floor {floor}x)"
+    )
+
+
+def test_approx_estimates_within_bounds():
+    results = _results()
+    assert results["within_bound"], (
+        "an APPROX interval failed to contain its exact score"
+    )
+
+
+if __name__ == "__main__":
+    run_benchmark()

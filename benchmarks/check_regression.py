@@ -2,7 +2,8 @@
 
 Every perf claim this repo has recorded — columnar speedups (PR 1), binary
 store round-trip and flat appends (PR 2), service cache gap and thread
-scaling (PR 3), server batching parity (PR 4) — lives in a ``BENCH_*.json``
+scaling (PR 3), server batching parity (PR 4), synopsis pruning and
+APPROX speedups (PR 6) — lives in a ``BENCH_*.json``
 at the repo root.  Until now CI only *uploaded* those files; this gate
 makes it *defend* them: after a bench job refreshes its JSON, the gate
 compares the fresh values against the committed baselines under
@@ -111,6 +112,18 @@ SPECS: dict[str, tuple[Metric, ...]] = {
             min_cpus=2,
         ),
         Metric("bit_identical", direction="true"),
+    ),
+    "BENCH_synopsis.json": (
+        # Zone-map pruning on a selective query: the 10x acceptance
+        # floor carries the claim; the band only catches collapses.
+        Metric("headline.prune_speedup", tolerance=0.6, floor=10.0),
+        # APPROX answers from synopses alone — if this nears 1x the
+        # estimator started scanning segments.  The measured ratio is
+        # hundreds-of-x and swings with catalog size, so the band is
+        # nearly open and the floor carries the claim.
+        Metric("headline.approx_speedup", tolerance=0.95, floor=5.0),
+        Metric("bit_identical", direction="true"),
+        Metric("within_bound", direction="true"),
     ),
     "BENCH_server.json": (
         # The qualitative claim is *parity* ("batched is no slower"); the

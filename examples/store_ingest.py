@@ -108,6 +108,24 @@ def main() -> None:
     )
     assert warm.results == result.results
     print(f"matrix cache after the warm re-run: {service.cache!r}")
+
+    # --- bounded answers without touching segment data ------------------
+    # SELECT APPROX reads only the per-segment synopses written at append
+    # time: each series gets an interval guaranteed to contain its exact
+    # score, at a fraction of the exact scan's cost.
+    approx = service.execute(
+        f"SELECT APPROX exceedance({THRESHOLD}) FROM CATALOG '{root}' TOP 2"
+    )
+    print(f"\nAPPROX P(value > {THRESHOLD}) from synopses alone:")
+    for entry in approx.results:
+        est = entry.result
+        print(f"  {entry.series_id:12s} estimate={est['estimate']:.4f} "
+              f"+/-{est['error_bound']:.4f} "
+              f"(in [{est['lower']:.4f}, {est['upper']:.4f}])")
+    exact_scores = {e.series_id: e.score for e in result.results}
+    for entry in approx.results:
+        est = entry.result
+        assert est["lower"] <= exact_scores[entry.series_id] <= est["upper"]
     print(f"(catalog left in {root})")
 
 

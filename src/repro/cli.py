@@ -10,8 +10,10 @@ Six subcommands cover the workflows a user reaches for first:
 * ``arch-test`` — run the Fig. 15 volatility check on a dataset;
 * ``store`` — manage a persistent view catalog: ``store init`` binds a new
   series to a metric, ``store ingest`` streams values in micro-batches,
-  ``store query`` runs probabilistic queries over the stored view, and
-  ``store list`` shows what the catalog holds;
+  ``store query`` runs probabilistic queries over the stored view,
+  ``store list`` shows what the catalog holds, and ``store synopsize``
+  backfills segment synopses (zone maps) on catalogs written before
+  pruning existed;
 * ``service`` — the catalog-wide query engine: ``service query`` executes
   one ``SELECT <aggregate> FROM CATALOG '<path>' ...`` statement across
   every matched series in parallel;
@@ -175,6 +177,14 @@ def build_parser() -> argparse.ArgumentParser:
     slist = store_sub.add_parser("list", help="list the series of a catalog")
     slist.add_argument("catalog")
 
+    synopsize = store_sub.add_parser(
+        "synopsize",
+        help="backfill segment synopses (zone maps) on an existing catalog",
+    )
+    synopsize.add_argument("catalog")
+    synopsize.add_argument("--series", default="*",
+                           help="glob of series ids to backfill (default all)")
+
     service = sub.add_parser(
         "service", help="catalog-wide query service operations"
     )
@@ -202,6 +212,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="matrix-cache byte budget in MiB")
     vquery.add_argument("--head", type=int, default=8,
                         help="result rows to print for the top series")
+    vquery.add_argument("--no-pruning", action="store_true",
+                        help="disable synopsis-based segment pruning "
+                             "(results are identical; for benchmarking)")
+    vquery.add_argument("--stats", action="store_true",
+                        help="print the per-query pruning counters")
 
     server = sub.add_parser(
         "server", help="network query server over a catalog"
@@ -227,6 +242,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-statement executor backend")
     serve.add_argument("--cache-mb", type=float, default=64.0,
                        help="matrix-cache byte budget in MiB")
+    serve.add_argument("--no-pruning", action="store_true",
+                       help="disable synopsis-based segment pruning")
 
     cquery = server_sub.add_parser(
         "query", help="send one statement to a running server"
@@ -338,6 +355,18 @@ def _cmd_store(args: argparse.Namespace) -> int:
         )
         return 0
 
+    if args.store_command == "synopsize":
+        catalog = Catalog(args.catalog, create=False)
+        written = catalog.synopsize(args.series)
+        total = sum(written.values())
+        for series_id in sorted(written):
+            print(f"{series_id}: {written[series_id]} synopses written")
+        print(
+            f"backfilled {total} segment synopses across "
+            f"{len(written)} series"
+        )
+        return 0
+
     if args.store_command == "query":
         catalog = Catalog(args.catalog, create=False)
         kind = args.kind.replace("-", "_")
@@ -391,12 +420,14 @@ def _cmd_service(args: argparse.Namespace) -> int:
     from repro.view.sql import SelectQuery, parse_statement
 
     cache_budget = max(int(args.cache_mb * (1 << 20)), 1)
+    pruning = not args.no_pruning
     if len(args.sql) == 1:
         results = [execute_select(
             args.sql[0],
             max_workers=args.workers,
             cache_budget_bytes=cache_budget,
             backend=args.backend,
+            pruning=pruning,
         )]
     else:
         # Several statements: one batched fan-out through a shared
@@ -412,18 +443,43 @@ def _cmd_service(args: argparse.Namespace) -> int:
             max_workers=args.workers,
             cache_budget_bytes=cache_budget,
             backend=args.backend,
+            pruning=pruning,
         ) as service:
             results = service.execute_many(args.sql)
     for index, result in enumerate(results):
         if index:
             print()
         _print_select_result(result, args.head)
+        if args.stats and result.stats is not None:
+            stats = result.stats
+            print(
+                f"\npruning: scanned {stats.segments_scanned}/"
+                f"{stats.segments_total} segments "
+                f"({stats.segments_pruned} pruned), skipped "
+                f"{stats.series_skipped}/{stats.series_matched} series"
+                + (" [approx]" if stats.approx else "")
+            )
     return 0
 
 
 def _print_select_result(result, head: int) -> None:
     from repro.db.prob_view import ProbTuple
 
+    if result.approx:
+        print(
+            f"APPROX {result.aggregate} over {len(result.matched)} "
+            f"matched series (answered from synopses):\n"
+        )
+        print(format_table(
+            ["series", "estimate", "error_bound", "lower", "upper"],
+            [[entry.series_id,
+              round(entry.result["estimate"], 6),
+              round(entry.result["error_bound"], 6),
+              round(entry.result["lower"], 6),
+              round(entry.result["upper"], 6)]
+             for entry in result.results],
+        ))
+        return
     print(
         f"{result.aggregate} over {len(result.matched)} matched series "
         f"({len(result.results)} returned):\n"
@@ -469,6 +525,7 @@ def _cmd_server(args: argparse.Namespace) -> int:
             coalesce=not args.no_coalesce,
             max_workers=args.workers,
             backend=args.backend,
+            pruning=not args.no_pruning,
             cache_budget_bytes=max(int(args.cache_mb * (1 << 20)), 1),
         )
 
@@ -514,6 +571,22 @@ def _print_server_result(result: dict, head: int) -> None:
             print(f"... ({len(tuples) - head} more tuples)")
         return
     entries = result.get("results", [])
+    if result.get("approx"):
+        print(
+            f"APPROX {result.get('aggregate')} over "
+            f"{len(result.get('matched', []))} matched series "
+            f"(answered from synopses):\n"
+        )
+        print(format_table(
+            ["series", "estimate", "error_bound", "lower", "upper"],
+            [[entry["series"],
+              round(entry["approx"]["estimate"], 6),
+              round(entry["approx"]["error_bound"], 6),
+              round(entry["approx"]["lower"], 6),
+              round(entry["approx"]["upper"], 6)]
+             for entry in entries],
+        ))
+        return
     print(
         f"{result.get('aggregate')} over {len(result.get('matched', []))} "
         f"matched series ({len(entries)} returned):\n"

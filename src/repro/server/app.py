@@ -88,6 +88,10 @@ class QueryServer:
         Forwarded to the shared :class:`CatalogQueryService`; ``backend``
         selects the per-statement executor (``"thread"`` default,
         ``"process"`` for true multi-core aggregate execution).
+    pruning:
+        Forwarded to the service: use segment synopses to skip
+        provably-irrelevant work (default on; results are identical
+        either way).
     database:
         Optionally a pre-built :class:`Database` (e.g. with raw tables
         registered so ``CREATE VIEW`` statements have data to run over).
@@ -112,6 +116,7 @@ class QueryServer:
         max_workers: int | None = None,
         cache_budget_bytes: int = 64 << 20,
         backend: str = "thread",
+        pruning: bool = True,
         database: Database | None = None,
     ) -> None:
         self.service = CatalogQueryService(
@@ -119,6 +124,7 @@ class QueryServer:
             max_workers=max_workers,
             cache_budget_bytes=cache_budget_bytes,
             backend=backend,
+            pruning=pruning,
         )
         self.database = database if database is not None else Database()
         self.database.bind_select_service(self.service)
@@ -406,6 +412,9 @@ class QueryServer:
             "entries": cache.entries,
             "bytes": cache.current_bytes,
         }
+        # Zone-map effectiveness: how many segments the synopses let the
+        # service skip, and how many statements ran as APPROX.
+        payload["pruning"] = self.service.execution_stats()
         return payload
 
     # ------------------------------------------------------------------

@@ -173,21 +173,46 @@ def _serialize_rows(result: Any) -> list[list[Any]]:
 
 
 def serialize_select(result: SelectResult) -> dict[str, Any]:
-    """A catalog-wide SELECT result as a JSON-ready dict."""
-    return {
-        "kind": "select",
-        "aggregate": result.aggregate,
-        "score_label": result.score_label,
-        "matched": [str(series_id) for series_id in result.matched],
-        "results": [
+    """A catalog-wide SELECT result as a JSON-ready dict.
+
+    APPROX results carry per-series ``approx`` mappings (estimate plus
+    its proven interval) instead of exact ``rows``; exact results with
+    plan statistics additionally carry a ``pruning`` block so clients see
+    how much work the zone maps saved.
+    """
+    if result.approx:
+        entries = [
+            {
+                "series": entry.series_id,
+                "score": float(entry.score),
+                "approx": {
+                    key: float(value)
+                    for key, value in sorted(entry.result.items())
+                },
+            }
+            for entry in result.results
+        ]
+    else:
+        entries = [
             {
                 "series": entry.series_id,
                 "score": float(entry.score),
                 "rows": _serialize_rows(entry.result),
             }
             for entry in result.results
-        ],
+        ]
+    payload = {
+        "kind": "select",
+        "aggregate": result.aggregate,
+        "score_label": result.score_label,
+        "matched": [str(series_id) for series_id in result.matched],
+        "results": entries,
     }
+    if result.approx:
+        payload["approx"] = True
+    if result.stats is not None:
+        payload["pruning"] = result.stats.as_dict()
+    return payload
 
 
 def serialize_view(view: ProbabilisticView) -> dict[str, Any]:

@@ -31,8 +31,12 @@ from repro.exceptions import InvalidParameterError
 
 __all__ = ["CacheStats", "MatrixCache"]
 
-#: Key layout: (catalog root, series id, generation token).
-CacheKey = tuple[str, str, tuple]
+#: Key layout: (catalog root, series id, generation token, segment
+#: subset).  The subset component is ``()`` for the full segment list;
+#: a pruned plan materialises only its surviving segments under the
+#: subset's names, so differently-pruned views of the same generation
+#: coexist instead of evicting each other.
+CacheKey = tuple[str, str, tuple, tuple]
 
 #: Fixed per-entry overhead estimate (view object, index dict slots, key).
 _ENTRY_OVERHEAD = 512
@@ -92,7 +96,8 @@ class MatrixCache:
     Examples
     --------
     >>> cache = MatrixCache(64 << 20)
-    >>> # view = cache.get(("/cat", "room", generation), snapshot.load_view)
+    >>> # view = cache.get(("/cat", "room", generation, ()),
+    >>> #                  snapshot.load_view)
     """
 
     def __init__(self, budget_bytes: int = 64 << 20) -> None:
@@ -142,11 +147,15 @@ class MatrixCache:
                 self._stats.current_bytes -= old[1]
             # An append produced a new generation: any older generation of
             # the same series is unreachable garbage — drop it now rather
-            # than waiting for LRU pressure.
+            # than waiting for LRU pressure.  Same-generation entries with
+            # a different segment subset stay: a pruned view and the full
+            # view of one generation are both reachable.
             stale = [
                 other
                 for other in self._entries
-                if other[0] == key[0] and other[1] == key[1]
+                if other[0] == key[0]
+                and other[1] == key[1]
+                and other[2] != key[2]
             ]
             for other in stale:
                 _, old_bytes = self._entries.pop(other)

@@ -17,13 +17,15 @@ identical results.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any
 
 from repro.exceptions import (
     InvalidParameterError,
     QueryError,
+    ReproError,
 )
 from repro.service.backends import (
     ExecutorBackend,
@@ -31,7 +33,14 @@ from repro.service.backends import (
     restrict_time_range,
 )
 from repro.service.cache import MatrixCache
-from repro.service.planner import QueryPlan, SeriesTask, plan_select
+from repro.service.planner import (
+    PlanStats,
+    QueryPlan,
+    SeriesTask,
+    plan_select,
+)
+from repro.service.synopsis import estimate_series
+from repro.store.binary import compute_view_synopsis, load_view_columns
 from repro.store.catalog import Catalog
 from repro.view.sql import SelectQuery, parse_statement
 
@@ -68,13 +77,18 @@ class SelectResult:
 
     ``results`` holds the (possibly TOP-k-truncated) per-series results in
     result order; ``matched`` every series id the SERIES pattern selected,
-    so a truncated result still reports what was scanned.
+    so a truncated result still reports what was scanned.  ``stats``
+    carries the pruning counters of this query; for ``approx=True``
+    results every entry's ``result`` is an estimate/error-bound mapping
+    instead of exact rows.
     """
 
     aggregate: str
     score_label: str
     results: tuple[SeriesResult, ...]
     matched: tuple[str, ...]
+    stats: PlanStats | None = None
+    approx: bool = False
 
     def scores(self) -> dict[str, float]:
         return {entry.series_id: entry.score for entry in self.results}
@@ -117,6 +131,11 @@ class CatalogQueryService:
         Memory-map layout-v2 segments instead of copying them
         (``None``: on for the process backend, off otherwise; ignored
         for ``.npz`` segments).
+    pruning:
+        Use segment synopses to skip provably-irrelevant segments and
+        series (default).  ``False`` forces the full scan — results are
+        identical either way; the flag exists for benchmarking and the
+        parity property tests.
 
     Examples
     --------
@@ -135,10 +154,22 @@ class CatalogQueryService:
         cache: MatrixCache | None = None,
         backend: "str | ExecutorBackend" = "thread",
         mmap: bool | None = None,
+        pruning: bool = True,
     ) -> None:
         if not isinstance(catalog, Catalog):
             catalog = Catalog(catalog, create=False)
         self.catalog = catalog
+        self.pruning = bool(pruning)
+        # Cumulative pruning/approx counters across this service's
+        # lifetime, surfaced by execution_stats() and `server stats`.
+        self._stats_lock = threading.Lock()
+        self._counters = {
+            "queries": 0,
+            "approx_queries": 0,
+            "segments_scanned": 0,
+            "segments_pruned": 0,
+            "series_skipped": 0,
+        }
         if max_workers is not None and max_workers < 1:
             raise InvalidParameterError(
                 f"max_workers must be >= 1, got {max_workers}"
@@ -179,7 +210,9 @@ class CatalogQueryService:
         instead of silently querying the wrong data.
         """
         return self.execute_plan(
-            plan_select(self.catalog, self._coerce(statement))
+            plan_select(
+                self.catalog, self._coerce(statement), pruning=self.pruning
+            )
         )
 
     def execute_many(
@@ -193,31 +226,46 @@ class CatalogQueryService:
         coalescing, for callers holding a whole batch up front (the CLI
         accepts several statements per invocation; library users get one
         warm-cache fan-out instead of N).  The per-series tasks of every
-        distinct plan are flattened into a single pool pass, so a batch
-        keeps all workers busy even when its individual statements match
-        only a few series each.  Results come back in request order.
+        distinct exact plan are flattened into a single pool pass, so a
+        batch keeps all workers busy even when its individual statements
+        match only a few series each; APPROX statements are answered from
+        synopses without entering the pool at all.  Results come back in
+        request order.
         """
         queries = [self._coerce(statement) for statement in statements]
         plans: dict[SelectQuery, QueryPlan] = {}
         for query in queries:
             if query not in plans:
-                plans[query] = plan_select(self.catalog, query)
-        jobs = [
-            (plan, task) for plan in plans.values() for task in plan.tasks
+                plans[query] = plan_select(
+                    self.catalog, query, pruning=self.pruning
+                )
+        exact = [
+            plan for plan in plans.values() if not plan.stats.approx
         ]
+        jobs = [(plan, task) for plan in exact for task in plan.tasks]
         outcomes = self._map_tasks(jobs)
         results: dict[SelectQuery, SelectResult] = {}
         offset = 0
-        for query, plan in plans.items():
+        for plan in exact:
             count = len(plan.tasks)
-            results[query] = self._finalize(
+            results[plan.query] = self._finalize(
                 plan, outcomes[offset : offset + count]
             )
             offset += count
+        for plan in plans.values():
+            if plan.stats.approx:
+                results[plan.query] = self._execute_approx(plan)
         return [results[query] for query in queries]
 
     def execute_plan(self, plan: QueryPlan) -> SelectResult:
-        """Run an already-bound plan: fan out, gather, rank."""
+        """Run an already-bound plan: fan out, gather, rank.
+
+        APPROX plans never reach the backend: they are answered inline
+        from the snapshots' synopses — per series a handful of float
+        comparisons, independent of the stored tuple count.
+        """
+        if plan.stats.approx:
+            return self._execute_approx(plan)
         gathered = self._map_tasks([(plan, task) for task in plan.tasks])
         return self._finalize(plan, gathered)
 
@@ -272,21 +320,127 @@ class CatalogQueryService:
             )
         return results
 
-    @staticmethod
     def _finalize(
-        plan: QueryPlan, gathered: list[SeriesResult]
+        self, plan: QueryPlan, gathered: list[SeriesResult]
     ) -> SelectResult:
-        """Rank, truncate, and wrap one plan's gathered results."""
+        """Rank, truncate, and wrap one plan's gathered results.
+
+        Series the prune phase skipped entirely contribute their
+        synthesised empty result (the exact value the aggregate returns
+        over an empty restricted view) at the correct position — callers
+        cannot tell a skipped series from a scanned-and-empty one.
+        """
+        if plan.skipped:
+            empty = self._empty_result(plan.aggregate.name)
+            by_id = {entry.series_id: entry for entry in gathered}
+            for series_id in plan.skipped:
+                by_id[series_id] = SeriesResult(
+                    series_id=series_id, score=0.0, result=empty
+                )
+            gathered = [by_id[series_id] for series_id in plan.series_ids]
         if plan.query.top_k is not None:
             gathered = sorted(
                 gathered, key=lambda entry: (-entry.score, entry.series_id)
             )[: plan.query.top_k]
+        self._record_stats(plan.stats)
         return SelectResult(
             aggregate=plan.aggregate.name,
             score_label=plan.aggregate.score_label,
             results=tuple(gathered),
             matched=tuple(plan.series_ids),
+            stats=plan.stats,
         )
+
+    @staticmethod
+    def _empty_result(aggregate: str) -> Any:
+        """What the aggregate returns over an empty (restricted) view."""
+        return [] if aggregate == "threshold" else {}
+
+    def _execute_approx(self, plan: QueryPlan) -> SelectResult:
+        """Answer an APPROX plan from synopses alone (no backend fan-out).
+
+        Segments without a stored synopsis — catalogs written before this
+        build and never ``synopsize``d — are loaded once and their
+        synopsis computed in memory, so old catalogs degrade to a scan
+        instead of erroring; the count of such lazy loads is reported as
+        ``segments_scanned``.
+        """
+        if self._closed:
+            raise QueryError(
+                "service closed: CatalogQueryService.close() was called; "
+                "create a new service to keep querying"
+            )
+        lazy_loads = 0
+        gathered: list[SeriesResult] = []
+        for task in plan.tasks:
+            snapshot = task.snapshot
+            synopses = []
+            try:
+                for name, synopsis in zip(
+                    snapshot.segments, snapshot.segment_synopses()
+                ):
+                    if synopsis is None:
+                        columns = load_view_columns(
+                            snapshot.directory / name
+                        )
+                        synopsis = compute_view_synopsis(
+                            columns["t"],
+                            columns["low"],
+                            columns["high"],
+                            columns["probability"],
+                        )
+                        lazy_loads += 1
+                    synopses.append(synopsis)
+                estimate = estimate_series(
+                    plan.aggregate.name,
+                    plan.arguments,
+                    synopses,
+                    plan.query.time_lo,
+                    plan.query.time_hi,
+                )
+            except (ReproError, OSError) as exc:
+                raise QueryError(
+                    f"APPROX {plan.aggregate.name!r} failed on series "
+                    f"{task.series_id!r}: {exc}"
+                ) from exc
+            gathered.append(
+                SeriesResult(
+                    series_id=task.series_id,
+                    score=estimate.estimate,
+                    result=estimate.as_result(),
+                )
+            )
+        if plan.query.top_k is not None:
+            gathered = sorted(
+                gathered, key=lambda entry: (-entry.score, entry.series_id)
+            )[: plan.query.top_k]
+        stats = replace(plan.stats, segments_scanned=lazy_loads)
+        self._record_stats(stats)
+        return SelectResult(
+            aggregate=plan.aggregate.name,
+            score_label=plan.aggregate.score_label,
+            results=tuple(gathered),
+            matched=tuple(plan.series_ids),
+            stats=stats,
+            approx=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Observability.
+    # ------------------------------------------------------------------
+    def _record_stats(self, stats: PlanStats) -> None:
+        with self._stats_lock:
+            self._counters["queries"] += 1
+            if stats.approx:
+                self._counters["approx_queries"] += 1
+            self._counters["segments_scanned"] += stats.segments_scanned
+            self._counters["segments_pruned"] += stats.segments_pruned
+            self._counters["series_skipped"] += stats.series_skipped
+
+    def execution_stats(self) -> dict[str, int]:
+        """Cumulative pruning/approx counters since the service started."""
+        with self._stats_lock:
+            return dict(self._counters)
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -315,6 +469,7 @@ def execute_select(
     cache_budget_bytes: int = 64 << 20,
     backend: str = "thread",
     mmap: bool | None = None,
+    pruning: bool = True,
 ) -> SelectResult:
     """One-shot convenience: open the statement's catalog and execute.
 
@@ -337,5 +492,6 @@ def execute_select(
         cache_budget_bytes=cache_budget_bytes,
         backend=backend,
         mmap=mmap,
+        pruning=pruning,
     ) as service:
         return service.execute(statement)

@@ -28,12 +28,14 @@ from repro.db.stream_queries import (
     expected_time_above,
 )
 from repro.exceptions import InvalidParameterError, QueryError
+from repro.service.synopsis import prune_segments
 from repro.store.catalog import Catalog, SeriesSnapshot
 from repro.view.sql import SelectQuery
 
 __all__ = [
     "AGGREGATES",
     "AggregateSpec",
+    "PlanStats",
     "QueryPlan",
     "SeriesTask",
     "TaskEnvelope",
@@ -150,11 +152,46 @@ AGGREGATES: dict[str, AggregateSpec] = {
 
 
 @dataclass(frozen=True)
+class PlanStats:
+    """What the prune phase decided — the per-query observability record.
+
+    ``segments_scanned + segments_pruned == segments_total`` for exact
+    plans; APPROX plans report how many segments had to be *loaded* to
+    compute a missing synopsis lazily (ideally zero on a synopsized
+    catalog) under ``segments_scanned``.
+    """
+
+    series_matched: int = 0
+    series_skipped: int = 0
+    segments_total: int = 0
+    segments_scanned: int = 0
+    segments_pruned: int = 0
+    approx: bool = False
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "series_matched": self.series_matched,
+            "series_skipped": self.series_skipped,
+            "segments_total": self.segments_total,
+            "segments_scanned": self.segments_scanned,
+            "segments_pruned": self.segments_pruned,
+            "approx": self.approx,
+        }
+
+
+@dataclass(frozen=True)
 class SeriesTask:
-    """One unit of fan-out work: a snapshot plus its cache identity."""
+    """One unit of fan-out work: a snapshot plus its cache identity.
+
+    ``segments`` is the (possibly pruned) subset of the snapshot's
+    segments this task must actually scan; the cache key's last component
+    distinguishes pruned materialisations from the full view (``()``
+    marks the full segment list).
+    """
 
     snapshot: SeriesSnapshot
-    cache_key: tuple[str, str, tuple]
+    segments: tuple[str, ...]
+    cache_key: tuple[str, str, tuple, tuple]
 
     @property
     def series_id(self) -> str:
@@ -166,17 +203,18 @@ class TaskEnvelope:
     """The picklable, self-contained form of one per-series unit of work.
 
     Everything a worker — a pool thread *or a separate process* — needs to
-    compute one series' contribution: where the segments live, which
-    aggregate to run (by registry name, so the callable never crosses a
-    process boundary), its already-validated arguments, and the cache key
-    identifying the materialised view.  Plain strings/tuples throughout so
-    the envelope pickles cheaply under any multiprocessing start method.
+    compute one series' contribution: where the (surviving) segments live,
+    which aggregate to run (by registry name, so the callable never
+    crosses a process boundary), its already-validated arguments, and the
+    cache key identifying the materialised view.  Plain strings/tuples
+    throughout so the envelope pickles cheaply under any multiprocessing
+    start method.
     """
 
     series_id: str
     directory: str
     segments: tuple[str, ...]
-    cache_key: tuple[str, str, tuple]
+    cache_key: tuple[str, str, tuple, tuple]
     aggregate: str
     arguments: tuple[float, ...]
     time_lo: float | None
@@ -185,23 +223,35 @@ class TaskEnvelope:
 
 @dataclass(frozen=True)
 class QueryPlan:
-    """A bound, executable form of one SELECT statement."""
+    """A bound, executable form of one SELECT statement.
+
+    The prune phase ran at planning time: ``tasks`` holds only series
+    with at least one surviving segment, ``skipped`` the matched series
+    whose every segment was proven irrelevant — the executor synthesises
+    their (empty) results without reading anything.  ``stats`` records
+    what pruning did, for the per-query observability counters.
+    """
 
     query: SelectQuery
     aggregate: AggregateSpec
     arguments: tuple[float, ...]
     tasks: tuple[SeriesTask, ...]
+    skipped: tuple[str, ...] = ()
+    stats: PlanStats = PlanStats()
 
     @property
     def series_ids(self) -> list[str]:
-        return [task.series_id for task in self.tasks]
+        """Every matched series id (scanned and skipped), sorted."""
+        return sorted(
+            [task.series_id for task in self.tasks] + list(self.skipped)
+        )
 
     def envelope(self, task: SeriesTask) -> TaskEnvelope:
         """The backend-facing form of one of this plan's tasks."""
         return TaskEnvelope(
             series_id=task.series_id,
             directory=str(task.snapshot.directory),
-            segments=task.snapshot.segments,
+            segments=task.segments,
             cache_key=task.cache_key,
             aggregate=self.aggregate.name,
             arguments=self.arguments,
@@ -212,9 +262,12 @@ class QueryPlan:
     def describe(self) -> str:
         arguments = ", ".join(f"{a:g}" for a in self.arguments)
         suffix = f"({arguments})" if arguments else ""
+        mode = "APPROX " if self.stats.approx else ""
         return (
-            f"{self.aggregate.name}{suffix} over {len(self.tasks)} series "
-            f"of {self.query.catalog_path}"
+            f"{mode}{self.aggregate.name}{suffix} over {len(self.tasks)} "
+            f"series of {self.query.catalog_path} "
+            f"({self.stats.segments_pruned} segments pruned, "
+            f"{self.stats.series_skipped} series skipped)"
         )
 
 
@@ -228,13 +281,23 @@ def resolve_aggregate(name: str) -> AggregateSpec:
     return spec
 
 
-def plan_select(catalog: Catalog, query: SelectQuery) -> QueryPlan:
+def plan_select(
+    catalog: Catalog, query: SelectQuery, *, pruning: bool = True
+) -> QueryPlan:
     """Bind a parsed SELECT to a catalog: aggregate + matched snapshots.
 
     Raises :class:`~repro.exceptions.QueryError` for an unknown aggregate
     or a pattern matching no series, and
     :class:`~repro.exceptions.InvalidParameterError` for argument arity or
     domain violations — all before any segment is read.
+
+    For exact queries the prune phase runs here (pure metadata work —
+    snapshots carry their segment synopses): segments whose synopsis
+    proves non-contribution are dropped from the task, and series with no
+    surviving segment move to ``plan.skipped``.  ``pruning=False`` keeps
+    the full scan — the parity reference the property tests compare
+    against.  APPROX plans carry every snapshot; the executor answers
+    them from synopses without backend fan-out.
     """
     spec = resolve_aggregate(query.aggregate)
     arguments = spec.bind(query.arguments)
@@ -247,13 +310,68 @@ def plan_select(catalog: Catalog, query: SelectQuery) -> QueryPlan:
             f"empty time range: [{query.time_lo}, {query.time_hi}]"
         )
     root = str(catalog.root)
-    tasks = tuple(
-        SeriesTask(
-            snapshot=snapshot,
-            cache_key=(root, snapshot.series_id, snapshot.generation),
+    snapshots = catalog.open_many(query.series_pattern)
+    segments_total = sum(len(snapshot.segments) for snapshot in snapshots)
+    if getattr(query, "approx", False):
+        tasks = tuple(
+            SeriesTask(
+                snapshot=snapshot,
+                segments=snapshot.segments,
+                cache_key=(root, snapshot.series_id, snapshot.generation, ()),
+            )
+            for snapshot in snapshots
         )
-        for snapshot in catalog.open_many(query.series_pattern)
+        stats = PlanStats(
+            series_matched=len(snapshots),
+            segments_total=segments_total,
+            approx=True,
+        )
+        return QueryPlan(
+            query=query,
+            aggregate=spec,
+            arguments=arguments,
+            tasks=tasks,
+            stats=stats,
+        )
+    tasks_list: list[SeriesTask] = []
+    skipped: list[str] = []
+    segments_scanned = 0
+    for snapshot in snapshots:
+        if pruning:
+            surviving = prune_segments(
+                snapshot, spec.name, arguments, query.time_lo, query.time_hi
+            )
+            if not surviving:
+                skipped.append(snapshot.series_id)
+                continue
+        else:
+            surviving = snapshot.segments
+        segments_scanned += len(surviving)
+        subset = () if surviving == snapshot.segments else surviving
+        tasks_list.append(
+            SeriesTask(
+                snapshot=snapshot,
+                segments=surviving,
+                cache_key=(
+                    root,
+                    snapshot.series_id,
+                    snapshot.generation,
+                    subset,
+                ),
+            )
+        )
+    stats = PlanStats(
+        series_matched=len(snapshots),
+        series_skipped=len(skipped),
+        segments_total=segments_total,
+        segments_scanned=segments_scanned,
+        segments_pruned=segments_total - segments_scanned,
     )
     return QueryPlan(
-        query=query, aggregate=spec, arguments=arguments, tasks=tasks
+        query=query,
+        aggregate=spec,
+        arguments=arguments,
+        tasks=tuple(tasks_list),
+        skipped=tuple(skipped),
+        stats=stats,
     )

@@ -32,11 +32,16 @@ from repro.distributions.gaussian import Gaussian
 from repro.distributions.uniform import Uniform
 
 __all__ = [
+    "EXC_SKETCH_EDGES",
+    "PROB_HIST_BUCKETS",
     "SCHEMA_VERSION",
     "SEGMENT_SUFFIX_NPZ",
     "SEGMENT_SUFFIX_V2",
+    "SYNOPSIS_VERSION",
     "check_schema_version",
+    "compute_view_synopsis",
     "load_density_series_npz",
+    "load_segment_synopsis",
     "load_view_columns",
     "load_view_columns_npz",
     "load_view_columns_v2",
@@ -46,10 +51,33 @@ __all__ = [
     "save_view_columns_npz",
     "save_view_columns_v2",
     "save_view_npz",
+    "write_segment_synopsis",
 ]
 
 #: Version written into every binary file; bump on incompatible changes.
 SCHEMA_VERSION = 1
+
+#: Version stamped into every segment synopsis; readers treat synopses of
+#: a different version as absent (lazy recompute / no pruning) rather than
+#: misinterpreting their fields.
+SYNOPSIS_VERSION = 1
+
+#: Probability histogram granularity: tuple probabilities are counted into
+#: ``PROB_HIST_BUCKETS`` equal-width buckets over [0, 1].  Bucket ``j``
+#: holds tuples with ``j/B <= p < (j+1)/B`` (the last bucket is closed at
+#: 1), assigned by exact comparison against the same ``j/B`` floats a
+#: reader recomputes — so bucket membership gives *rigorous* per-bucket
+#: probability bounds, not merely approximate ones.
+PROB_HIST_BUCKETS = 20
+
+#: Exceedance sketch granularity: per-time exceedance maxima are recorded
+#: at this many threshold grid points spanning [low_min, high_max].
+EXC_SKETCH_EDGES = 9
+
+#: Sidecar file carrying the synopsis of an ``.npz`` segment (the zip
+#: archive itself is immutable once renamed into place); layout-v2
+#: segments embed the synopsis in their ``meta.json`` instead.
+_SYNOPSIS_SIDECAR_SUFFIX = ".synopsis.json"
 
 #: Segment layout suffixes.  ``.npz`` is the original zipped archive (one
 #: file, zlib-framed members); ``.v2`` is a *directory* holding one raw,
@@ -155,10 +183,17 @@ def save_view_columns_npz(
     probability: np.ndarray,
     label_code: np.ndarray,
     labels: tuple[str, ...],
+    synopsis: dict | None = None,
 ) -> None:
-    """Raw-column variant of :func:`save_view_npz` (the segment writer)."""
+    """Raw-column variant of :func:`save_view_npz` (the segment writer).
+
+    ``synopsis`` (when given) lands in a JSON sidecar *after* the segment
+    rename — a crash between the two leaves a valid segment without a
+    sidecar, which readers treat as "compute lazily", never as corruption.
+    """
+    path = Path(path)
     _savez_exact(
-        Path(path),
+        path,
         schema=np.int64(SCHEMA_VERSION),
         kind=np.str_(_KIND_VIEW),
         t=np.ascontiguousarray(t, dtype=np.int64),
@@ -168,6 +203,8 @@ def save_view_columns_npz(
         label_code=np.ascontiguousarray(label_code, dtype=np.int64),
         labels=np.array(labels if labels else ("",), dtype=np.str_),
     )
+    if synopsis is not None:
+        _write_json_file_atomic(_synopsis_sidecar(path), synopsis)
 
 
 def load_view_columns_npz(path: str | Path) -> dict[str, np.ndarray]:
@@ -177,6 +214,166 @@ def load_view_columns_npz(path: str | Path) -> dict[str, np.ndarray]:
         key: payload[key]
         for key in ("t", "low", "high", "probability", "label_code", "labels")
     }
+
+
+# ----------------------------------------------------------------------
+# Segment synopses: zone-map metadata computed once at write time.
+# ----------------------------------------------------------------------
+def compute_view_synopsis(
+    t: np.ndarray,
+    low: np.ndarray,
+    high: np.ndarray,
+    probability: np.ndarray,
+) -> dict:
+    """The zone-map synopsis of one segment's column payload.
+
+    Everything the planner needs to *prove* a segment cannot contribute
+    to a query (time range, maximum tuple probability) plus the sketches
+    the APPROX estimators interpolate over:
+
+    * per-time expected-value partial sums and extrema, computed with the
+      exact arithmetic of :func:`repro.db.queries.expected_value_query`
+      (mass-normalised; degenerate groups fall back to the support
+      midpoint) so the segment bounds enclose the exact per-time values;
+    * a :data:`PROB_HIST_BUCKETS`-bucket histogram of tuple
+      probabilities, bucketed by exact comparison against ``j/B`` so a
+      reader can derive rigorous threshold-count bounds;
+    * an exceedance sketch: ``max_t P(value > theta)`` at
+      :data:`EXC_SKETCH_EDGES` grid thresholds spanning the segment's
+      value support, mirroring
+      :func:`repro.db.stream_queries.exceedance_vector`.  Exceedance is
+      non-increasing in ``theta``, so adjacent grid values bracket the
+      true maximum at any threshold between them.
+
+    All values are plain Python ints/floats (JSON round-trips Python
+    floats exactly), keyed by :data:`SYNOPSIS_VERSION`.
+    """
+    t = np.ascontiguousarray(t, dtype=np.int64)
+    low = np.ascontiguousarray(low, dtype=float)
+    high = np.ascontiguousarray(high, dtype=float)
+    probability = np.ascontiguousarray(probability, dtype=float)
+    if not t.size:
+        return {"version": SYNOPSIS_VERSION, "rows": 0, "times": 0}
+    order = np.argsort(t, kind="stable")
+    ts = t[order]
+    starts = np.flatnonzero(np.concatenate(([True], ts[1:] != ts[:-1])))
+    prob_sorted = probability[order]
+    masses = np.add.reduceat(prob_sorted, starts)
+    weighted = (probability * 0.5 * (low + high))[order]
+    sums = np.add.reduceat(weighted, starts)
+    lows_grouped = np.minimum.reduceat(low[order], starts)
+    highs_grouped = np.maximum.reduceat(high[order], starts)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ev = np.where(
+            masses > 0.0,
+            sums / np.where(masses > 0.0, masses, 1.0),
+            0.5 * (lows_grouped + highs_grouped),
+        )
+    bucket_edges = np.arange(1, PROB_HIST_BUCKETS) / PROB_HIST_BUCKETS
+    hist = np.bincount(
+        np.searchsorted(bucket_edges, probability, side="right"),
+        minlength=PROB_HIST_BUCKETS,
+    )
+    low_min = float(low.min())
+    high_max = float(high.max())
+    exc_edges = np.linspace(low_min, high_max, EXC_SKETCH_EDGES)
+    spans = high - low
+    exc_max = []
+    for theta in exc_edges:
+        fraction = np.clip((high - theta) / spans, 0.0, 1.0)
+        contribution = (probability * fraction)[order]
+        per_time = np.minimum(np.add.reduceat(contribution, starts), 1.0)
+        exc_max.append(float(per_time.max()))
+    return {
+        "version": SYNOPSIS_VERSION,
+        "rows": int(t.size),
+        "times": int(starts.size),
+        "t_min": int(ts[0]),
+        "t_max": int(ts[-1]),
+        "prob_max": float(probability.max()),
+        "low_min": low_min,
+        "high_max": high_max,
+        "mass_max": float(masses.max()),
+        "ev_sum": float(ev.sum()),
+        "ev_min": float(ev.min()),
+        "ev_max": float(ev.max()),
+        "prob_hist": [int(count) for count in hist],
+        "exc_edges": [float(edge) for edge in exc_edges],
+        "exc_max": exc_max,
+    }
+
+
+def _write_json_file_atomic(path: Path, payload: dict) -> None:
+    """Small-JSON sibling of ``_savez_exact``: temp file + rename."""
+    tmp = path.with_name(f".{path.name}.tmp")
+    try:
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def _synopsis_sidecar(path: Path) -> Path:
+    return path.with_name(path.name + _SYNOPSIS_SIDECAR_SUFFIX)
+
+
+def _valid_synopsis(payload: object) -> dict | None:
+    """``payload`` if it is a current-version synopsis dict, else None."""
+    if (
+        isinstance(payload, dict)
+        and payload.get("version") == SYNOPSIS_VERSION
+    ):
+        return payload
+    return None
+
+
+def write_segment_synopsis(path: str | Path, synopsis: dict) -> None:
+    """Attach ``synopsis`` to an already-written segment of either layout.
+
+    Layout-v2 segments carry it inside ``meta.json`` (rewritten
+    atomically); ``.npz`` segments — immutable zip archives — get a JSON
+    sidecar next to the file.  Used by the backfill path
+    (:meth:`repro.store.catalog.Catalog.synopsize`); fresh writes go
+    through :func:`save_view_columns`, which persists the synopsis as
+    part of the segment write itself.
+    """
+    path = Path(path)
+    if path.suffix == SEGMENT_SUFFIX_V2 or path.is_dir():
+        meta_path = path / _V2_META
+        try:
+            meta = json.loads(meta_path.read_text())
+        except FileNotFoundError:
+            raise StoreError(f"no such store file: {path}") from None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise DataError(
+                f"{path} is not a readable v2 segment: {exc}"
+            ) from exc
+        meta["synopsis"] = synopsis
+        _write_json_file_atomic(meta_path, meta)
+    else:
+        _write_json_file_atomic(_synopsis_sidecar(path), synopsis)
+
+
+def load_segment_synopsis(path: str | Path) -> dict | None:
+    """The stored synopsis of one segment, or None when absent/unreadable.
+
+    Absence is not an error: segments written before synopses existed (or
+    whose sidecar was lost) simply report None, and callers fall back to
+    loading the columns — the "old catalogs never error" contract.
+    """
+    path = Path(path)
+    if path.suffix == SEGMENT_SUFFIX_V2 or path.is_dir():
+        try:
+            meta = json.loads((path / _V2_META).read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        return _valid_synopsis(meta.get("synopsis"))
+    try:
+        payload = json.loads(_synopsis_sidecar(path).read_text())
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    return _valid_synopsis(payload)
 
 
 # ----------------------------------------------------------------------
@@ -191,6 +388,7 @@ def save_view_columns_v2(
     probability: np.ndarray,
     label_code: np.ndarray,
     labels: tuple[str, ...],
+    synopsis: dict | None = None,
 ) -> None:
     """Write one layout-v2 segment: a directory of uncompressed columns.
 
@@ -199,7 +397,8 @@ def save_view_columns_v2(
     the same durability contract :func:`_savez_exact` gives ``.npz``
     files.  A pre-existing target (an orphan from a crashed append being
     overwritten on resume) is unreferenced by definition and is removed
-    first.
+    first.  ``synopsis`` (when given) rides inside ``meta.json``, so it
+    is exactly as durable as the segment itself.
     """
     path = Path(path)
     tmp = path.with_name(f".{path.name}.tmp")
@@ -223,6 +422,8 @@ def save_view_columns_v2(
             "layout": 2,
             "labels": [str(label) for label in (labels if labels else ("",))],
         }
+        if synopsis is not None:
+            meta["synopsis"] = synopsis
         (tmp / _V2_META).write_text(
             json.dumps(meta, indent=2, sort_keys=True) + "\n"
         )
@@ -285,18 +486,38 @@ def save_view_columns(
     probability: np.ndarray,
     label_code: np.ndarray,
     labels: tuple[str, ...],
-) -> None:
-    """Write one segment, dispatching on the path's layout suffix."""
+) -> dict:
+    """Write one segment, dispatching on the path's layout suffix.
+
+    Computes the segment's zone-map synopsis from the columns being
+    written (one extra vectorised pass over data already in memory),
+    persists it with the segment, and returns it so the catalog can
+    surface it through ``series.json`` without re-reading the segment.
+    """
+    synopsis = compute_view_synopsis(t, low, high, probability)
     if Path(path).suffix == SEGMENT_SUFFIX_V2:
         save_view_columns_v2(
-            path, t=t, low=low, high=high, probability=probability,
-            label_code=label_code, labels=labels,
+            path,
+            t=t,
+            low=low,
+            high=high,
+            probability=probability,
+            label_code=label_code,
+            labels=labels,
+            synopsis=synopsis,
         )
     else:
         save_view_columns_npz(
-            path, t=t, low=low, high=high, probability=probability,
-            label_code=label_code, labels=labels,
+            path,
+            t=t,
+            low=low,
+            high=high,
+            probability=probability,
+            label_code=label_code,
+            labels=labels,
+            synopsis=synopsis,
         )
+    return synopsis
 
 
 def load_view_columns(

@@ -56,9 +56,13 @@ from repro.store.binary import (
     SCHEMA_VERSION,
     SEGMENT_SUFFIX_NPZ,
     SEGMENT_SUFFIX_V2,
+    SYNOPSIS_VERSION,
     check_schema_version,
+    compute_view_synopsis,
+    load_segment_synopsis,
     load_view_columns,
     save_view_columns,
+    write_segment_synopsis,
 )
 from repro.store.standing import StandingQuery, StandingQueryHandle
 from repro.view.omega import OmegaGrid
@@ -86,6 +90,24 @@ def _remove_segment(directory: Path, name: str) -> None:
         shutil.rmtree(target, ignore_errors=True)
     else:
         target.unlink(missing_ok=True)
+        # An .npz segment may carry a synopsis sidecar; never orphan it.
+        target.with_name(f"{name}.synopsis.json").unlink(missing_ok=True)
+
+
+def _coerce_synopsis(payload: Any) -> dict[str, Any] | None:
+    """``payload`` when it is a current-version synopsis, else None.
+
+    Guards every read of ``series.json``'s ``synopses`` map: metadata
+    edited by hand or written by a future build with a bumped
+    :data:`~repro.store.binary.SYNOPSIS_VERSION` degrades to "no synopsis"
+    (no pruning, lazy APPROX fallback) instead of wrong answers.
+    """
+    if (
+        isinstance(payload, dict)
+        and payload.get("version") == SYNOPSIS_VERSION
+    ):
+        return payload
+    return None
 
 
 def _next_segment_index(existing: list[str]) -> int:
@@ -219,6 +241,17 @@ class SeriesSnapshot:
     tuple_count: int
     next_t: int | None
     created: str = ""
+    #: Per-segment zone-map synopses, aligned with ``segments``; None for
+    #: segments written before synopses existed (see Catalog.synopsize).
+    synopses: tuple[dict[str, Any] | None, ...] = ()
+
+    def segment_synopses(self) -> tuple[dict[str, Any] | None, ...]:
+        """Synopses aligned with ``segments`` (padded when metadata is short)."""
+        if len(self.synopses) == len(self.segments):
+            return self.synopses
+        padded = list(self.synopses[: len(self.segments)])
+        padded.extend([None] * (len(self.segments) - len(padded)))
+        return tuple(padded)
 
     @property
     def generation(self) -> tuple[str, int, int, str]:
@@ -435,7 +468,7 @@ class SeriesHandle:
             )
         name = _SEGMENT_FORMATS[layout].format(index)
         cols = suffix.columns
-        save_view_columns(
+        synopsis = save_view_columns(
             self.directory / name,
             t=cols.t,
             low=cols.low,
@@ -445,6 +478,10 @@ class SeriesHandle:
             labels=cols.labels,
         )
         self._meta.setdefault("segments", []).append(name)
+        # Appends keep the per-segment synopsis map incrementally up to
+        # date: the planner reads it from the snapshot without touching
+        # any segment file.
+        self._meta.setdefault("synopses", {})[name] = synopsis
         self._meta["next_segment"] = index + 1
         self._meta["tuple_count"] = self.tuple_count + len(suffix)
 
@@ -557,6 +594,9 @@ class Catalog:
             self._manifest = {
                 "schema_version": SCHEMA_VERSION,
                 "segment_layout": self.segment_layout,
+                # Segment synopses this catalog's writers produce; older
+                # catalogs lack the key until `store synopsize` backfills.
+                "synopsis_version": SYNOPSIS_VERSION,
                 "series": [],
             }
             self._flush_manifest()
@@ -666,14 +706,19 @@ class Catalog:
         self, series_id: str, directory: Path
     ) -> SeriesSnapshot:
         meta = _read_json(directory / _SERIES_FILE, "series")
+        segments = tuple(meta.get("segments", ()))
+        synopses_map = meta.get("synopses") or {}
         return SeriesSnapshot(
             series_id=series_id,
             directory=directory,
             kind=meta["kind"],
-            segments=tuple(meta.get("segments", ())),
+            segments=segments,
             tuple_count=int(meta.get("tuple_count", 0)),
             next_t=meta.get("next_t"),
             created=str(meta.get("created", "")),
+            synopses=tuple(
+                _coerce_synopsis(synopses_map.get(name)) for name in segments
+            ),
         )
 
     def open_many(self, pattern: str = "*") -> list[SeriesSnapshot]:
@@ -797,7 +842,7 @@ class Catalog:
         if len(view):
             name = _SEGMENT_FORMATS[self.segment_layout].format(index)
             cols = view.columns
-            save_view_columns(
+            synopsis = save_view_columns(
                 directory / name,
                 t=cols.t,
                 low=cols.low,
@@ -807,6 +852,7 @@ class Catalog:
                 labels=cols.labels,
             )
             meta["segments"] = [name]
+            meta["synopses"] = {name: synopsis}
             meta["next_segment"] = index + 1
             meta["tuple_count"] = len(view)
         _write_json_atomic(directory / _SERIES_FILE, meta)  # The cutover.
@@ -893,6 +939,60 @@ class Catalog:
         if handle is not None:
             handle._closed = True
         self._drop_snapshot(series_id)
+
+    # ------------------------------------------------------------------
+    # Synopsis maintenance.
+    # ------------------------------------------------------------------
+    def synopsize(self, pattern: str = "*") -> dict[str, int]:
+        """Backfill zone-map synopses for segments written before this build.
+
+        Walks every series matching ``pattern``; for each segment without
+        a current-version synopsis, reads the stored synopsis (layout-v2
+        ``meta.json`` / ``.npz`` sidecar) or — for segments predating
+        synopses entirely — loads the columns once, computes it, and
+        persists it both with the segment and in ``series.json``.  Fresh
+        catalogs are no-ops; re-running is idempotent.  Returns the number
+        of segments backfilled per series id.
+
+        Old catalogs work *without* this (exact queries simply prune
+        nothing; APPROX computes synopses lazily in memory) — backfilling
+        makes the speedup durable.
+        """
+        updated: dict[str, int] = {}
+        for series_id in self.select_series(pattern):
+            directory = self.root / series_id
+            meta = _read_json(directory / _SERIES_FILE, "series")
+            synopses = meta.setdefault("synopses", {})
+            backfilled = 0
+            for name in meta.get("segments", []):
+                if _coerce_synopsis(synopses.get(name)) is not None:
+                    continue
+                synopsis = load_segment_synopsis(directory / name)
+                if synopsis is None:
+                    columns = load_view_columns(directory / name)
+                    synopsis = compute_view_synopsis(
+                        columns["t"],
+                        columns["low"],
+                        columns["high"],
+                        columns["probability"],
+                    )
+                    write_segment_synopsis(directory / name, synopsis)
+                synopses[name] = synopsis
+                backfilled += 1
+            if backfilled:
+                _write_json_atomic(directory / _SERIES_FILE, meta)
+                self._drop_snapshot(series_id)
+                # A live handle caches series.json; keep its copy in step
+                # so a later append's metadata flush cannot drop the
+                # freshly backfilled synopses.
+                handle = self._handles.get(series_id)
+                if handle is not None and not handle._closed:
+                    handle._meta.setdefault("synopses", {}).update(synopses)
+            updated[series_id] = backfilled
+        if self._manifest.get("synopsis_version") != SYNOPSIS_VERSION:
+            self._manifest["synopsis_version"] = SYNOPSIS_VERSION
+            self._flush_manifest()
+        return updated
 
     # ------------------------------------------------------------------
     # Convenience pass-throughs.

@@ -30,8 +30,12 @@ A second statement queries every stored view of a catalog at once::
 The aggregate is one of ``threshold(tau)``, ``expected_value``,
 ``exceedance(threshold)`` or ``time_above(threshold, window)``; ``SERIES``
 glob-selects the series ids (default: all); ``TOP k`` keeps the k
-highest-scoring series.  Parsing yields an inert :class:`SelectQuery`;
-planning and execution belong to :mod:`repro.service`.
+highest-scoring series.  An optional ``APPROX`` modifier directly after
+``SELECT`` answers the aggregate from stored segment synopses alone — per
+series an ``(estimate, error_bound)`` pair instead of exact rows, in time
+independent of the stored tuple count.  Parsing yields an inert
+:class:`SelectQuery`; planning and execution belong to
+:mod:`repro.service`.
 
 Keywords are case-insensitive; identifiers and numbers follow Python rules.
 Parsing produces an inert :class:`ViewQuery` / :class:`SelectQuery`;
@@ -139,6 +143,9 @@ class SelectQuery:
     time_lo: float | None = None
     time_hi: float | None = None
     top_k: int | None = None
+    #: ``SELECT APPROX ...``: answer from segment synopses alone, as an
+    #: ``(estimate, error_bound)`` pair per series, in sublinear time.
+    approx: bool = False
 
 
 def _tokenize(text: str) -> list[_Token]:
@@ -239,6 +246,10 @@ class _Parser:
 
     def parse_select(self) -> SelectQuery:
         self.expect_keyword("select")
+        # Optional APPROX modifier: answer from synopses with error
+        # bounds.  Matched positionally (like select/catalog/series/top)
+        # so CREATE VIEW statements keep "approx" usable as a name.
+        approx = self.accept_keyword("approx")
         aggregate, arguments = self._parse_aggregate()
         self.expect_keyword("from")
         self.expect_keyword("catalog")
@@ -268,6 +279,7 @@ class _Parser:
             time_lo=time_lo,
             time_hi=time_hi,
             top_k=top_k,
+            approx=approx,
         )
 
     def _parse_aggregate(self) -> tuple[str, tuple[float, ...]]:

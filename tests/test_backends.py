@@ -129,6 +129,90 @@ class TestBackendParity:
         assert seq_v2.scores() == seq_npz.scores()
 
 
+class TestPrunedPlanParity:
+    """The bit-identity gate extended to synopsis-pruned plans.
+
+    A WHERE range that drops whole segments (and a tau that drops whole
+    series) must not change a single byte of the serialized result —
+    across backends, and against the unpruned reference modulo the
+    ``pruning`` stats block.
+    """
+
+    PRUNING_STATEMENTS = (
+        "SELECT threshold(0.2) FROM CATALOG '{root}' "
+        "WHERE t BETWEEN 20 AND 40",
+        "SELECT threshold(0.999) FROM CATALOG '{root}'",
+        "SELECT expected_value FROM CATALOG '{root}' "
+        "WHERE t BETWEEN 35 AND 46",
+        "SELECT exceedance(20.3) FROM CATALOG '{root}' "
+        "WHERE t BETWEEN 16 AND 30 TOP 3",
+        "SELECT time_above(20.3, 4) FROM CATALOG '{root}' "
+        "WHERE t BETWEEN 20 AND 44",
+    )
+
+    def _pruning_statements(self, root) -> list[str]:
+        return [s.format(root=root) for s in self.PRUNING_STATEMENTS]
+
+    @staticmethod
+    def _without_stats(result) -> str:
+        payload = serialize_result(result)
+        payload.pop("pruning", None)
+        return canonical_dumps(payload)
+
+    def test_pruned_equals_unpruned_bitwise(self, v2_root):
+        for statement in self._pruning_statements(v2_root):
+            pruned = CatalogQueryService(
+                v2_root, backend="sequential", pruning=True
+            ).execute(statement)
+            full = CatalogQueryService(
+                v2_root, backend="sequential", pruning=False
+            ).execute(statement)
+            assert self._without_stats(pruned) == self._without_stats(full)
+
+    def test_pruning_actually_prunes(self, v2_root):
+        result = CatalogQueryService(
+            v2_root, backend="sequential"
+        ).execute(
+            f"SELECT expected_value FROM CATALOG '{v2_root}' "
+            f"WHERE t BETWEEN 35 AND 46"
+        )
+        assert result.stats is not None
+        assert result.stats.segments_pruned > 0
+        assert (
+            result.stats.segments_scanned + result.stats.segments_pruned
+            == result.stats.segments_total
+        )
+
+    def test_pruned_identical_across_backends(self, v2_root):
+        statements = self._pruning_statements(v2_root)
+        references = [
+            _canonical(
+                CatalogQueryService(v2_root, backend="sequential").execute(s)
+            )
+            for s in statements
+        ]
+        thread = CatalogQueryService(v2_root, backend="thread", max_workers=4)
+        for statement, reference in zip(statements, references):
+            assert _canonical(thread.execute(statement)) == reference
+        with CatalogQueryService(
+            v2_root, backend="process", max_workers=2
+        ) as service:
+            for statement, reference in zip(statements, references):
+                assert _canonical(service.execute(statement)) == reference
+
+    def test_skipped_series_keep_their_result_slot(self, v2_root):
+        # tau=0.999 prunes every segment of every series: all series are
+        # skipped, yet each still answers with its exact empty result.
+        result = CatalogQueryService(v2_root, backend="sequential").execute(
+            f"SELECT threshold(0.999) FROM CATALOG '{v2_root}'"
+        )
+        assert result.stats is not None
+        assert result.stats.series_skipped == SERIES
+        assert len(result.results) == SERIES
+        assert all(entry.result == [] for entry in result.results)
+        assert all(entry.score == 0.0 for entry in result.results)
+
+
 class TestBackendSelection:
     def test_unknown_backend_rejected(self, v2_root):
         with pytest.raises(InvalidParameterError, match="unknown executor"):
