@@ -1,0 +1,224 @@
+"""Observability overhead benchmark: instrumentation must stay <= 2%.
+
+The `repro.obs` design promise is that metrics and tracing are **always
+on** — no sampling flag, no debug build — because their cost on the hot
+path is negligible.  This benchmark defends that promise with a number,
+recorded in ``BENCH_obs.json`` at the repo root and gated by
+``check_regression.py``: ``headline.overhead_ratio``, the warm-cache
+wall-time ratio of an instrumented service (live
+:class:`~repro.obs.metrics.MetricsRegistry`: per-query trace, latency
+histograms, counters, slow-log offer) over an uninstrumented one
+(:class:`~repro.obs.metrics.NullRegistry`: every hook a no-op,
+worker-side timing capture disabled).  The gate caps the ratio at
+**1.02** — if instrumentation ever costs more than 2% on the warm path,
+CI fails.
+
+Measuring a sub-2% delta on a shared 1-core container needs a noise-proof
+estimator; three choices matter more than any amount of repetition:
+
+* both arms share **one** :class:`~repro.service.MatrixCache`, so they
+  compute over literally the same resident view objects — otherwise each
+  arm's private heap/cache layout biases the comparison by more than the
+  effect being measured;
+* statements run in **back-to-back pairs** (order alternating), so the
+  host's low-frequency drift — CPU frequency, co-tenant load — hits both
+  arms of a pair equally and cancels in the difference;
+* each pass of pairs yields ``1 + median(paired diff) / median(bare)``,
+  and the headline is the **median over passes**: the inner median is
+  robust to scheduler-preemption outliers that a mean smears into a
+  false gap, and the outer median rejects a whole pass corrupted by a
+  sustained co-tenant burst (observed to inflate a single pass by +8%
+  on this container).
+
+Run directly (``python benchmarks/bench_obs.py``) or via pytest; set
+``REPRO_BENCH_QUICK=1`` (the CI smoke job does) to trim the timed pair
+count.  The catalog stays full-size either way — shrinking the
+statement below ~10 ms would push the per-pair diff under timer noise
+and defeat the estimator.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import shutil
+import statistics
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs import MetricsRegistry, NullRegistry
+from repro.service import CatalogQueryService, MatrixCache
+from repro.store import Catalog
+from repro.view.omega import OmegaGrid
+
+_QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+_GRID = OmegaGrid(delta=0.5, n=8)
+_H = 40
+# The catalog is full-size in both modes: a ~13 ms statement keeps the
+# per-pair diff above timer/scheduler noise, and building it costs ~1 s.
+# Quick mode only trims the number of timed pairs.  Pass-ratio spread
+# scales inversely with pairs per pass (40-pair passes swing +-3% on
+# this container, 100-pair passes ~+-0.5%), so keep passes long and few.
+_SERIES_COUNT = 80
+_TIMES_PER_SERIES = 300
+_PASSES = 3 if _QUICK else 5
+_PAIRS_PER_PASS = 60 if _QUICK else 100
+_CACHE_BUDGET = 512 << 20
+_OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_obs.json"
+
+#: The acceptance bound: instrumented / uninstrumented warm wall time.
+OVERHEAD_CAP = 1.02
+
+
+def build_catalog(workdir: Path) -> Catalog:
+    catalog = Catalog(workdir / "catalog")
+    rng = np.random.default_rng(11)
+    for index in range(_SERIES_COUNT):
+        series_id = f"sensor-{index:03d}"
+        catalog.create_series(
+            series_id, metric="variable_threshold", H=_H, grid=_GRID
+        )
+        values = 20.0 + np.cumsum(
+            rng.normal(0.0, 0.1, size=_TIMES_PER_SERIES + _H)
+        )
+        catalog.append(series_id, values)
+    return catalog
+
+
+def _statement(catalog: Catalog) -> str:
+    return f"SELECT exceedance(21.0) FROM CATALOG '{catalog.root}'"
+
+
+def _timed(service: CatalogQueryService, statement: str) -> float:
+    start = time.perf_counter()
+    service.execute(statement)
+    return time.perf_counter() - start
+
+
+def bench_overhead(catalog: Catalog) -> dict:
+    statement = _statement(catalog)
+    # One shared cache: both arms reduce over the same resident arrays.
+    # The sequential backend keeps the measurement pure — no pool-handoff
+    # jitter burying the instrumentation delta.
+    cache = MatrixCache(_CACHE_BUDGET)
+    instrumented = CatalogQueryService(
+        catalog,
+        backend="sequential",
+        cache=cache,
+        registry=MetricsRegistry(),
+    )
+    bare = CatalogQueryService(
+        catalog,
+        backend="sequential",
+        cache=cache,
+        registry=NullRegistry(),
+    )
+    pass_ratios: list[float] = []
+    pass_details: list[dict] = []
+    try:
+        # Warm the shared cache fully before any timing.
+        instrumented.execute(statement)
+        bare.execute(statement)
+        for _ in range(_PASSES):
+            diffs: list[float] = []
+            bare_times: list[float] = []
+            instrumented_times: list[float] = []
+            for pair in range(_PAIRS_PER_PASS):
+                if pair % 2:
+                    cost_i = _timed(instrumented, statement)
+                    cost_b = _timed(bare, statement)
+                else:
+                    cost_b = _timed(bare, statement)
+                    cost_i = _timed(instrumented, statement)
+                diffs.append(cost_i - cost_b)
+                bare_times.append(cost_b)
+                instrumented_times.append(cost_i)
+            median_diff = statistics.median(diffs)
+            median_bare = statistics.median(bare_times)
+            pass_ratios.append(1.0 + median_diff / median_bare)
+            pass_details.append(
+                {
+                    "median_bare_s": median_bare,
+                    "median_instrumented_s": statistics.median(
+                        instrumented_times
+                    ),
+                    "median_paired_diff_s": median_diff,
+                }
+            )
+        # Sanity: the instrumented arm really was instrumented and the
+        # bare arm really was not.
+        executed = 1 + _PASSES * _PAIRS_PER_PASS
+        histogram = instrumented.registry.histogram("repro_query_seconds")
+        assert histogram.total_count() == executed
+        assert bare.registry.snapshot() == {}
+    finally:
+        instrumented.close()
+        bare.close()
+    ratio = statistics.median(pass_ratios)
+    out = {
+        "passes": _PASSES,
+        "pairs_per_pass": _PAIRS_PER_PASS,
+        "pass_ratios": pass_ratios,
+        "pass_details": pass_details,
+        "overhead_ratio": ratio,
+    }
+    per_pass = ", ".join(f"{100.0 * (r - 1.0):+.2f}%" for r in pass_ratios)
+    print(
+        f"warm SELECT over {_SERIES_COUNT} series: per-pass overhead "
+        f"[{per_pass}] -> median {100.0 * (ratio - 1.0):+.2f}%"
+    )
+    return out
+
+
+def run_benchmark() -> dict:
+    workdir = Path(tempfile.mkdtemp(prefix="bench_obs_"))
+    try:
+        catalog = build_catalog(workdir)
+        overhead = bench_overhead(catalog)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    results = {
+        "quick": _QUICK,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "series_count": _SERIES_COUNT,
+        "times_per_series": _TIMES_PER_SERIES,
+        "grid": {"delta": _GRID.delta, "n": _GRID.n},
+        "H": _H,
+        "statement": "SELECT exceedance(21.0) FROM CATALOG '<root>'",
+        "overhead": overhead,
+        "headline": {"overhead_ratio": overhead["overhead_ratio"]},
+    }
+    _OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nwrote {_OUTPUT}")
+    return results
+
+
+# ----------------------------------------------------------------------
+# Pytest entry point (the acceptance cap).
+# ----------------------------------------------------------------------
+_RESULTS: dict | None = None
+
+
+def _results() -> dict:
+    global _RESULTS
+    if _RESULTS is None:
+        _RESULTS = run_benchmark()
+    return _RESULTS
+
+
+def test_instrumentation_overhead_within_two_percent():
+    results = _results()
+    ratio = results["headline"]["overhead_ratio"]
+    assert ratio <= OVERHEAD_CAP, (
+        f"always-on instrumentation costs {100.0 * (ratio - 1.0):+.2f}% on "
+        f"the warm-cache path (cap {100.0 * (OVERHEAD_CAP - 1.0):.0f}%)"
+    )
+
+
+if __name__ == "__main__":
+    run_benchmark()

@@ -3,7 +3,8 @@
 Every perf claim this repo has recorded — columnar speedups (PR 1), binary
 store round-trip and flat appends (PR 2), service cache gap and thread
 scaling (PR 3), server batching parity (PR 4), synopsis pruning and
-APPROX speedups (PR 6) — lives in a ``BENCH_*.json``
+APPROX speedups (PR 6), observability overhead (PR 7) — lives in a
+``BENCH_*.json``
 at the repo root.  Until now CI only *uploaded* those files; this gate
 makes it *defend* them: after a bench job refreshes its JSON, the gate
 compares the fresh values against the committed baselines under
@@ -133,6 +134,18 @@ SPECS: dict[str, tuple[Metric, ...]] = {
             "headline.batched_vs_unbatched", tolerance=0.6, floor=0.85
         ),
         Metric("bit_identical", direction="true"),
+    ),
+    "BENCH_obs.json": (
+        # Always-on instrumentation (PR 7): warm-path cost versus
+        # NullRegistry must stay under the 2% cap.  The measured ratio
+        # hovers around 1.0 (noise pushes it both ways), so the absolute
+        # cap carries the claim and the relative band is slack.
+        Metric(
+            "headline.overhead_ratio",
+            direction="lower",
+            tolerance=0.05,
+            floor=1.02,
+        ),
     ),
 }
 

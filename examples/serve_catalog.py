@@ -9,7 +9,10 @@ three ways:
 2. a raw socket speaking the newline-delimited JSON protocol by hand —
    the same bytes ``nc 127.0.0.1 7411`` would send;
 3. many concurrent clients issuing the *same* statement, to show request
-   coalescing doing the catalog's work once.
+   coalescing doing the catalog's work once;
+4. the observability surfaces: a traced query's stage-latency table,
+   the Prometheus-style ``{"op": "metrics"}`` scrape, and the
+   slow-query log.
 
 It finishes by restarting the server on the **process executor backend**
 (``--backend process`` on the CLI): per-statement fan-out runs on
@@ -108,10 +111,47 @@ def main() -> None:
             f"coalesced {stats['coalesced']} "
             f"(cache: {stats['cache']['entries']} views resident)"
         )
+
+        # -- 4. Observability: trace, metrics scrape, slow log. --------
+        with Client(host, port) as client:
+            traced = client.query(statement, trace=True)
+            trace = traced["trace"]
+            print(
+                f"\nwhere {trace['wall_ms']:.2f} ms of wall time went "
+                f"(backend={trace['backend']}):"
+            )
+            for span in trace["stages"]:
+                share = span["ms"] / trace["wall_ms"]
+                print(
+                    f"  {span['name']:<10} {span['ms']:8.3f} ms  "
+                    f"{'#' * round(40 * share)}"
+                )
+
+            metrics = client.metrics()
+            latency = metrics["metrics"]["repro_query_seconds"]["values"]
+            print("\nper-aggregate latency (streaming quantiles):")
+            for labels, sample in latency.items():
+                print(
+                    f"  {labels}: n={sample['count']}, "
+                    f"p50={sample['p50'] * 1e3:.2f} ms, "
+                    f"p99={sample['p99'] * 1e3:.2f} ms"
+                )
+            scrape = metrics["text"].splitlines()
+            print(
+                f"\nPrometheus exposition: {len(scrape)} lines, e.g. "
+                f"{scrape[-1]!r}"
+            )
+
+            slowlog = client.slowlog(limit=3)
+            print(
+                f"slow-query log (threshold "
+                f"{slowlog['threshold_ms']:.0f} ms): "
+                f"{slowlog['recorded']}/{slowlog['observed']} recorded"
+            )
         baseline = result
     print("\nserver drained and stopped")
 
-    # -- 4. The process backend: multi-core fan-out, same answers. -----
+    # -- 5. The process backend: multi-core fan-out, same answers. -----
     # Equivalent CLI:  python -m repro server serve <catalog> --backend
     # process.  Worker processes spawn once, keep per-worker warm caches,
     # and mmap the v2 segments read-only.

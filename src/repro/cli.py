@@ -217,6 +217,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "(results are identical; for benchmarking)")
     vquery.add_argument("--stats", action="store_true",
                         help="print the per-query pruning counters")
+    vquery.add_argument("--trace", action="store_true",
+                        help="print the per-stage latency breakdown "
+                             "(parse/plan/prune/fan-out/finalize) and the "
+                             "slowest per-series load/compute spans")
 
     server = sub.add_parser(
         "server", help="network query server over a catalog"
@@ -244,6 +248,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="matrix-cache byte budget in MiB")
     serve.add_argument("--no-pruning", action="store_true",
                        help="disable synopsis-based segment pruning")
+    serve.add_argument("--slow-query-ms", type=float, default=None,
+                       help="slow-query log threshold in milliseconds "
+                            "(default 500; statements slower than this "
+                            "are kept in the in-memory slow log)")
 
     cquery = server_sub.add_parser(
         "query", help="send one statement to a running server"
@@ -255,6 +263,38 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the raw canonical JSON result")
     cquery.add_argument("--head", type=int, default=8,
                         help="result rows to print per section")
+    cquery.add_argument("--trace", action="store_true",
+                        help="ask the server for the per-stage trace "
+                             "block and print it as a latency table")
+
+    sstats = server_sub.add_parser(
+        "stats", help="print a running server's lifetime counters"
+    )
+    sstats.add_argument("--host", default="127.0.0.1")
+    sstats.add_argument("--port", type=int, default=7411)
+    sstats.add_argument("--json", action="store_true",
+                        help="print the raw stats payload as JSON")
+
+    smetrics = server_sub.add_parser(
+        "metrics",
+        help="print a running server's metrics registry "
+             "(Prometheus text by default)",
+    )
+    smetrics.add_argument("--host", default="127.0.0.1")
+    smetrics.add_argument("--port", type=int, default=7411)
+    smetrics.add_argument("--json", action="store_true",
+                          help="print the JSON snapshot (with streaming "
+                               "p50/p95/p99) instead of Prometheus text")
+
+    slowlog = server_sub.add_parser(
+        "slowlog", help="print a running server's slow-query log"
+    )
+    slowlog.add_argument("--host", default="127.0.0.1")
+    slowlog.add_argument("--port", type=int, default=7411)
+    slowlog.add_argument("--limit", type=int, default=None,
+                         help="newest entries to fetch (default all kept)")
+    slowlog.add_argument("--json", action="store_true",
+                         help="print the raw slowlog payload as JSON")
     return parser
 
 
@@ -445,7 +485,14 @@ def _cmd_service(args: argparse.Namespace) -> int:
             backend=args.backend,
             pruning=pruning,
         ) as service:
-            results = service.execute_many(args.sql)
+            if args.trace:
+                # execute_many flattens every statement into one pool
+                # pass, which leaves no per-statement trace; run the
+                # batch statement-by-statement (still sharing the warm
+                # cache) so each result carries its own trace block.
+                results = [service.execute(sql) for sql in args.sql]
+            else:
+                results = service.execute_many(args.sql)
     for index, result in enumerate(results):
         if index:
             print()
@@ -459,6 +506,12 @@ def _cmd_service(args: argparse.Namespace) -> int:
                 f"{stats.series_skipped}/{stats.series_matched} series"
                 + (" [approx]" if stats.approx else "")
             )
+        if args.trace:
+            if result.trace is None:
+                print("\n(trace unavailable: instrumentation disabled)")
+            else:
+                print()
+                _print_trace(result.trace.as_dict())
     return 0
 
 
@@ -511,12 +564,49 @@ def _print_select_result(result, head: int) -> None:
             print(f"... ({top.size - head} more rows)")
 
 
+def _print_trace(trace: dict) -> None:
+    """Render a trace block (service- or server-side) as latency tables."""
+    wall_ms = trace.get("wall_ms", 0.0)
+    backend = trace.get("backend")
+    suffix = f" (backend={backend})" if backend else ""
+    print(f"trace: wall {wall_ms:.3f} ms{suffix}")
+    stages = trace.get("stages", [])
+    if stages:
+        print(format_table(
+            ["stage", "start_ms", "ms", "share"],
+            [[span["name"], span["start_ms"], span["ms"],
+              f"{span['ms'] / wall_ms:.1%}" if wall_ms else "-"]
+             for span in stages],
+        ))
+    series = trace.get("series", [])
+    if series:
+        print("\nslowest series (load + compute):")
+        print(format_table(
+            ["series", "load_ms", "compute_ms", "cache"],
+            [[span["series"], span["load_ms"], span["compute_ms"],
+              "hit" if span["cache_hit"] else "miss"]
+             for span in series],
+        ))
+        truncated = trace.get("series_truncated", 0)
+        if truncated:
+            print(f"... ({truncated} faster series not shown)")
+    cache = trace.get("cache")
+    if cache:
+        print(
+            f"cache: {cache.get('hits', 0)} hits, "
+            f"{cache.get('misses', 0)} misses"
+        )
+
+
 def _cmd_server(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.server import Client, QueryServer
 
     if args.server_command == "serve":
+        slow_kwargs = {}
+        if args.slow_query_ms is not None:
+            slow_kwargs["slow_query_ms"] = args.slow_query_ms
         server = QueryServer(
             args.catalog,
             host=args.host,
@@ -527,6 +617,7 @@ def _cmd_server(args: argparse.Namespace) -> int:
             backend=args.backend,
             pruning=not args.no_pruning,
             cache_budget_bytes=max(int(args.cache_mb * (1 << 20)), 1),
+            **slow_kwargs,
         )
 
         async def _serve() -> None:
@@ -548,15 +639,123 @@ def _cmd_server(args: argparse.Namespace) -> int:
         asyncio.run(_serve())
         return 0
 
+    if args.server_command == "stats":
+        with Client(args.host, args.port) as client:
+            stats = client.stats()
+            metrics = client.metrics()["metrics"]
+        if args.json:
+            from repro.server import canonical_dumps
+
+            print(canonical_dumps(stats))
+            return 0
+        _print_server_stats(stats, metrics)
+        return 0
+
+    if args.server_command == "metrics":
+        with Client(args.host, args.port) as client:
+            payload = client.metrics()
+        if args.json:
+            from repro.server import canonical_dumps
+
+            print(canonical_dumps(payload["metrics"]))
+        else:
+            print(payload["text"], end="")
+        return 0
+
+    if args.server_command == "slowlog":
+        with Client(args.host, args.port) as client:
+            payload = client.slowlog(args.limit)
+        if args.json:
+            from repro.server import canonical_dumps
+
+            print(canonical_dumps(payload))
+            return 0
+        _print_server_slowlog(payload)
+        return 0
+
     with Client(args.host, args.port) as client:
-        result = client.query(args.sql)
+        result = client.query(args.sql, trace=args.trace)
     if args.json:
         from repro.server import canonical_dumps
 
         print(canonical_dumps(result))
         return 0
     _print_server_result(result, args.head)
+    if args.trace:
+        trace = result.get("trace")
+        print()
+        if trace:
+            _print_trace(trace)
+        else:
+            print("(trace unavailable: server instrumentation disabled)")
     return 0
+
+
+def _print_server_stats(stats: dict, metrics: dict) -> None:
+    """Render the stats payload plus latency histograms from metrics."""
+    scalars = [
+        [name, value] for name, value in sorted(stats.items())
+        if not isinstance(value, dict)
+    ]
+    print(format_table(["counter", "value"], scalars, title="server"))
+    for key, title in (("pruning", "execution"), ("cache", "matrix cache")):
+        block = stats.get(key, {})
+        if block:
+            print()
+            print(format_table(
+                ["counter", "value"],
+                [[name, block[name]] for name in sorted(block)],
+                title=title,
+            ))
+    rows = []
+    for name, family in sorted(metrics.items()):
+        if family.get("type") != "histogram":
+            continue
+        for label_text, sample in family.get("values", {}).items():
+            rows.append([
+                name, label_text or "-", sample.get("count", 0),
+                _fmt_quantile(sample.get("p50")),
+                _fmt_quantile(sample.get("p95")),
+                _fmt_quantile(sample.get("p99")),
+            ])
+    if rows:
+        print()
+        print(format_table(
+            ["histogram", "labels", "count", "p50_ms", "p95_ms", "p99_ms"],
+            rows, title="latency histograms",
+        ))
+
+
+def _fmt_quantile(seconds) -> str:
+    """A histogram quantile (seconds or None) as milliseconds text."""
+    if seconds is None:
+        return "-"
+    return f"{seconds * 1e3:.3f}"
+
+
+def _print_server_slowlog(payload: dict) -> None:
+    print(
+        f"slow-query log: threshold {payload.get('threshold_ms')} ms, "
+        f"{payload.get('recorded', 0)}/{payload.get('observed', 0)} "
+        f"queries recorded"
+    )
+    entries = payload.get("entries", [])
+    if not entries:
+        print("(no queries over the threshold)")
+        return
+    print(format_table(
+        ["wall_ms", "statement", "stages"],
+        [[entry.get("wall_ms"),
+          (entry.get("statement") or "<unknown>")[:60],
+          ", ".join(
+              f"{name}={ms:.1f}"
+              for name, ms in sorted(
+                  entry.get("stages", {}).items(),
+                  key=lambda item: -item[1],
+              )[:4]
+          )]
+         for entry in entries],
+    ))
 
 
 def _print_server_result(result: dict, head: int) -> None:

@@ -23,6 +23,7 @@ from repro.db.prob_view import ProbabilisticView
 from repro.db.table import Table
 from repro.exceptions import QueryError
 from repro.metrics.registry import create_metric
+from repro.obs.trace import QueryTrace
 from repro.view.builder import ViewBuilder
 from repro.view.sql import SelectQuery, ViewQuery, parse_statement
 
@@ -91,18 +92,31 @@ class Database:
     # ------------------------------------------------------------------
     # Execution.
     # ------------------------------------------------------------------
-    def execute(self, sql: str) -> "ProbabilisticView | SelectResult":
+    def execute(
+        self, sql: str, *, trace: QueryTrace | None = None
+    ) -> "ProbabilisticView | SelectResult":
         """Parse and execute one statement (CREATE VIEW or SELECT).
 
         ``CREATE VIEW`` statements return the created
         :class:`ProbabilisticView`; catalog-wide ``SELECT`` statements
         return the service layer's
-        :class:`~repro.service.executor.SelectResult`.
+        :class:`~repro.service.executor.SelectResult`.  ``trace``
+        (optional) collects the statement's stage spans; the caller that
+        created it owns its wall clock.
         """
-        statement = parse_statement(sql)
+        if trace is None:
+            statement = parse_statement(sql)
+            if isinstance(statement, SelectQuery):
+                return self.execute_select(statement)
+            return self.execute_query(statement)
+        if trace.statement is None:
+            trace.statement = sql
+        with trace.stage("parse"):
+            statement = parse_statement(sql)
         if isinstance(statement, SelectQuery):
-            return self.execute_select(statement)
-        return self.execute_query(statement)
+            return self.execute_select(statement, trace=trace)
+        with trace.stage("compute"):
+            return self.execute_query(statement)
 
     def bind_select_service(
         self, service: "CatalogQueryService | None"
@@ -118,7 +132,11 @@ class Database:
         self._select_service = service
 
     def execute_select(
-        self, query: "str | SelectQuery", *, backend: str | None = None
+        self,
+        query: "str | SelectQuery",
+        *,
+        backend: str | None = None,
+        trace: QueryTrace | None = None,
     ) -> "SelectResult":
         """Run a catalog-wide SELECT through :mod:`repro.service`.
 
@@ -140,9 +158,11 @@ class Database:
             query = parsed
         service = self._select_service
         if service is not None and service.accepts(query):
-            return service.execute(query)
+            return service.execute(query, trace=trace)
         return execute_select(
-            query, backend=backend if backend is not None else "thread"
+            query,
+            backend=backend if backend is not None else "thread",
+            trace=trace,
         )
 
     def execute_query(self, query: ViewQuery) -> ProbabilisticView:

@@ -32,12 +32,14 @@ import asyncio
 import math
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
 from repro.db.engine import Database
 from repro.exceptions import ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slowlog import DEFAULT_SLOW_QUERY_MS
+from repro.obs.trace import QueryTrace
 from repro.server import protocol
 from repro.service.executor import CatalogQueryService
 from repro.store.catalog import Catalog
@@ -48,26 +50,55 @@ DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 7411
 
 
-@dataclass
 class ServerStats:
-    """Lifetime counters, exposed over the wire via ``{"op": "stats"}``."""
+    """Lifetime counters, exposed over the wire via ``{"op": "stats"}``.
 
-    connections: int = 0
-    requests: int = 0
-    executed: int = 0
-    coalesced: int = 0
-    rejected: int = 0
-    errors: int = 0
+    All mutation goes through :meth:`increment` and every read copies
+    under one lock, so a stats payload assembled mid-burst is internally
+    consistent (``executed + coalesced + rejected`` can never be caught
+    between two increments of one arrival).  Counters read as plain
+    attributes (``stats.executed``) for ergonomic assertions; writing
+    them directly raises — the increment path is the only writer.
+    """
+
+    _FIELDS = (
+        "connections",
+        "requests",
+        "executed",
+        "coalesced",
+        "rejected",
+        "errors",
+    )
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_lock", threading.Lock())
+        object.__setattr__(self, "_counts", dict.fromkeys(self._FIELDS, 0))
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counts[name] += amount
 
     def as_dict(self) -> dict[str, int]:
-        return {
-            "connections": self.connections,
-            "requests": self.requests,
-            "executed": self.executed,
-            "coalesced": self.coalesced,
-            "rejected": self.rejected,
-            "errors": self.errors,
-        }
+        with self._lock:
+            return dict(self._counts)
+
+    def __getattr__(self, name: str) -> int:
+        if name in type(self)._FIELDS:
+            with self._lock:
+                return self._counts[name]
+        raise AttributeError(name)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if name in type(self)._FIELDS:
+            raise AttributeError(
+                f"ServerStats.{name} is read-only; use increment({name!r})"
+            )
+        object.__setattr__(self, name, value)
+
+    def __repr__(self) -> str:
+        counts = self.as_dict()
+        inner = ", ".join(f"{k}={v}" for k, v in counts.items())
+        return f"ServerStats({inner})"
 
 
 class QueryServer:
@@ -92,6 +123,13 @@ class QueryServer:
         Forwarded to the service: use segment synopses to skip
         provably-irrelevant work (default on; results are identical
         either way).
+    registry:
+        Forwarded to the service; the server's own request counters are
+        exported into the same registry, and ``{"op": "metrics"}``
+        scrapes it (``None``: the process-wide default registry).
+    slow_query_ms:
+        Forwarded to the service's slow-query log (``server serve
+        --slow-query-ms``); entries come back via ``{"op": "slowlog"}``.
     database:
         Optionally a pre-built :class:`Database` (e.g. with raw tables
         registered so ``CREATE VIEW`` statements have data to run over).
@@ -117,6 +155,8 @@ class QueryServer:
         cache_budget_bytes: int = 64 << 20,
         backend: str = "thread",
         pruning: bool = True,
+        registry: MetricsRegistry | None = None,
+        slow_query_ms: float = DEFAULT_SLOW_QUERY_MS,
         database: Database | None = None,
     ) -> None:
         self.service = CatalogQueryService(
@@ -125,7 +165,10 @@ class QueryServer:
             cache_budget_bytes=cache_budget_bytes,
             backend=backend,
             pruning=pruning,
+            registry=registry,
+            slow_query_ms=slow_query_ms,
         )
+        self.registry = self.service.registry
         self.database = database if database is not None else Database()
         self.database.bind_select_service(self.service)
         self.host = host
@@ -142,12 +185,40 @@ class QueryServer:
             max_workers=self.max_inflight, thread_name_prefix="repro-server"
         )
         self._server: asyncio.AbstractServer | None = None
-        self._inflight: dict[str, asyncio.Future] = {}
+        # Keyed by (stripped statement, trace flag).
+        self._inflight: dict[tuple[str, bool], asyncio.Future] = {}
         self._active = 0
         self._draining = False
         self._tasks: set[asyncio.Future] = set()
         self._handlers: set[asyncio.Task] = set()
         self._writers: set[asyncio.StreamWriter] = set()
+        self._server_collector = self._register_server_metrics()
+
+    def _register_server_metrics(self):
+        """Bridge :class:`ServerStats` into the registry at scrape time.
+
+        The stats object stays the single source of truth (one locked
+        dict); the collector copies it into ``repro_server_*`` gauges
+        right before each snapshot/exposition, so a scrape never reads a
+        half-updated burst.
+        """
+        gauges = {
+            name: self.registry.gauge(
+                f"repro_server_{name}", f"Server lifetime {name} count"
+            )
+            for name in ServerStats._FIELDS
+        }
+        active = self.registry.gauge(
+            "repro_server_active", "Statements executing right now"
+        )
+
+        def collect() -> None:
+            for name, value in self.stats.as_dict().items():
+                gauges[name].set(value)
+            active.set(self._active)
+
+        self.registry.register_collector(collect)
+        return collect
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -206,6 +277,7 @@ class QueryServer:
             if pending:
                 await asyncio.wait(list(pending), timeout=1.0)
         self._executor.shutdown(wait=True)
+        self.registry.unregister_collector(self._server_collector)
         self.service.close()
 
     # ------------------------------------------------------------------
@@ -214,7 +286,7 @@ class QueryServer:
     async def _on_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        self.stats.connections += 1
+        self.stats.increment("connections")
         task = asyncio.current_task()
         if task is not None:
             self._handlers.add(task)
@@ -264,7 +336,7 @@ class QueryServer:
             # A non-finite float slipped into the response (canonical
             # encoding forbids NaN/Infinity).  The contract is structured
             # errors, never a dropped connection — degrade to one.
-            self.stats.errors += 1
+            self.stats.increment("errors")
             frame = protocol.encode_frame(
                 protocol.error_frame(
                     None,
@@ -279,16 +351,16 @@ class QueryServer:
     # Request dispatch.
     # ------------------------------------------------------------------
     async def _respond(self, line: bytes) -> dict[str, Any]:
-        self.stats.requests += 1
+        self.stats.increment("requests")
         try:
             payload = protocol.loads_frame(line)
         except (UnicodeDecodeError, ValueError) as exc:
-            self.stats.errors += 1
+            self.stats.increment("errors")
             return protocol.error_frame(
                 None, "bad_request", f"malformed JSON frame: {exc}"
             )
         if not isinstance(payload, dict):
-            self.stats.errors += 1
+            self.stats.increment("errors")
             return protocol.error_frame(
                 None, "bad_request", "frame must be a JSON object"
             )
@@ -302,49 +374,60 @@ class QueryServer:
             return protocol.result_frame(request_id, {"kind": "pong"})
         if op == "stats":
             return protocol.result_frame(request_id, self._stats_payload())
+        if op == "metrics":
+            return protocol.result_frame(request_id, self._metrics_payload())
+        if op == "slowlog":
+            return protocol.result_frame(
+                request_id, self._slowlog_payload(payload.get("limit"))
+            )
         if op != "query":
-            self.stats.errors += 1
+            self.stats.increment("errors")
             return protocol.error_frame(
                 request_id, "bad_request", f"unknown op {op!r}"
             )
         statement = payload.get("statement")
         if not isinstance(statement, str) or not statement.strip():
-            self.stats.errors += 1
+            self.stats.increment("errors")
             return protocol.error_frame(
                 request_id, "bad_request", "frame is missing a statement"
             )
         if len(statement) > self.max_statement_chars:
-            self.stats.errors += 1
+            self.stats.increment("errors")
             return protocol.error_frame(
                 request_id,
                 "statement_too_large",
                 f"statement has {len(statement)} characters "
                 f"(limit {self.max_statement_chars})",
             )
-        return await self._execute_admitted(request_id, statement)
+        want_trace = bool(payload.get("trace", False))
+        return await self._execute_admitted(
+            request_id, statement, want_trace
+        )
 
     async def _execute_admitted(
-        self, request_id: Any, statement: str
+        self, request_id: Any, statement: str, want_trace: bool = False
     ) -> dict[str, Any]:
         # All bookkeeping below runs on the event-loop thread, so the
-        # counters and the coalescing map need no lock.  The key is the
-        # statement text verbatim (modulo outer whitespace): collapsing
-        # inner whitespace would conflate statements that differ only
-        # inside a quoted glob or path — silent wrong results.  Polling
-        # fleets repeat byte-identical statements, which is the case
-        # coalescing exists for.
-        key = statement.strip()
+        # coalescing map needs no lock.  The key is the statement text
+        # verbatim (modulo outer whitespace): collapsing inner whitespace
+        # would conflate statements that differ only inside a quoted glob
+        # or path — silent wrong results.  Polling fleets repeat
+        # byte-identical statements, which is the case coalescing exists
+        # for.  The trace flag is part of the key: a traced and an
+        # untraced arrival of the same statement must not share a
+        # response payload.
+        key = (statement.strip(), want_trace)
         future = self._inflight.get(key) if self.coalesce else None
         if future is not None:
-            self.stats.coalesced += 1
+            self.stats.increment("coalesced")
         elif self._draining:
-            self.stats.rejected += 1
+            self.stats.increment("rejected")
             return protocol.error_frame(
                 request_id, "shutting_down", "server is draining; retry "
                 "against another instance"
             )
         elif self._active >= self.max_inflight:
-            self.stats.rejected += 1
+            self.stats.increment("rejected")
             return protocol.error_frame(
                 request_id,
                 "saturated",
@@ -354,10 +437,10 @@ class QueryServer:
         else:
             loop = asyncio.get_running_loop()
             future = loop.run_in_executor(
-                self._executor, self._execute, statement
+                self._executor, self._execute, statement, want_trace
             )
             self._active += 1
-            self.stats.executed += 1
+            self.stats.increment("executed")
             self._tasks.add(future)
             if self.coalesce:
                 self._inflight[key] = future
@@ -367,15 +450,15 @@ class QueryServer:
         try:
             result = await asyncio.shield(future)
         except ReproError as exc:
-            self.stats.errors += 1
+            self.stats.increment("errors")
             return protocol.error_frame(
                 request_id, protocol.error_type(exc), str(exc)
             )
         except OSError as exc:
-            self.stats.errors += 1
+            self.stats.increment("errors")
             return protocol.error_frame(request_id, "io_error", str(exc))
         except Exception as exc:  # noqa: BLE001 - wire boundary.
-            self.stats.errors += 1
+            self.stats.increment("errors")
             return protocol.error_frame(
                 request_id,
                 "internal",
@@ -383,7 +466,9 @@ class QueryServer:
             )
         return protocol.result_frame(request_id, result)
 
-    def _on_done(self, key: str, future: asyncio.Future) -> None:
+    def _on_done(
+        self, key: tuple[str, bool], future: asyncio.Future
+    ) -> None:
         self._active -= 1
         self._tasks.discard(future)
         if self._inflight.get(key) is future:
@@ -395,6 +480,10 @@ class QueryServer:
             "active": self._active,
             "backend": self.service.backend_name,
         }
+        # One atomic copy per component: the request counters come out of
+        # a single locked snapshot (never caught between the increments
+        # of one arrival), and the cache/pruning blocks are each copied
+        # under their own lock by their owners.
         payload.update(self.stats.as_dict())
         cache = self.service.cache.stats
         payload["cache"] = {
@@ -417,16 +506,59 @@ class QueryServer:
         payload["pruning"] = self.service.execution_stats()
         return payload
 
+    def _metrics_payload(self) -> dict[str, Any]:
+        """Both read formats of the registry in one frame.
+
+        ``text`` is the Prometheus exposition (scrapers pass it through
+        verbatim); ``metrics`` the JSON snapshot with p50/p95/p99 per
+        histogram, which the CLI renders without a PromQL engine.
+        """
+        return {
+            "kind": "metrics",
+            "text": self.registry.exposition(),
+            "metrics": self.registry.snapshot(),
+        }
+
+    def _slowlog_payload(self, limit: Any = None) -> dict[str, Any]:
+        log = self.service.slow_log
+        if not isinstance(limit, int) or isinstance(limit, bool):
+            limit = None
+        observed, recorded = log.counts()
+        return {
+            "kind": "slowlog",
+            "threshold_ms": log.threshold_ms,
+            "observed": observed,
+            "recorded": recorded,
+            "entries": log.entries(limit),
+        }
+
     # ------------------------------------------------------------------
     # Statement execution (worker-thread side).
     # ------------------------------------------------------------------
-    def _execute(self, statement: str) -> dict[str, Any]:
+    def _execute(
+        self, statement: str, want_trace: bool = False
+    ) -> dict[str, Any]:
         """Parse, execute, and serialize one statement.
 
         Runs on the executor pool: the engine work is numpy-heavy and the
         serialisation allocates, neither belongs on the event loop.
+
+        With ``want_trace`` the server owns a
+        :class:`~repro.obs.trace.QueryTrace` spanning parse through
+        serialize — created here, finished here, so the ``trace`` block
+        in the response accounts for the full server-side wall time.
         """
-        return protocol.serialize_result(self.database.execute(statement))
+        if not want_trace:
+            return protocol.serialize_result(
+                self.database.execute(statement)
+            )
+        trace = QueryTrace(statement)
+        result = self.database.execute(statement, trace=trace)
+        with trace.stage("serialize"):
+            payload = protocol.serialize_result(result)
+        trace.finish()
+        payload["trace"] = trace.as_dict()
+        return payload
 
 
 class ServerThread:

@@ -104,20 +104,60 @@ class Client:
         result = response.get("result")
         return result if isinstance(result, dict) else {}
 
-    def query(self, statement: str) -> dict[str, Any]:
+    def query(
+        self, statement: str, *, trace: bool = False
+    ) -> dict[str, Any]:
         """Execute one statement; the serialized result on success.
+
+        ``trace=True`` asks the server to attach its per-stage trace
+        block (parse → plan → prune → fan-out → serialize, plus the
+        slowest per-series spans) to the result under ``"trace"``.
 
         Raises :class:`ServerError` (with the structured ``type``) when
         the server rejects or fails the statement.
         """
-        return self._roundtrip({"statement": statement})
+        payload: dict[str, Any] = {"statement": statement}
+        if trace:
+            payload["trace"] = True
+        return self._roundtrip(payload)
 
     def ping(self) -> bool:
         return self._roundtrip({"op": "ping"}).get("kind") == "pong"
 
     def stats(self) -> dict[str, Any]:
-        """The server's lifetime counters (admissions, coalescing, cache)."""
-        return self._roundtrip({"op": "stats"})
+        """The server's lifetime counters (admissions, coalescing, cache).
+
+        Protocol framing (the ``kind`` discriminator) is stripped: the
+        returned dict holds only the counters and blocks themselves.
+        """
+        payload = self._roundtrip({"op": "stats"})
+        payload.pop("kind", None)
+        return payload
+
+    def metrics(self) -> dict[str, Any]:
+        """The server's metrics registry: Prometheus text + JSON snapshot.
+
+        Returns ``{"text": <exposition>, "metrics": {<name>: ...}}`` —
+        ``text`` is ready to re-serve to a Prometheus scraper; the JSON
+        snapshot carries streaming p50/p95/p99 per histogram.
+        """
+        payload = self._roundtrip({"op": "metrics"})
+        payload.pop("kind", None)
+        return payload
+
+    def slowlog(self, limit: int | None = None) -> dict[str, Any]:
+        """The server's slow-query log, newest first.
+
+        Returns the threshold, lifetime observed/recorded counts, and up
+        to ``limit`` entries (each with statement, wall time, stage
+        breakdown, and cache hit/miss counts).
+        """
+        payload: dict[str, Any] = {"op": "slowlog"}
+        if limit is not None:
+            payload["limit"] = int(limit)
+        response = self._roundtrip(payload)
+        response.pop("kind", None)
+        return response
 
     # ------------------------------------------------------------------
     # Lifecycle.

@@ -35,6 +35,7 @@ from __future__ import annotations
 import math
 import os
 import threading
+import time
 from concurrent.futures import (
     BrokenExecutor,
     ProcessPoolExecutor,
@@ -53,6 +54,7 @@ from repro.exceptions import (
     QueryError,
     ReproError,
 )
+from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.service.cache import MatrixCache
 from repro.service.planner import AGGREGATES, TaskEnvelope
 from repro.store.catalog import _load_view_from_segments
@@ -118,37 +120,66 @@ class ResultEnvelope:
     ``error`` carries the failure message instead of an exception object
     so the envelope pickles identically no matter which backend produced
     it — a worker process never ships a traceback across the pipe.
+
+    ``load_s``/``compute_s``/``cache_hit`` are the worker-side trace
+    span, carried as three plain numbers so it crosses a process
+    boundary under any start method; the executor merges them into the
+    parent :class:`~repro.obs.trace.QueryTrace`.  All three stay at
+    their defaults when the producing backend ran with timings off.
     """
 
     series_id: str
     score: float
     result: Any
     error: str | None = None
+    load_s: float = 0.0
+    compute_s: float = 0.0
+    cache_hit: bool = True
 
 
 def run_envelope(
-    envelope: TaskEnvelope, cache: MatrixCache, *, mmap: bool = False
+    envelope: TaskEnvelope,
+    cache: MatrixCache,
+    *,
+    mmap: bool = False,
+    timings: bool = True,
 ) -> ResultEnvelope:
     """Execute one envelope against a materialised-view cache.
 
     The single compute path every backend runs — sequentially, on a pool
     thread, or inside a worker process — which is what makes the parity
     guarantee (identical results across backends) structural rather than
-    coincidental.
+    coincidental.  ``timings=True`` (the default) records the per-series
+    load/compute split and cache outcome onto the result envelope;
+    ``timings=False`` is the fully uninstrumented path the overhead
+    benchmark baselines against.
     """
     spec = AGGREGATES[envelope.aggregate]
-    try:
-        view = cache.get(
-            envelope.cache_key,
-            lambda: _load_view_from_segments(
-                Path(envelope.directory),
-                envelope.series_id,
-                envelope.segments,
-                mmap=mmap,
-            ),
+    hit = True
+    load_s = 0.0
+    compute_s = 0.0
+
+    def _load() -> ProbabilisticView:
+        nonlocal hit, load_s
+        hit = False
+        start = time.perf_counter() if timings else 0.0
+        view = _load_view_from_segments(
+            Path(envelope.directory),
+            envelope.series_id,
+            envelope.segments,
+            mmap=mmap,
         )
+        if timings:
+            load_s = time.perf_counter() - start
+        return view
+
+    try:
+        view = cache.get(envelope.cache_key, _load)
+        start = time.perf_counter() if timings else 0.0
         view = restrict_time_range(view, envelope.time_lo, envelope.time_hi)
         result, score = spec.compute(view, envelope.arguments)
+        if timings:
+            compute_s = time.perf_counter() - start
     except (ReproError, OSError) as exc:
         # Loading counts too: in a fan-out over hundreds of series,
         # "which series is broken" is the whole diagnostic.
@@ -160,24 +191,59 @@ def run_envelope(
                 f"aggregate {envelope.aggregate!r} failed on series "
                 f"{envelope.series_id!r}: {exc}"
             ),
+            load_s=load_s,
+            cache_hit=hit,
         )
     return ResultEnvelope(
-        series_id=envelope.series_id, score=score, result=result
+        series_id=envelope.series_id,
+        score=score,
+        result=result,
+        load_s=load_s,
+        compute_s=compute_s,
+        cache_hit=hit,
     )
 
 
 class ExecutorBackend:
     """Strategy interface: run envelopes, return results in input order.
 
-    Subclasses implement :meth:`map`; :meth:`close` releases any pool the
-    backend holds and is idempotent.  ``name`` identifies the backend in
-    stats output and benchmarks.
+    Subclasses implement :meth:`_map`; the public :meth:`map` wraps it
+    with the backend-tier instrumentation (task counter + fan-out latency
+    histogram, labelled by backend name).  :meth:`close` releases any
+    pool the backend holds and is idempotent.  ``name`` identifies the
+    backend in stats output and benchmarks.
     """
 
     name: str = "abstract"
     max_workers: int = 1
+    #: Worker-side load/compute timing on result envelopes (see
+    #: :func:`run_envelope`); subclass ``__init__`` may turn it off.
+    timings: bool = True
+
+    def _init_metrics(self, registry: MetricsRegistry | None) -> None:
+        """Bind this backend's metric families (call from ``__init__``)."""
+        registry = default_registry() if registry is None else registry
+        self.timings = bool(registry.enabled)
+        self._obs_tasks = registry.counter(
+            "repro_backend_tasks_total",
+            "Per-series envelopes fanned out, by backend",
+        )
+        self._obs_map_seconds = registry.histogram(
+            "repro_backend_map_seconds",
+            "Wall time of one backend fan-out (map call), by backend",
+        )
 
     def map(self, envelopes: list[TaskEnvelope]) -> list[ResultEnvelope]:
+        start = time.perf_counter()
+        try:
+            return self._map(envelopes)
+        finally:
+            self._obs_tasks.inc(len(envelopes), backend=self.name)
+            self._obs_map_seconds.observe(
+                time.perf_counter() - start, backend=self.name
+            )
+
+    def _map(self, envelopes: list[TaskEnvelope]) -> list[ResultEnvelope]:
         raise NotImplementedError
 
     def close(self) -> None:  # pragma: no cover - trivial default.
@@ -195,14 +261,23 @@ class SequentialBackend(ExecutorBackend):
 
     name = "sequential"
 
-    def __init__(self, cache: MatrixCache, *, mmap: bool = False) -> None:
+    def __init__(
+        self,
+        cache: MatrixCache,
+        *,
+        mmap: bool = False,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         self.cache = cache
         self.mmap = bool(mmap)
         self.max_workers = 1
+        self._init_metrics(registry)
 
-    def map(self, envelopes: list[TaskEnvelope]) -> list[ResultEnvelope]:
+    def _map(self, envelopes: list[TaskEnvelope]) -> list[ResultEnvelope]:
         return [
-            run_envelope(envelope, self.cache, mmap=self.mmap)
+            run_envelope(
+                envelope, self.cache, mmap=self.mmap, timings=self.timings
+            )
             for envelope in envelopes
         ]
 
@@ -226,6 +301,7 @@ class ThreadBackend(ExecutorBackend):
         cache: MatrixCache,
         *,
         mmap: bool = False,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if max_workers < 1:
             raise InvalidParameterError(
@@ -234,16 +310,22 @@ class ThreadBackend(ExecutorBackend):
         self.max_workers = int(max_workers)
         self.cache = cache
         self.mmap = bool(mmap)
+        self._init_metrics(registry)
         # Lazy pool creation is locked: a server fans concurrent first
         # statements at one shared service, and an unsynchronised
         # check-then-set would build (and leak) duplicate pools.
         self._pool_lock = threading.Lock()
         self._pool: ThreadPoolExecutor | None = None
 
-    def map(self, envelopes: list[TaskEnvelope]) -> list[ResultEnvelope]:
+    def _map(self, envelopes: list[TaskEnvelope]) -> list[ResultEnvelope]:
         if self.max_workers == 1 or len(envelopes) <= 1:
             return [
-                run_envelope(envelope, self.cache, mmap=self.mmap)
+                run_envelope(
+                    envelope,
+                    self.cache,
+                    mmap=self.mmap,
+                    timings=self.timings,
+                )
                 for envelope in envelopes
             ]
         try:
@@ -257,7 +339,10 @@ class ThreadBackend(ExecutorBackend):
             return list(
                 pool.map(
                     lambda envelope: run_envelope(
-                        envelope, self.cache, mmap=self.mmap
+                        envelope,
+                        self.cache,
+                        mmap=self.mmap,
+                        timings=self.timings,
                     ),
                     envelopes,
                 )
@@ -284,13 +369,17 @@ class ThreadBackend(ExecutorBackend):
 # module, never by inheriting parent memory.
 _WORKER_CACHE: MatrixCache | None = None
 _WORKER_MMAP: bool = False
+_WORKER_TIMINGS: bool = True
 
 
-def _worker_init(cache_budget_bytes: int, mmap: bool) -> None:
+def _worker_init(
+    cache_budget_bytes: int, mmap: bool, timings: bool = True
+) -> None:
     """Per-process warm state: one matrix cache, built once per worker."""
-    global _WORKER_CACHE, _WORKER_MMAP
+    global _WORKER_CACHE, _WORKER_MMAP, _WORKER_TIMINGS
     _WORKER_CACHE = MatrixCache(cache_budget_bytes)
     _WORKER_MMAP = bool(mmap)
+    _WORKER_TIMINGS = bool(timings)
 
 
 def _run_chunk(chunk: list[TaskEnvelope]) -> list[ResultEnvelope]:
@@ -302,7 +391,9 @@ def _run_chunk(chunk: list[TaskEnvelope]) -> list[ResultEnvelope]:
     if cache is None:  # pragma: no cover - initializer always ran.
         cache = MatrixCache()
     return [
-        run_envelope(envelope, cache, mmap=_WORKER_MMAP)
+        run_envelope(
+            envelope, cache, mmap=_WORKER_MMAP, timings=_WORKER_TIMINGS
+        )
         for envelope in chunk
     ]
 
@@ -332,6 +423,7 @@ class ProcessBackend(ExecutorBackend):
         cache_budget_bytes: int = 64 << 20,
         mmap: bool = True,
         chunks_per_worker: int = 2,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if max_workers < 1:
             raise InvalidParameterError(
@@ -345,6 +437,7 @@ class ProcessBackend(ExecutorBackend):
         self.cache_budget_bytes = int(cache_budget_bytes)
         self.mmap = bool(mmap)
         self.chunks_per_worker = int(chunks_per_worker)
+        self._init_metrics(registry)
         # Locked for the same reason as ThreadBackend — doubly so here,
         # where a duplicate pool leaks whole worker *processes*.
         self._pool_lock = threading.Lock()
@@ -357,7 +450,11 @@ class ProcessBackend(ExecutorBackend):
                     max_workers=self.max_workers,
                     mp_context=get_context("spawn"),
                     initializer=_worker_init,
-                    initargs=(self.cache_budget_bytes, self.mmap),
+                    initargs=(
+                        self.cache_budget_bytes,
+                        self.mmap,
+                        self.timings,
+                    ),
                 )
             return self._pool
 
@@ -375,7 +472,7 @@ class ProcessBackend(ExecutorBackend):
             for start in range(0, len(envelopes), size)
         ]
 
-    def map(self, envelopes: list[TaskEnvelope]) -> list[ResultEnvelope]:
+    def _map(self, envelopes: list[TaskEnvelope]) -> list[ResultEnvelope]:
         if not envelopes:
             return []
         chunks = self._chunks(envelopes)
@@ -424,6 +521,7 @@ def make_backend(
     cache: MatrixCache,
     cache_budget_bytes: int = 64 << 20,
     mmap: bool | None = None,
+    registry: MetricsRegistry | None = None,
 ) -> ExecutorBackend:
     """Resolve a backend spec (name or instance) into an instance.
 
@@ -453,8 +551,9 @@ def make_backend(
             max_workers,
             cache_budget_bytes=cache_budget_bytes,
             mmap=True if mmap is None else mmap,
+            registry=registry,
         )
     mmap = False if mmap is None else mmap
     if backend == "sequential" or max_workers == 1:
-        return SequentialBackend(cache, mmap=mmap)
-    return ThreadBackend(max_workers, cache, mmap=mmap)
+        return SequentialBackend(cache, mmap=mmap, registry=registry)
+    return ThreadBackend(max_workers, cache, mmap=mmap, registry=registry)

@@ -172,6 +172,44 @@ class MatrixCache:
     # ------------------------------------------------------------------
     # Introspection / maintenance.
     # ------------------------------------------------------------------
+    def register_metrics(self, registry, *, scope: str = "service"):
+        """Export this cache's counters as scrape-time gauges.
+
+        Registers a collector on ``registry`` that copies the current
+        :class:`CacheStats` into ``repro_cache_*`` gauges (labelled by
+        ``scope``) right before every snapshot/exposition — cache state
+        is external fact, not an event stream, so it is sampled rather
+        than incremented.  Returns the collector; pass it to
+        ``registry.unregister_collector`` when the cache's owner shuts
+        down, or the shared registry keeps scraping a dead cache.
+        """
+        hits = registry.gauge(
+            "repro_cache_hits", "Matrix-cache lookup hits"
+        )
+        misses = registry.gauge(
+            "repro_cache_misses", "Matrix-cache lookup misses"
+        )
+        evictions = registry.gauge(
+            "repro_cache_evictions", "Matrix-cache LRU/stale evictions"
+        )
+        entries = registry.gauge(
+            "repro_cache_entries", "Matrix-cache resident entries"
+        )
+        resident = registry.gauge(
+            "repro_cache_bytes", "Matrix-cache resident bytes"
+        )
+
+        def collect() -> None:
+            stats = self.stats
+            hits.set(stats.hits, scope=scope)
+            misses.set(stats.misses, scope=scope)
+            evictions.set(stats.evictions, scope=scope)
+            entries.set(stats.entries, scope=scope)
+            resident.set(stats.current_bytes, scope=scope)
+
+        registry.register_collector(collect)
+        return collect
+
     @property
     def stats(self) -> CacheStats:
         """A consistent copy of the counters (safe to read while queried)."""

@@ -18,7 +18,7 @@ identical results.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any
 
@@ -27,6 +27,9 @@ from repro.exceptions import (
     QueryError,
     ReproError,
 )
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.slowlog import DEFAULT_SLOW_QUERY_MS, SlowQueryLog
+from repro.obs.trace import NULL_TRACE, QueryTrace
 from repro.service.backends import (
     ExecutorBackend,
     make_backend,
@@ -51,6 +54,39 @@ __all__ = [
     "execute_select",
     "restrict_time_range",
 ]
+
+
+def _statement_text(query: SelectQuery) -> str:
+    """A readable SELECT reconstruction for traces and the slow log.
+
+    Parsed queries are inert (they do not keep their source text), so
+    when a caller hands the service a :class:`SelectQuery` directly the
+    slow log still needs something an operator can re-run.
+    """
+    parts = ["SELECT"]
+    if query.approx:
+        parts.append("APPROX")
+    if query.arguments:
+        arguments = ", ".join(f"{a:g}" for a in query.arguments)
+        parts.append(f"{query.aggregate}({arguments})")
+    else:
+        # Zero-argument aggregates are written bare — the grammar rejects
+        # an empty argument list.
+        parts.append(query.aggregate)
+    parts.append(f"FROM CATALOG '{query.catalog_path}'")
+    if query.series_pattern != "*":
+        parts.append(f"SERIES '{query.series_pattern}'")
+    if query.time_lo is not None and query.time_hi is not None:
+        parts.append(
+            f"WHERE t BETWEEN {query.time_lo:g} AND {query.time_hi:g}"
+        )
+    elif query.time_lo is not None:
+        parts.append(f"WHERE t >= {query.time_lo:g}")
+    elif query.time_hi is not None:
+        parts.append(f"WHERE t <= {query.time_hi:g}")
+    if query.top_k is not None:
+        parts.append(f"TOP {query.top_k}")
+    return " ".join(parts)
 
 
 @dataclass(frozen=True)
@@ -80,7 +116,9 @@ class SelectResult:
     so a truncated result still reports what was scanned.  ``stats``
     carries the pruning counters of this query; for ``approx=True``
     results every entry's ``result`` is an estimate/error-bound mapping
-    instead of exact rows.
+    instead of exact rows.  ``trace`` is the query's
+    :class:`~repro.obs.trace.QueryTrace` when one was recorded (excluded
+    from equality — two runs of the same statement are the same result).
     """
 
     aggregate: str
@@ -89,6 +127,7 @@ class SelectResult:
     matched: tuple[str, ...]
     stats: PlanStats | None = None
     approx: bool = False
+    trace: Any = field(default=None, compare=False, repr=False)
 
     def scores(self) -> dict[str, float]:
         return {entry.series_id: entry.score for entry in self.results}
@@ -136,6 +175,16 @@ class CatalogQueryService:
         series (default).  ``False`` forces the full scan — results are
         identical either way; the flag exists for benchmarking and the
         parity property tests.
+    registry:
+        The :class:`~repro.obs.metrics.MetricsRegistry` this service's
+        counters and latency histograms land in (``None``: the
+        process-wide default registry, so one scrape sees every
+        service).  Pass a :class:`~repro.obs.metrics.NullRegistry` to
+        strip instrumentation entirely — the overhead-benchmark
+        baseline and the opt-out for latency-critical embedders.
+    slow_query_ms:
+        Statements at or over this wall time land in ``self.slow_log``
+        (default 500ms; ``0`` records everything).
 
     Examples
     --------
@@ -155,6 +204,8 @@ class CatalogQueryService:
         backend: "str | ExecutorBackend" = "thread",
         mmap: bool | None = None,
         pruning: bool = True,
+        registry: MetricsRegistry | None = None,
+        slow_query_ms: float = DEFAULT_SLOW_QUERY_MS,
     ) -> None:
         if not isinstance(catalog, Catalog):
             catalog = Catalog(catalog, create=False)
@@ -162,6 +213,10 @@ class CatalogQueryService:
         self.pruning = bool(pruning)
         # Cumulative pruning/approx counters across this service's
         # lifetime, surfaced by execution_stats() and `server stats`.
+        # Kept as a plain per-service dict (the registry may be shared
+        # process-wide; these must reset with the service, not outlive
+        # it) — the registry gets the same increments under stable
+        # metric names.
         self._stats_lock = threading.Lock()
         self._counters = {
             "queries": 0,
@@ -170,6 +225,31 @@ class CatalogQueryService:
             "segments_pruned": 0,
             "series_skipped": 0,
         }
+        self.registry = (
+            default_registry() if registry is None else registry
+        )
+        self._instrumented = bool(self.registry.enabled)
+        self.slow_log = SlowQueryLog(threshold_ms=slow_query_ms)
+        self._obs_queries = self.registry.counter(
+            "repro_queries_total",
+            "SELECT statements executed, by aggregate and mode",
+        )
+        self._obs_segments_scanned = self.registry.counter(
+            "repro_segments_scanned_total",
+            "Segments the prune phase kept for scanning",
+        )
+        self._obs_segments_pruned = self.registry.counter(
+            "repro_segments_pruned_total",
+            "Segments proven irrelevant and skipped",
+        )
+        self._obs_series_skipped = self.registry.counter(
+            "repro_series_skipped_total",
+            "Series skipped whole (every segment pruned)",
+        )
+        self._obs_query_seconds = self.registry.histogram(
+            "repro_query_seconds",
+            "End-to-end SELECT latency in seconds, by aggregate",
+        )
         if max_workers is not None and max_workers < 1:
             raise InvalidParameterError(
                 f"max_workers must be >= 1, got {max_workers}"
@@ -183,8 +263,12 @@ class CatalogQueryService:
             cache=self.cache,
             cache_budget_bytes=cache_budget_bytes,
             mmap=mmap,
+            registry=self.registry,
         )
         self.max_workers = self._backend.max_workers
+        self._cache_collector = self.cache.register_metrics(
+            self.registry, scope="service"
+        )
         # Resolved once: statement/catalog matching happens per request,
         # and the bound root never changes for the service's lifetime.
         self._root_resolved = Path(self.catalog.root).resolve()
@@ -202,18 +286,43 @@ class CatalogQueryService:
     # ------------------------------------------------------------------
     # Entry points.
     # ------------------------------------------------------------------
-    def execute(self, statement: str | SelectQuery) -> SelectResult:
+    def execute(
+        self,
+        statement: str | SelectQuery,
+        *,
+        trace: QueryTrace | None = None,
+    ) -> SelectResult:
         """Parse (if needed), plan, and run one SELECT statement.
 
         The statement's own ``FROM CATALOG`` path is checked against this
         service's catalog so a statement aimed elsewhere fails loudly
         instead of silently querying the wrong data.
+
+        ``trace=None`` (the default) records into a service-owned
+        :class:`~repro.obs.trace.QueryTrace` (attached to the result as
+        ``result.trace`` and finished here); a caller-supplied trace is
+        recorded into but *not* finished — whoever created it owns the
+        wall clock, so a server can still time its serialize stage.
         """
-        return self.execute_plan(
-            plan_select(
-                self.catalog, self._coerce(statement), pruning=self.pruning
+        own = trace is None
+        if own:
+            trace = QueryTrace() if self._instrumented else NULL_TRACE
+        if trace.enabled and trace.statement is None:
+            trace.statement = (
+                statement
+                if isinstance(statement, str)
+                else _statement_text(statement)
             )
+        # An already-parsed statement (the engine parses before routing
+        # here) is only re-validated — keep the span contiguous but do
+        # not report a second "parse".
+        stage = "parse" if isinstance(statement, str) else "validate"
+        with trace.stage(stage):
+            query = self._coerce(statement)
+        plan = plan_select(
+            self.catalog, query, pruning=self.pruning, trace=trace
         )
+        return self._execute_traced(plan, trace, own)
 
     def execute_many(
         self, statements: "list[str | SelectQuery] | tuple"
@@ -257,17 +366,38 @@ class CatalogQueryService:
                 results[plan.query] = self._execute_approx(plan)
         return [results[query] for query in queries]
 
-    def execute_plan(self, plan: QueryPlan) -> SelectResult:
+    def execute_plan(
+        self, plan: QueryPlan, *, trace: QueryTrace | None = None
+    ) -> SelectResult:
         """Run an already-bound plan: fan out, gather, rank.
 
         APPROX plans never reach the backend: they are answered inline
         from the snapshots' synopses — per series a handful of float
         comparisons, independent of the stored tuple count.
         """
+        own = trace is None
+        if own:
+            trace = QueryTrace() if self._instrumented else NULL_TRACE
+        return self._execute_traced(plan, trace, own)
+
+    def _execute_traced(
+        self, plan: QueryPlan, trace: QueryTrace, own: bool
+    ) -> SelectResult:
+        """Run a plan under a trace; finish the trace only when owned."""
+        if trace.enabled:
+            trace.backend = self._backend.name
         if plan.stats.approx:
-            return self._execute_approx(plan)
-        gathered = self._map_tasks([(plan, task) for task in plan.tasks])
-        return self._finalize(plan, gathered)
+            result = self._execute_approx(plan, trace=trace)
+        else:
+            with trace.stage("fan_out"):
+                gathered = self._map_tasks(
+                    [(plan, task) for task in plan.tasks], trace=trace
+                )
+            result = self._finalize(plan, gathered, trace=trace)
+        self._observe_query(trace, result)
+        if own:
+            trace.finish()
+        return result
 
     def accepts(self, query: SelectQuery) -> bool:
         """Whether a parsed statement addresses this service's catalog."""
@@ -291,7 +421,10 @@ class CatalogQueryService:
         return statement
 
     def _map_tasks(
-        self, jobs: list[tuple[QueryPlan, SeriesTask]]
+        self,
+        jobs: list[tuple[QueryPlan, SeriesTask]],
+        *,
+        trace: QueryTrace = NULL_TRACE,
     ) -> list[SeriesResult]:
         """Run ``(plan, task)`` jobs through the backend.
 
@@ -299,6 +432,11 @@ class CatalogQueryService:
         :class:`~repro.exceptions.QueryError` on *every* backend — the
         process pool in particular must never surface a pickled
         ``BrokenProcessPool`` traceback for a deliberate ``close()``.
+
+        Worker-side per-series spans come back on the result envelopes
+        and are merged into ``trace`` here, on the driving thread — the
+        merge looks identical whether the work ran inline, on pool
+        threads, or in spawn-started worker processes.
         """
         if self._closed:
             raise QueryError(
@@ -307,10 +445,18 @@ class CatalogQueryService:
             )
         envelopes = [plan.envelope(task) for plan, task in jobs]
         gathered = self._backend.map(envelopes)
+        merge = trace.enabled
         results: list[SeriesResult] = []
         for outcome in gathered:
             if outcome.error is not None:
                 raise QueryError(outcome.error)
+            if merge:
+                trace.add_series(
+                    outcome.series_id,
+                    outcome.load_s,
+                    outcome.compute_s,
+                    outcome.cache_hit,
+                )
             results.append(
                 SeriesResult(
                     series_id=outcome.series_id,
@@ -321,7 +467,11 @@ class CatalogQueryService:
         return results
 
     def _finalize(
-        self, plan: QueryPlan, gathered: list[SeriesResult]
+        self,
+        plan: QueryPlan,
+        gathered: list[SeriesResult],
+        *,
+        trace: QueryTrace = NULL_TRACE,
     ) -> SelectResult:
         """Rank, truncate, and wrap one plan's gathered results.
 
@@ -330,25 +480,30 @@ class CatalogQueryService:
         over an empty restricted view) at the correct position — callers
         cannot tell a skipped series from a scanned-and-empty one.
         """
-        if plan.skipped:
-            empty = self._empty_result(plan.aggregate.name)
-            by_id = {entry.series_id: entry for entry in gathered}
-            for series_id in plan.skipped:
-                by_id[series_id] = SeriesResult(
-                    series_id=series_id, score=0.0, result=empty
-                )
-            gathered = [by_id[series_id] for series_id in plan.series_ids]
-        if plan.query.top_k is not None:
-            gathered = sorted(
-                gathered, key=lambda entry: (-entry.score, entry.series_id)
-            )[: plan.query.top_k]
-        self._record_stats(plan.stats)
+        with trace.stage("finalize"):
+            if plan.skipped:
+                empty = self._empty_result(plan.aggregate.name)
+                by_id = {entry.series_id: entry for entry in gathered}
+                for series_id in plan.skipped:
+                    by_id[series_id] = SeriesResult(
+                        series_id=series_id, score=0.0, result=empty
+                    )
+                gathered = [
+                    by_id[series_id] for series_id in plan.series_ids
+                ]
+            if plan.query.top_k is not None:
+                gathered = sorted(
+                    gathered,
+                    key=lambda entry: (-entry.score, entry.series_id),
+                )[: plan.query.top_k]
+            self._record_stats(plan.stats, plan.aggregate.name)
         return SelectResult(
             aggregate=plan.aggregate.name,
             score_label=plan.aggregate.score_label,
             results=tuple(gathered),
             matched=tuple(plan.series_ids),
             stats=plan.stats,
+            trace=trace if trace.enabled else None,
         )
 
     @staticmethod
@@ -356,7 +511,9 @@ class CatalogQueryService:
         """What the aggregate returns over an empty (restricted) view."""
         return [] if aggregate == "threshold" else {}
 
-    def _execute_approx(self, plan: QueryPlan) -> SelectResult:
+    def _execute_approx(
+        self, plan: QueryPlan, *, trace: QueryTrace = NULL_TRACE
+    ) -> SelectResult:
         """Answer an APPROX plan from synopses alone (no backend fan-out).
 
         Segments without a stored synopsis — catalogs written before this
@@ -372,50 +529,53 @@ class CatalogQueryService:
             )
         lazy_loads = 0
         gathered: list[SeriesResult] = []
-        for task in plan.tasks:
-            snapshot = task.snapshot
-            synopses = []
-            try:
-                for name, synopsis in zip(
-                    snapshot.segments, snapshot.segment_synopses()
-                ):
-                    if synopsis is None:
-                        columns = load_view_columns(
-                            snapshot.directory / name
-                        )
-                        synopsis = compute_view_synopsis(
-                            columns["t"],
-                            columns["low"],
-                            columns["high"],
-                            columns["probability"],
-                        )
-                        lazy_loads += 1
-                    synopses.append(synopsis)
-                estimate = estimate_series(
-                    plan.aggregate.name,
-                    plan.arguments,
-                    synopses,
-                    plan.query.time_lo,
-                    plan.query.time_hi,
+        with trace.stage("compute"):
+            for task in plan.tasks:
+                snapshot = task.snapshot
+                synopses = []
+                try:
+                    for name, synopsis in zip(
+                        snapshot.segments, snapshot.segment_synopses()
+                    ):
+                        if synopsis is None:
+                            columns = load_view_columns(
+                                snapshot.directory / name
+                            )
+                            synopsis = compute_view_synopsis(
+                                columns["t"],
+                                columns["low"],
+                                columns["high"],
+                                columns["probability"],
+                            )
+                            lazy_loads += 1
+                        synopses.append(synopsis)
+                    estimate = estimate_series(
+                        plan.aggregate.name,
+                        plan.arguments,
+                        synopses,
+                        plan.query.time_lo,
+                        plan.query.time_hi,
+                    )
+                except (ReproError, OSError) as exc:
+                    raise QueryError(
+                        f"APPROX {plan.aggregate.name!r} failed on series "
+                        f"{task.series_id!r}: {exc}"
+                    ) from exc
+                gathered.append(
+                    SeriesResult(
+                        series_id=task.series_id,
+                        score=estimate.estimate,
+                        result=estimate.as_result(),
+                    )
                 )
-            except (ReproError, OSError) as exc:
-                raise QueryError(
-                    f"APPROX {plan.aggregate.name!r} failed on series "
-                    f"{task.series_id!r}: {exc}"
-                ) from exc
-            gathered.append(
-                SeriesResult(
-                    series_id=task.series_id,
-                    score=estimate.estimate,
-                    result=estimate.as_result(),
-                )
-            )
-        if plan.query.top_k is not None:
-            gathered = sorted(
-                gathered, key=lambda entry: (-entry.score, entry.series_id)
-            )[: plan.query.top_k]
-        stats = replace(plan.stats, segments_scanned=lazy_loads)
-        self._record_stats(stats)
+        with trace.stage("finalize"):
+            if plan.query.top_k is not None:
+                gathered = sorted(
+                    gathered,
+                    key=lambda entry: (-entry.score, entry.series_id),
+                )[: plan.query.top_k]
+            stats = replace(plan.stats, segments_scanned=lazy_loads)
+            self._record_stats(stats, plan.aggregate.name)
         return SelectResult(
             aggregate=plan.aggregate.name,
             score_label=plan.aggregate.score_label,
@@ -423,12 +583,13 @@ class CatalogQueryService:
             matched=tuple(plan.series_ids),
             stats=stats,
             approx=True,
+            trace=trace if trace.enabled else None,
         )
 
     # ------------------------------------------------------------------
     # Observability.
     # ------------------------------------------------------------------
-    def _record_stats(self, stats: PlanStats) -> None:
+    def _record_stats(self, stats: PlanStats, aggregate: str) -> None:
         with self._stats_lock:
             self._counters["queries"] += 1
             if stats.approx:
@@ -436,6 +597,35 @@ class CatalogQueryService:
             self._counters["segments_scanned"] += stats.segments_scanned
             self._counters["segments_pruned"] += stats.segments_pruned
             self._counters["series_skipped"] += stats.series_skipped
+        if self._instrumented:
+            self._obs_queries.inc(
+                aggregate=aggregate,
+                mode="approx" if stats.approx else "exact",
+            )
+            if stats.segments_scanned:
+                self._obs_segments_scanned.inc(stats.segments_scanned)
+            if stats.segments_pruned:
+                self._obs_segments_pruned.inc(stats.segments_pruned)
+            if stats.series_skipped:
+                self._obs_series_skipped.inc(stats.series_skipped)
+
+    def _observe_query(
+        self, trace: QueryTrace, result: SelectResult
+    ) -> None:
+        """Latency histogram + slow-query log for one finished statement.
+
+        ``execute_many`` bypasses this (its statements share one fan-out,
+        so no per-statement wall time exists) — batch statements count in
+        every counter but not in the latency histogram or slow log.
+        """
+        if not trace.enabled:
+            return
+        elapsed = trace.elapsed()
+        self._obs_query_seconds.observe(elapsed, aggregate=result.aggregate)
+        extra = (
+            result.stats.as_dict() if result.stats is not None else None
+        )
+        self.slow_log.observe(trace, extra=extra)
 
     def execution_stats(self) -> dict[str, int]:
         """Cumulative pruning/approx counters since the service started."""
@@ -453,6 +643,7 @@ class CatalogQueryService:
         and process backends, never a pool-internal traceback.
         """
         self._closed = True
+        self.registry.unregister_collector(self._cache_collector)
         self._backend.close()
 
     def __enter__(self) -> "CatalogQueryService":
@@ -470,6 +661,8 @@ def execute_select(
     backend: str = "thread",
     mmap: bool | None = None,
     pruning: bool = True,
+    registry: MetricsRegistry | None = None,
+    trace: QueryTrace | None = None,
 ) -> SelectResult:
     """One-shot convenience: open the statement's catalog and execute.
 
@@ -493,5 +686,6 @@ def execute_select(
         backend=backend,
         mmap=mmap,
         pruning=pruning,
+        registry=registry,
     ) as service:
-        return service.execute(statement)
+        return service.execute(statement, trace=trace)

@@ -17,6 +17,7 @@ by (hit count, max probability, mean expectation...).
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable
 from dataclasses import dataclass
 from typing import Any
@@ -28,6 +29,7 @@ from repro.db.stream_queries import (
     expected_time_above,
 )
 from repro.exceptions import InvalidParameterError, QueryError
+from repro.obs.trace import NULL_TRACE
 from repro.service.synopsis import prune_segments
 from repro.store.catalog import Catalog, SeriesSnapshot
 from repro.view.sql import SelectQuery
@@ -282,7 +284,11 @@ def resolve_aggregate(name: str) -> AggregateSpec:
 
 
 def plan_select(
-    catalog: Catalog, query: SelectQuery, *, pruning: bool = True
+    catalog: Catalog,
+    query: SelectQuery,
+    *,
+    pruning: bool = True,
+    trace: Any = NULL_TRACE,
 ) -> QueryPlan:
     """Bind a parsed SELECT to a catalog: aggregate + matched snapshots.
 
@@ -298,7 +304,13 @@ def plan_select(
     the full scan — the parity reference the property tests compare
     against.  APPROX plans carry every snapshot; the executor answers
     them from synopses without backend fan-out.
+
+    ``trace`` gets two spans: ``plan`` (binding, manifest expansion, task
+    construction) and ``prune`` (the synopsis scan) — split out because a
+    slow plan and a slow prune point at different fixes.
     """
+    plan_offset = trace.offset()
+    plan_t0 = time.perf_counter()
     spec = resolve_aggregate(query.aggregate)
     arguments = spec.bind(query.arguments)
     if (
@@ -326,6 +338,9 @@ def plan_select(
             segments_total=segments_total,
             approx=True,
         )
+        trace.add_stage(
+            "plan", plan_offset, time.perf_counter() - plan_t0
+        )
         return QueryPlan(
             query=query,
             aggregate=spec,
@@ -333,19 +348,29 @@ def plan_select(
             tasks=tasks,
             stats=stats,
         )
+    # Pass 1 — the prune phase proper, timed as its own span: every
+    # snapshot's surviving segment list (or the full list with pruning
+    # off).  Pure metadata work against the segment synopses.
+    prune_offset = trace.offset()
+    prune_t0 = time.perf_counter()
+    if pruning:
+        survivors = [
+            prune_segments(
+                snapshot, spec.name, arguments, query.time_lo, query.time_hi
+            )
+            for snapshot in snapshots
+        ]
+    else:
+        survivors = [snapshot.segments for snapshot in snapshots]
+    prune_s = time.perf_counter() - prune_t0
+    # Pass 2 — task construction from the surviving lists (plan time).
     tasks_list: list[SeriesTask] = []
     skipped: list[str] = []
     segments_scanned = 0
-    for snapshot in snapshots:
-        if pruning:
-            surviving = prune_segments(
-                snapshot, spec.name, arguments, query.time_lo, query.time_hi
-            )
-            if not surviving:
-                skipped.append(snapshot.series_id)
-                continue
-        else:
-            surviving = snapshot.segments
+    for snapshot, surviving in zip(snapshots, survivors):
+        if pruning and not surviving:
+            skipped.append(snapshot.series_id)
+            continue
         segments_scanned += len(surviving)
         subset = () if surviving == snapshot.segments else surviving
         tasks_list.append(
@@ -367,6 +392,9 @@ def plan_select(
         segments_scanned=segments_scanned,
         segments_pruned=segments_total - segments_scanned,
     )
+    plan_s = time.perf_counter() - plan_t0
+    trace.add_stage("plan", plan_offset, max(0.0, plan_s - prune_s))
+    trace.add_stage("prune", prune_offset, prune_s)
     return QueryPlan(
         query=query,
         aggregate=spec,

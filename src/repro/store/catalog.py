@@ -51,6 +51,7 @@ import numpy as np
 from repro.db.prob_view import ProbabilisticView
 from repro.exceptions import InvalidParameterError, QueryError, StoreError
 from repro.metrics.registry import create_metric
+from repro.obs.metrics import default_registry
 from repro.pipeline import OnlinePipeline
 from repro.store.binary import (
     SCHEMA_VERSION,
@@ -81,6 +82,24 @@ _SEGMENT_FORMATS = {
 }
 _SEGMENT_RE = re.compile(r"^seg-(\d{8})(?:\.npz|\.v2)$")
 _SERIES_ID_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.\-]*$")
+
+# Store-tier observability: segment materialisations and snapshot-memo
+# traffic land on the process-wide default registry (repro.obs), so one
+# metrics scrape sees I/O pressure alongside the query-tier latencies.
+# Inside spawn-started worker processes these count into that process's
+# own registry; the parent's numbers cover the shared read path.
+_OBS_SEGMENT_READS = default_registry().counter(
+    "repro_store_segment_reads_total",
+    "Segment files materialised into views",
+)
+_OBS_VIEW_LOADS = default_registry().counter(
+    "repro_store_view_loads_total",
+    "Views materialised from segment lists (cache misses reach here)",
+)
+_OBS_SNAPSHOTS = default_registry().counter(
+    "repro_store_snapshots_total",
+    "Series snapshot requests by memo outcome",
+)
 
 
 def _remove_segment(directory: Path, name: str) -> None:
@@ -188,6 +207,8 @@ def _load_view_from_segments(
             np.empty(0),
             np.empty(0),
         )
+    _OBS_VIEW_LOADS.inc()
+    _OBS_SEGMENT_READS.inc(len(names))
     chunks = [
         load_view_columns(directory / name, mmap=mmap) for name in names
     ]
@@ -685,8 +706,10 @@ class Catalog:
                 cached = self._snapshot_cache.get(series_id)
                 if cached is not None and cached[0] == token:
                     self._snapshot_hits += 1
+                    _OBS_SNAPSHOTS.inc(outcome="hit")
                     return cached[1]
         snapshot = self._read_snapshot(series_id, directory)
+        _OBS_SNAPSHOTS.inc(outcome="miss")
         if token is not None:
             with self._snapshot_lock:
                 self._snapshot_misses += 1

@@ -1,0 +1,651 @@
+"""Tests for the observability stack (`repro.obs`).
+
+Pins the PR's acceptance criteria:
+
+* the registry is **exact under concurrency** — N threads hammering one
+  counter/histogram lose no updates (and the server's request counters,
+  rebuilt on a single lock, stay internally consistent);
+* a traced query's contiguous top-level stage spans **sum to within 10%
+  of its wall time** on every backend (sequential, thread, process);
+* ``{"op": "metrics"}`` serves **parseable Prometheus text** with a
+  latency histogram per aggregate kind.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    DEFAULT_SLOW_QUERY_MS,
+    MAX_SERIES_SPANS,
+    MetricsRegistry,
+    NULL_TRACE,
+    NullRegistry,
+    QueryTrace,
+    SlowQueryLog,
+    default_registry,
+)
+from repro.server import Client, QueryServer, ServerThread
+from repro.server.app import ServerStats
+from repro.service import CatalogQueryService
+from repro.service.executor import _statement_text
+from repro.store import Catalog
+from repro.view.omega import OmegaGrid
+from repro.view.sql import parse_select_query
+
+H = 20
+GRID = OmegaGrid(delta=0.5, n=4)
+
+
+def _fill_catalog(root, series_count=6, length=120, seed=3) -> Catalog:
+    catalog = Catalog(root)
+    rng = np.random.default_rng(seed)
+    for index in range(series_count):
+        series_id = f"sensor-{index:02d}"
+        catalog.create_series(
+            series_id, metric="variable_threshold", H=H, grid=GRID
+        )
+        values = 20.0 + index * 0.5 + np.cumsum(
+            rng.normal(0.0, 0.15, size=length)
+        )
+        catalog.append(series_id, values)
+    return catalog
+
+
+@pytest.fixture(scope="module")
+def catalog(tmp_path_factory) -> Catalog:
+    return _fill_catalog(tmp_path_factory.mktemp("obs-catalog") / "cat")
+
+
+def _sql(catalog: Catalog, body: str = "exceedance(21.0)") -> str:
+    return f"SELECT {body} FROM CATALOG '{catalog.root}'"
+
+
+# ---------------------------------------------------------------------------
+# Registry primitives.
+# ---------------------------------------------------------------------------
+class TestRegistryPrimitives:
+    def test_counter_inc_and_labels(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("t_total", "help text")
+        counter.inc()
+        counter.inc(2.5)
+        counter.inc(outcome="hit")
+        assert counter.value() == 3.5
+        assert counter.value(outcome="hit") == 1.0
+        assert counter.total() == 4.5
+
+    def test_counter_cannot_decrease(self):
+        counter = MetricsRegistry().counter("t_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = MetricsRegistry().gauge("t_bytes")
+        gauge.set(100.0)
+        gauge.inc(-25.0)
+        assert gauge.value() == 75.0
+
+    def test_histogram_quantiles_bracket_observations(self):
+        histogram = MetricsRegistry().histogram(
+            "t_seconds", buckets=(0.001, 0.01, 0.1, 1.0)
+        )
+        for _ in range(100):
+            histogram.observe(0.05)
+        assert histogram.count() == 100
+        p50 = histogram.quantile(0.5)
+        # Linear interpolation inside the (0.01, 0.1] bucket.
+        assert 0.01 <= p50 <= 0.1
+
+    def test_histogram_empty_quantile_is_nan(self):
+        histogram = MetricsRegistry().histogram("t_seconds")
+        assert math.isnan(histogram.quantile(0.5))
+
+    def test_histogram_snapshot_converts_nan_to_none(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("t_seconds")
+        histogram.observe(float("nan"))  # lands in a bucket; count=1
+        histogram.observe(0.01)
+        snap = registry.snapshot()["t_seconds"]
+        for sample in snap["values"].values():
+            for quantile in ("p50", "p95", "p99"):
+                value = sample[quantile]
+                assert value is None or isinstance(value, float)
+
+    def test_get_or_create_returns_same_family(self):
+        registry = MetricsRegistry()
+        assert registry.counter("t_total") is registry.counter("t_total")
+
+    def test_type_morph_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("t_total")
+        with pytest.raises(ValueError):
+            registry.gauge("t_total")
+        with pytest.raises(ValueError):
+            registry.histogram("t_total")
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("bad name")
+        with pytest.raises(ValueError):
+            registry.counter("ok_total").inc(**{"le": "x", "0bad": "y"})
+
+    def test_collectors_run_before_scrape_and_unregister(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("t_entries")
+        calls = []
+
+        def collect():
+            calls.append(1)
+            gauge.set(float(len(calls)))
+
+        registry.register_collector(collect)
+        assert registry.snapshot()["t_entries"]["values"][""] == 1.0
+        registry.unregister_collector(collect)
+        registry.unregister_collector(collect)  # absent: no-op
+        registry.snapshot()
+        assert len(calls) == 1
+
+    def test_null_registry_accepts_everything_and_stores_nothing(self):
+        registry = NullRegistry()
+        assert not registry.enabled
+        counter = registry.counter("t_total")
+        counter.inc(5.0)
+        registry.histogram("t_seconds").observe(1.0)
+        registry.gauge("t_bytes").set(9.0)
+        assert counter.value() == 0.0
+        assert registry.snapshot() == {}
+        assert registry.exposition() == ""
+
+    def test_default_registry_is_shared(self):
+        assert default_registry() is default_registry()
+        assert default_registry().enabled
+
+
+# ---------------------------------------------------------------------------
+# Exactness under concurrency (satellite: concurrent update coverage).
+# ---------------------------------------------------------------------------
+class TestConcurrency:
+    THREADS = 8
+    PER_THREAD = 2000
+
+    def _hammer(self, work) -> None:
+        threads = [
+            threading.Thread(target=work, args=(index,))
+            for index in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    def test_counter_loses_no_increments(self):
+        counter = MetricsRegistry().counter("t_total")
+
+        def work(index):
+            label = f"worker-{index % 2}"
+            for _ in range(self.PER_THREAD):
+                counter.inc(worker=label)
+
+        self._hammer(work)
+        assert counter.total() == self.THREADS * self.PER_THREAD
+        assert counter.value(worker="worker-0") == (
+            self.THREADS // 2 * self.PER_THREAD
+        )
+
+    def test_histogram_loses_no_observations(self):
+        histogram = MetricsRegistry().histogram(
+            "t_seconds", buckets=(0.001, 0.01, 0.1, 1.0)
+        )
+
+        def work(index):
+            value = 0.005 * (1 + index % 3)
+            for _ in range(self.PER_THREAD):
+                histogram.observe(value)
+
+        self._hammer(work)
+        expected = self.THREADS * self.PER_THREAD
+        assert histogram.total_count() == expected
+        # The exposition's +Inf bucket must agree with the count.
+        registry = MetricsRegistry()
+        assert histogram.count() == expected
+
+    def test_server_stats_single_lock_consistency(self):
+        stats = ServerStats()
+
+        def work(_index):
+            for _ in range(self.PER_THREAD):
+                stats.increment("requests")
+                stats.increment("executed")
+
+        self._hammer(work)
+        snapshot = stats.as_dict()
+        assert snapshot["requests"] == self.THREADS * self.PER_THREAD
+        assert snapshot["executed"] == self.THREADS * self.PER_THREAD
+        assert stats.requests == snapshot["requests"]
+
+    def test_server_stats_rejects_direct_writes(self):
+        stats = ServerStats()
+        with pytest.raises(AttributeError):
+            stats.requests = 5
+        with pytest.raises(AttributeError):
+            stats.executed += 1  # the old `+=` idiom must fail loudly
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition.
+# ---------------------------------------------------------------------------
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\+Inf|-Inf|[-+0-9.e]+)$"
+)
+
+
+def _parse_exposition(text: str) -> dict[str, float]:
+    """Every sample line as ``name{labels} -> value``; raises on garbage."""
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        assert match is not None, f"unparseable exposition line: {line!r}"
+        name, labels, value = match.groups()
+        samples[name + (labels or "")] = (
+            math.inf if value == "+Inf" else float(value)
+        )
+    return samples
+
+
+class TestExposition:
+    def test_counter_gauge_histogram_render(self):
+        registry = MetricsRegistry()
+        registry.counter("t_total", "a counter").inc(3, kind="x")
+        registry.gauge("t_bytes", "a gauge").set(12.0)
+        histogram = registry.histogram(
+            "t_seconds", "a histogram", buckets=(0.01, 0.1)
+        )
+        histogram.observe(0.05, op="q")
+        text = registry.exposition()
+        samples = _parse_exposition(text)
+        assert samples['t_total{kind="x"}'] == 3.0
+        assert samples["t_bytes"] == 12.0
+        assert samples['t_seconds_bucket{op="q",le="0.01"}'] == 0.0
+        assert samples['t_seconds_bucket{op="q",le="0.1"}'] == 1.0
+        assert samples['t_seconds_bucket{op="q",le="+Inf"}'] == 1.0
+        assert samples['t_seconds_count{op="q"}'] == 1.0
+        assert samples['t_seconds_sum{op="q"}'] == pytest.approx(0.05)
+        assert "# TYPE t_seconds histogram" in text
+        assert "# HELP t_total a counter" in text
+
+    def test_buckets_are_cumulative_and_agree_with_count(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "t_seconds", buckets=(0.001, 0.01, 0.1, 1.0)
+        )
+        for value in (0.0005, 0.005, 0.005, 0.05, 5.0):
+            histogram.observe(value)
+        samples = _parse_exposition(registry.exposition())
+        buckets = [
+            samples[f't_seconds_bucket{{le="{edge}"}}']
+            for edge in ("0.001", "0.01", "0.1", "1")
+        ]
+        assert buckets == sorted(buckets)  # cumulative: non-decreasing
+        assert samples['t_seconds_bucket{le="+Inf"}'] == 5.0
+        assert samples["t_seconds_count"] == 5.0
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("t_total").inc(statement='say "hi"\nplease')
+        text = registry.exposition()
+        assert '\\"hi\\"' in text
+        assert "\\n" in text
+
+
+# ---------------------------------------------------------------------------
+# Trace and slow-query log primitives.
+# ---------------------------------------------------------------------------
+class TestTrace:
+    def test_stage_spans_are_relative_to_t0(self):
+        trace = QueryTrace("SELECT 1")
+        with trace.stage("parse"):
+            pass
+        with trace.stage("plan"):
+            pass
+        trace.finish()
+        assert [span.name for span in trace.stages] == ["parse", "plan"]
+        assert trace.stages[0].start_s <= trace.stages[1].start_s
+        assert trace.elapsed() >= sum(
+            span.duration_s for span in trace.stages
+        )
+
+    def test_finish_is_idempotent(self):
+        trace = QueryTrace()
+        first = trace.finish()
+        assert trace.finish() == first
+        assert trace.elapsed() == first
+
+    def test_as_dict_caps_series_spans(self):
+        trace = QueryTrace("SELECT 1")
+        trace.backend = "thread"
+        for index in range(MAX_SERIES_SPANS + 5):
+            trace.add_series(f"s-{index:03d}", index * 1e-4, 1e-5, False)
+        trace.finish()
+        block = trace.as_dict()
+        assert len(block["series"]) == MAX_SERIES_SPANS
+        assert block["series_truncated"] == 5
+        # The slowest (largest load+compute) entries are the ones kept.
+        assert block["series"][0]["series"] == f"s-{MAX_SERIES_SPANS + 4:03d}"
+        assert block["backend"] == "thread"
+        assert block["statement"] == "SELECT 1"
+        assert block["cache"] == {
+            "hits": 0, "misses": MAX_SERIES_SPANS + 5,
+        }
+
+    def test_null_trace_records_nothing(self):
+        with NULL_TRACE.stage("parse"):
+            pass
+        NULL_TRACE.add_series("s", 1.0, 1.0, True)
+        assert not NULL_TRACE.enabled
+        assert NULL_TRACE.stages == []
+        assert NULL_TRACE.as_dict() == {}
+        assert NULL_TRACE.finish() == 0.0
+
+
+class TestSlowQueryLog:
+    def _trace(self, statement="SELECT 1") -> QueryTrace:
+        trace = QueryTrace(statement)
+        with trace.stage("parse"):
+            pass
+        trace.finish()
+        return trace
+
+    def test_threshold_zero_records_everything(self):
+        log = SlowQueryLog(threshold_ms=0.0, capacity=4)
+        assert log.observe(self._trace())
+        entry = log.entries()[0]
+        assert entry["statement"] == "SELECT 1"
+        assert entry["wall_ms"] >= 0.0
+        assert "parse" in entry["stages"]
+
+    def test_threshold_filters_and_counts(self):
+        log = SlowQueryLog(threshold_ms=float("inf"))
+        assert not log.observe(self._trace())
+        assert log.counts() == (1, 0)
+        assert log.entries() == []
+
+    def test_ring_evicts_oldest_newest_first(self):
+        log = SlowQueryLog(threshold_ms=0.0, capacity=3)
+        for index in range(5):
+            log.observe(self._trace(f"q-{index}"))
+        statements = [entry["statement"] for entry in log.entries()]
+        assert statements == ["q-4", "q-3", "q-2"]
+        assert log.entries(limit=1)[0]["statement"] == "q-4"
+        assert log.counts() == (5, 5)
+
+    def test_extra_fields_land_in_record(self):
+        log = SlowQueryLog(threshold_ms=0.0)
+        log.observe(self._trace(), extra={"segments_pruned": 7})
+        assert log.entries()[0]["segments_pruned"] == 7
+
+    def test_default_threshold(self):
+        assert SlowQueryLog().threshold_ms == DEFAULT_SLOW_QUERY_MS
+
+
+# ---------------------------------------------------------------------------
+# Service-level tracing: the 10% stage-sum acceptance criterion.
+# ---------------------------------------------------------------------------
+class TestServiceTracing:
+    @pytest.mark.parametrize("backend", ["sequential", "thread", "process"])
+    def test_stage_sum_within_ten_percent_of_wall(self, catalog, backend):
+        with CatalogQueryService(
+            catalog, backend=backend, max_workers=2
+        ) as service:
+            result = service.execute(_sql(catalog))
+        trace = result.trace
+        assert trace is not None
+        block = trace.as_dict()
+        stage_sum = sum(span["ms"] for span in block["stages"])
+        wall = block["wall_ms"]
+        assert wall > 0
+        # Contiguous top-level spans: their sum approximates the wall.
+        assert stage_sum <= wall * 1.01
+        assert stage_sum >= wall * 0.90, (
+            f"stages cover only {stage_sum / wall:.1%} of wall on "
+            f"{backend}: {block['stages']}"
+        )
+        names = {span["name"] for span in block["stages"]}
+        assert {"parse", "plan", "fan_out", "finalize"} <= names
+        assert block["backend"] == backend
+        assert block["statement"] == _sql(catalog)
+
+    @pytest.mark.parametrize("backend", ["sequential", "thread", "process"])
+    def test_worker_spans_cover_every_series(self, catalog, backend):
+        with CatalogQueryService(
+            catalog, backend=backend, max_workers=2
+        ) as service:
+            result = service.execute(_sql(catalog))
+        spans = {entry[0]: entry for entry in result.trace.series}
+        assert set(spans) == set(result.matched)
+        for _series_id, load_s, compute_s, _hit in spans.values():
+            assert load_s >= 0.0
+            assert compute_s >= 0.0
+
+    def test_warm_query_reports_cache_hits(self, catalog):
+        with CatalogQueryService(catalog, backend="sequential") as service:
+            service.execute(_sql(catalog))
+            result = service.execute(_sql(catalog))
+        trace = result.trace
+        assert trace.cache_hits == len(result.matched)
+        assert trace.cache_misses == 0
+
+    def test_approx_query_traces_compute_stage(self, catalog):
+        with CatalogQueryService(catalog, backend="sequential") as service:
+            result = service.execute(
+                _sql(catalog, "APPROX exceedance(21.0)")
+            )
+        names = {span["name"] for span in result.trace.as_dict()["stages"]}
+        assert "compute" in names
+        assert "finalize" in names
+
+    def test_null_registry_disables_tracing(self, catalog):
+        with CatalogQueryService(
+            catalog, backend="sequential", registry=NullRegistry()
+        ) as service:
+            result = service.execute(_sql(catalog))
+        assert result.trace is None
+        assert len(result.results) == len(result.matched)
+
+    def test_caller_supplied_trace_is_not_finished(self, catalog):
+        trace = QueryTrace()
+        with CatalogQueryService(catalog, backend="sequential") as service:
+            result = service.execute(_sql(catalog), trace=trace)
+        assert result.trace is trace
+        assert trace._wall_s is None  # caller owns the wall clock
+        trace.finish()
+
+    def test_statement_text_reconstruction_round_trips(self, catalog):
+        statements = [
+            _sql(catalog),
+            _sql(catalog, "threshold(0.4)") + " TOP 2",
+            _sql(catalog) + " SERIES 'sensor-*' WHERE t BETWEEN 2 AND 9",
+            _sql(catalog, "APPROX expected_value") + " WHERE t >= 3",
+            _sql(catalog, "expected_value") + " WHERE t <= 7",
+        ]
+        for statement in statements:
+            query = parse_select_query(statement)
+            assert parse_select_query(_statement_text(query)) == query
+
+
+# ---------------------------------------------------------------------------
+# Service-level metrics and slow log.
+# ---------------------------------------------------------------------------
+class TestServiceMetrics:
+    def test_query_counters_and_histograms(self, catalog):
+        registry = MetricsRegistry()
+        with CatalogQueryService(
+            catalog, backend="sequential", registry=registry
+        ) as service:
+            service.execute(_sql(catalog))
+            service.execute(_sql(catalog, "APPROX exceedance(21.0)"))
+            snapshot = registry.snapshot()
+        queries = snapshot["repro_queries_total"]["values"]
+        assert queries['{aggregate="exceedance",mode="exact"}'] == 1.0
+        assert queries['{aggregate="exceedance",mode="approx"}'] == 1.0
+        latency = snapshot["repro_query_seconds"]["values"]
+        assert latency['{aggregate="exceedance"}']["count"] == 2
+        tasks = snapshot["repro_backend_tasks_total"]["values"]
+        assert tasks['{backend="sequential"}'] == float(
+            len(catalog.list_series())
+        )
+        cache = snapshot["repro_cache_misses"]["values"]
+        assert cache['{scope="service"}'] == float(
+            len(catalog.list_series())
+        )
+
+    def test_cache_collector_unregistered_on_close(self, catalog):
+        registry = MetricsRegistry()
+        service = CatalogQueryService(
+            catalog, backend="sequential", registry=registry
+        )
+        service.execute(_sql(catalog))
+        before = registry.snapshot()["repro_cache_misses"]["values"]
+        service.close()
+        # A scrape after close still renders the last collected values
+        # but no longer samples the dead cache.
+        after = registry.snapshot()["repro_cache_misses"]["values"]
+        assert after == before
+
+    def test_slow_log_records_with_stage_breakdown(self, catalog):
+        with CatalogQueryService(
+            catalog, backend="sequential", slow_query_ms=0.0
+        ) as service:
+            service.execute(_sql(catalog))
+            entries = service.slow_log.entries()
+        assert entries
+        entry = entries[0]
+        assert entry["statement"] == _sql(catalog)
+        assert "fan_out" in entry["stages"]
+        assert entry["segments_scanned"] >= 1  # pruning extras merged in
+
+    def test_execution_stats_compat_shim_survives(self, catalog):
+        with CatalogQueryService(catalog, backend="sequential") as service:
+            service.execute(_sql(catalog))
+            stats = service.execution_stats()
+        assert stats["queries"] == 1
+        assert set(stats) >= {
+            "queries", "approx_queries", "segments_scanned",
+            "segments_pruned", "series_skipped",
+        }
+
+    def test_concurrent_queries_lose_no_counts(self, catalog):
+        """N threads × K statements: every ledger stays exact."""
+        threads_n, per_thread = 6, 4
+        registry = MetricsRegistry()
+        with CatalogQueryService(
+            catalog, backend="thread", max_workers=4, registry=registry
+        ) as service:
+
+            def work():
+                for _ in range(per_thread):
+                    service.execute(_sql(catalog))
+
+            workers = [
+                threading.Thread(target=work) for _ in range(threads_n)
+            ]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join()
+            stats = service.execution_stats()
+            counter = registry.counter("repro_queries_total")
+            histogram = registry.histogram("repro_query_seconds")
+            observed, recorded = service.slow_log.counts()
+        executed = threads_n * per_thread
+        assert stats["queries"] == executed
+        assert counter.total() == executed
+        assert histogram.total_count() == executed
+        assert observed == executed
+
+    def test_process_backend_counts_are_exact(self, catalog):
+        registry = MetricsRegistry()
+        with CatalogQueryService(
+            catalog, backend="process", max_workers=2, registry=registry
+        ) as service:
+            for _ in range(3):
+                service.execute(_sql(catalog))
+            stats = service.execution_stats()
+            tasks = registry.counter("repro_backend_tasks_total")
+        assert stats["queries"] == 3
+        assert tasks.value(backend="process") == float(
+            3 * len(catalog.list_series())
+        )
+
+
+# ---------------------------------------------------------------------------
+# Wire surfaces: {"op": "metrics"}, {"op": "slowlog"}, trace over TCP.
+# ---------------------------------------------------------------------------
+class TestWireSurfaces:
+    @pytest.fixture()
+    def served(self, catalog):
+        server = QueryServer(
+            catalog.root, port=0, max_inflight=4, slow_query_ms=0.0
+        )
+        with ServerThread(server) as (host, port):
+            with Client(host, port) as client:
+                yield catalog, client
+
+    def test_traced_query_over_wire(self, served):
+        catalog, client = served
+        result = client.query(_sql(catalog), trace=True)
+        trace = result["trace"]
+        names = [span["name"] for span in trace["stages"]]
+        assert "serialize" in names
+        stage_sum = sum(span["ms"] for span in trace["stages"])
+        assert stage_sum >= trace["wall_ms"] * 0.90
+        assert trace["statement"] == _sql(catalog)
+
+    def test_untraced_query_has_no_trace_block(self, served):
+        catalog, client = served
+        result = client.query(_sql(catalog))
+        assert "trace" not in result
+
+    def test_metrics_op_serves_parseable_prometheus_text(self, served):
+        catalog, client = served
+        client.query(_sql(catalog))
+        client.query(_sql(catalog, "threshold(0.4)"))
+        payload = client.metrics()
+        assert "kind" not in payload
+        samples = _parse_exposition(payload["text"])
+        # A latency histogram per aggregate kind, plus server gauges.
+        assert samples['repro_query_seconds_count{aggregate="exceedance"}'] >= 1
+        assert samples['repro_query_seconds_count{aggregate="threshold"}'] >= 1
+        assert samples["repro_server_executed"] >= 2
+        snapshot = payload["metrics"]
+        assert snapshot["repro_query_seconds"]["type"] == "histogram"
+
+    def test_slowlog_op_round_trips(self, served):
+        catalog, client = served
+        client.query(_sql(catalog))
+        payload = client.slowlog(limit=5)
+        assert payload["threshold_ms"] == 0.0
+        assert payload["recorded"] >= 1
+        entry = payload["entries"][0]
+        # Untraced statements reach the service already parsed, so the
+        # slow log keeps a reconstruction — re-runnable, parse-equal.
+        assert parse_select_query(entry["statement"]) == parse_select_query(
+            _sql(catalog)
+        )
+        assert "stages" in entry
+
+    def test_stats_op_strips_kind_and_stays_consistent(self, served):
+        catalog, client = served
+        client.query(_sql(catalog))
+        stats = client.stats()
+        assert "kind" not in stats
+        assert stats["executed"] >= 1
+        assert stats["requests"] >= stats["executed"]
