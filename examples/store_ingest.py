@@ -126,6 +126,35 @@ def main() -> None:
     for entry in approx.results:
         est = entry.result
         assert est["lower"] <= exact_scores[entry.series_id] <= est["upper"]
+
+    # --- possible worlds -------------------------------------------------
+    # The created views are block-independent-disjoint probabilistic
+    # databases, so we can do more than aggregate them: SIMULATE samples
+    # complete possible worlds, MCDB-style.  Each world picks one
+    # concrete value per time (None = the residual off-grid alternative);
+    # with a SEED the result is bit-identical on every backend.
+    worlds = service.execute(f"SIMULATE 3 SEED 7 FROM CATALOG '{root}'")
+    print(f"\n{worlds.n_worlds} sampled worlds per series (seed "
+          f"{worlds.seed}):")
+    for entry in worlds.results:
+        head = ", ".join(
+            "outside" if v is None else f"{v:.2f}"
+            for _t, v in entry.result[0][:4]
+        )
+        print(f"  {entry.series_id:12s} world 0 starts: {head}, ...")
+
+    # A multi-aggregate select list shares one scan; each item's results
+    # are bit-identical to running it alone.  PROBABILITY OF answers the
+    # per-time range question exactly (half-open, no sampling).
+    combo = service.execute(
+        f"SELECT expected_value, PROBABILITY OF v BETWEEN 20 AND 21 "
+        f"FROM CATALOG '{root}'"
+    )
+    ev_item, prob_item = combo.items
+    for entry in prob_item.results:
+        peak_t = max(entry.result, key=entry.result.get)
+        print(f"  {entry.series_id:12s} "
+              f"max P(20 <= v < 21) = {entry.score:.4f} at t={peak_t}")
     print(f"(catalog left in {root})")
 
 

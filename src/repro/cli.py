@@ -457,7 +457,7 @@ def _cmd_store(args: argparse.Namespace) -> int:
 
 def _cmd_service(args: argparse.Namespace) -> int:
     from repro.service import CatalogQueryService, execute_select
-    from repro.view.sql import SelectQuery, parse_statement
+    from repro.view.sql import SelectQuery, SimulateQuery, parse_statement
 
     cache_budget = max(int(args.cache_mb * (1 << 20)), 1)
     pruning = not args.no_pruning
@@ -473,10 +473,10 @@ def _cmd_service(args: argparse.Namespace) -> int:
         # Several statements: one batched fan-out through a shared
         # service, so they dedupe and share the warm matrix cache.
         first = parse_statement(args.sql[0])
-        if not isinstance(first, SelectQuery):
+        if not isinstance(first, (SelectQuery, SimulateQuery)):
             raise InvalidParameterError(
-                "the 'service query' command runs SELECT statements; use "
-                "'repro query' for CREATE VIEW"
+                "the 'service query' command runs SELECT and SIMULATE "
+                "statements; use 'repro query' for CREATE VIEW"
             )
         with CatalogQueryService(
             first.catalog_path,
@@ -517,7 +517,41 @@ def _cmd_service(args: argparse.Namespace) -> int:
 
 def _print_select_result(result, head: int) -> None:
     from repro.db.prob_view import ProbTuple
+    from repro.service import MultiSelectResult, SimulateResult
 
+    if isinstance(result, MultiSelectResult):
+        # A multi-aggregate select list: each item renders exactly as it
+        # would standalone — they only shared the scan.
+        for index, item in enumerate(result.items):
+            if index:
+                print()
+            _print_select_result(item, head)
+        return
+    if isinstance(result, SimulateResult):
+        print(
+            f"simulate({result.n_worlds} worlds, seed {result.seed}) "
+            f"over {len(result.matched)} matched series:\n"
+        )
+        print(format_table(
+            ["series", "worlds", "times"],
+            [[entry.series_id,
+              len(entry.result),
+              len(entry.result[0]) if entry.result else 0]
+             for entry in result.results],
+        ))
+        top = next(
+            (e for e in result.results if e.result and e.result[0]), None
+        )
+        if top is not None:
+            print(f"\nhead of {top.series_id!r}, world 0:")
+            print(format_table(
+                ["t", "value"],
+                [[t, "(outside)" if v is None else round(v, 6)]
+                 for t, v in top.result[0][:head]],
+            ))
+            if len(top.result[0]) > head:
+                print(f"... ({len(top.result[0]) - head} more rows)")
+        return
     if result.approx:
         print(
             f"APPROX {result.aggregate} over {len(result.matched)} "
@@ -769,7 +803,39 @@ def _print_server_result(result: dict, head: int) -> None:
         if len(tuples) > head:
             print(f"... ({len(tuples) - head} more tuples)")
         return
+    if result.get("kind") == "multi_select":
+        for index, item in enumerate(result.get("statements", [])):
+            if index:
+                print()
+            _print_server_result(item, head)
+        return
     entries = result.get("results", [])
+    if result.get("kind") == "simulate":
+        print(
+            f"simulate({result.get('n_worlds')} worlds, "
+            f"seed {result.get('seed')}) over "
+            f"{len(result.get('matched', []))} matched series:\n"
+        )
+        print(format_table(
+            ["series", "worlds", "times"],
+            [[entry["series"],
+              len(entry["worlds"]),
+              len(entry["worlds"][0]) if entry["worlds"] else 0]
+             for entry in entries],
+        ))
+        top = next(
+            (e for e in entries if e["worlds"] and e["worlds"][0]), None
+        )
+        if top is not None:
+            print(f"\nhead of {top['series']!r}, world 0:")
+            print(format_table(
+                ["t", "value"],
+                [[t, "(outside)" if v is None else round(v, 6)]
+                 for t, v in top["worlds"][0][:head]],
+            ))
+            if len(top["worlds"][0]) > head:
+                print(f"... ({len(top['worlds'][0]) - head} more rows)")
+        return
     if result.get("approx"):
         print(
             f"APPROX {result.get('aggregate')} over "

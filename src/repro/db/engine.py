@@ -25,7 +25,12 @@ from repro.exceptions import QueryError
 from repro.metrics.registry import create_metric
 from repro.obs.trace import QueryTrace
 from repro.view.builder import ViewBuilder
-from repro.view.sql import SelectQuery, ViewQuery, parse_statement
+from repro.view.sql import (
+    SelectQuery,
+    SimulateQuery,
+    ViewQuery,
+    parse_statement,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service -> db).
     from repro.service.executor import CatalogQueryService, SelectResult
@@ -95,25 +100,27 @@ class Database:
     def execute(
         self, sql: str, *, trace: QueryTrace | None = None
     ) -> "ProbabilisticView | SelectResult":
-        """Parse and execute one statement (CREATE VIEW or SELECT).
+        """Parse and execute one statement (CREATE VIEW, SELECT, SIMULATE).
 
         ``CREATE VIEW`` statements return the created
-        :class:`ProbabilisticView`; catalog-wide ``SELECT`` statements
-        return the service layer's
-        :class:`~repro.service.executor.SelectResult`.  ``trace``
+        :class:`ProbabilisticView`; catalog-wide ``SELECT`` / ``SIMULATE``
+        statements return the service layer's result objects
+        (:class:`~repro.service.executor.SelectResult`,
+        :class:`~repro.service.executor.MultiSelectResult`,
+        :class:`~repro.service.executor.SimulateResult`).  ``trace``
         (optional) collects the statement's stage spans; the caller that
         created it owns its wall clock.
         """
         if trace is None:
             statement = parse_statement(sql)
-            if isinstance(statement, SelectQuery):
+            if isinstance(statement, (SelectQuery, SimulateQuery)):
                 return self.execute_select(statement)
             return self.execute_query(statement)
         if trace.statement is None:
             trace.statement = sql
         with trace.stage("parse"):
             statement = parse_statement(sql)
-        if isinstance(statement, SelectQuery):
+        if isinstance(statement, (SelectQuery, SimulateQuery)):
             return self.execute_select(statement, trace=trace)
         with trace.stage("compute"):
             return self.execute_query(statement)
@@ -133,12 +140,12 @@ class Database:
 
     def execute_select(
         self,
-        query: "str | SelectQuery",
+        query: "str | SelectQuery | SimulateQuery",
         *,
         backend: str | None = None,
         trace: QueryTrace | None = None,
     ) -> "SelectResult":
-        """Run a catalog-wide SELECT through :mod:`repro.service`.
+        """Run a catalog-wide SELECT/SIMULATE through :mod:`repro.service`.
 
         A bound service (see :meth:`bind_select_service`) carries its own
         executor backend, worker pool, and warm cache; ``backend`` only
@@ -150,10 +157,10 @@ class Database:
 
         if isinstance(query, str):
             parsed = parse_statement(query)
-            if not isinstance(parsed, SelectQuery):
+            if not isinstance(parsed, (SelectQuery, SimulateQuery)):
                 raise QueryError(
-                    "execute_select handles SELECT statements; use "
-                    "execute_query for CREATE VIEW"
+                    "execute_select handles SELECT and SIMULATE "
+                    "statements; use execute_query for CREATE VIEW"
                 )
             query = parsed
         service = self._select_service

@@ -16,6 +16,7 @@ independent.  This module makes that semantics executable two ways:
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass
 
@@ -29,9 +30,27 @@ __all__ = [
     "World",
     "WorldSampler",
     "MonteCarloEstimate",
-    "monte_carlo_query",
     "conjunctive_range_query",
+    "derive_series_seed",
+    "monte_carlo_query",
 ]
+
+
+def derive_series_seed(seed: int, series_id: str) -> int:
+    """A per-series sampling seed, stable across processes and platforms.
+
+    Mixes the statement-level seed with the series id through SHA-256 —
+    never Python's ``hash()``, whose string hashing varies with
+    ``PYTHONHASHSEED`` and therefore across spawn-started worker
+    processes.  This is what makes ``SIMULATE n SEED s`` bit-identical on
+    the sequential, thread, and process executor backends: each series'
+    stream depends only on ``(seed, series_id)``, never on which worker
+    ran it or in what order.
+    """
+    digest = hashlib.sha256(
+        f"repro.worlds:{int(seed)}:{series_id}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
 
 #: Sampled value marking the residual "outside every range" alternative.
 OUTSIDE = None
@@ -49,9 +68,16 @@ class World:
         return self.values[t]
 
     def in_range(self, t: int, low: float, high: float) -> bool:
-        """True when the world's value at ``t`` exists and lies in range."""
+        """True when the world's value at ``t`` exists and lies in range.
+
+        The range is **half-open** — ``low <= value < high`` — matching
+        the columnar reference semantics of
+        :meth:`~repro.db.prob_view.ProbabilisticView.probability_at`, so
+        Monte Carlo estimates of range indicators converge to
+        :func:`conjunctive_range_query`'s exact answers.
+        """
         value = self.value_at(t)
-        return value is not None and low <= value <= high
+        return value is not None and low <= value < high
 
 
 class WorldSampler:
@@ -82,10 +108,21 @@ class WorldSampler:
         values: dict[int, float | None] = {}
         for t in self._times:
             cumulative = self._cumulative[t]
+            if cumulative.size == 0:
+                # An empty tuple block carries no in-grid mass at all:
+                # yield OUTSIDE deterministically, without consuming a
+                # draw, so the stream stays aligned across views that
+                # agree on their non-empty blocks.
+                values[t] = OUTSIDE
+                continue
             u = generator.uniform()
             if u >= cumulative[-1]:
                 values[t] = OUTSIDE  # Residual mass outside the grid.
                 continue
+            # side="right" skips zero-probability alternatives: when u
+            # lands exactly on a flat cumulative step, the first index
+            # *past* the flat run is selected — a tuple with rho = 0 can
+            # never be drawn.
             index = int(np.searchsorted(cumulative, u, side="right"))
             low = float(self._lows[t][index])
             high = float(self._highs[t][index])
@@ -143,28 +180,47 @@ def conjunctive_range_query(
 ) -> float:
     """Exact P(value in range at *every* predicated time).
 
+    Every predicate is **half-open** — ``low <= value < high``, matching
+    :meth:`~repro.db.prob_view.ProbabilisticView.probability_at` and
+    :meth:`World.in_range` — so a degenerate ``low == high`` predicate
+    selects nothing (factor 0) and an *inverted* predicate
+    (``high < low``) raises :class:`InvalidParameterError`.
+
     Exploits the view's block-independent-disjoint structure: within one
     time the overlapping tuples' masses add (mutually exclusive
     alternatives, with partial overlaps contributing proportionally);
-    across times the factors multiply (independence).
+    across times the factors multiply (independence).  Degenerate range
+    tuples (``tup.low == tup.high``) are treated as point masses: they
+    contribute their whole probability when the predicate contains the
+    point, never a division by their zero width.
 
-    >>> # P(temp in [20, 22] at t=60 AND temp in [21, 23] at t=61):
+    >>> # P(temp in [20, 22) at t=60 AND temp in [21, 23) at t=61):
     >>> # conjunctive_range_query(view, {60: (20, 22), 61: (21, 23)})
     """
     if not predicates:
         raise InvalidParameterError("provide at least one time predicate")
+    for t, (low, high) in predicates.items():
+        if high < low:
+            raise InvalidParameterError(
+                f"predicate at time {t} has inverted range [{low}, {high}]"
+            )
     probability = 1.0
     for t, (low, high) in predicates.items():
-        if high <= low:
-            raise InvalidParameterError(
-                f"predicate at time {t} has empty range [{low}, {high}]"
-            )
+        if high == low:
+            return 0.0  # [a, a) is empty under half-open semantics.
         mass = 0.0
         for tup in view.tuples_at(t):
+            width = tup.high - tup.low
+            if width <= 0.0:
+                # Point-mass tuple: inside iff the half-open predicate
+                # contains the point.
+                if low <= tup.low < high:
+                    mass += tup.probability
+                continue
             overlap = min(high, tup.high) - max(low, tup.low)
             if overlap <= 0:
                 continue
-            mass += tup.probability * (overlap / (tup.high - tup.low))
+            mass += tup.probability * (overlap / width)
         probability *= min(mass, 1.0)
         if probability == 0.0:
             break

@@ -48,6 +48,9 @@ class Client:
     >>> #     result = client.query(
     >>> #         "SELECT exceedance(21.0) FROM CATALOG '/data/cat'")
     >>> #     result["results"][0]["series"]
+    >>> #     worlds = client.query(
+    >>> #         "SIMULATE 8 SEED 42 FROM CATALOG '/data/cat'")
+    >>> #     worlds["results"][0]["worlds"][0][:3]   # kind: "simulate"
     """
 
     def __init__(

@@ -59,7 +59,11 @@ from repro.exceptions import (
     ReproError,
     StoreError,
 )
-from repro.service.executor import SelectResult
+from repro.service.executor import (
+    MultiSelectResult,
+    SelectResult,
+    SimulateResult,
+)
 
 __all__ = [
     "MAX_STATEMENT_CHARS",
@@ -70,7 +74,9 @@ __all__ = [
     "error_type",
     "loads_frame",
     "result_frame",
+    "serialize_multi_select",
     "serialize_result",
+    "serialize_simulate",
 ]
 
 #: Hard cap on one statement's character count; longer statements are
@@ -215,6 +221,53 @@ def serialize_select(result: SelectResult) -> dict[str, Any]:
     return payload
 
 
+def serialize_multi_select(result: MultiSelectResult) -> dict[str, Any]:
+    """A multi-aggregate select list as a JSON-ready dict.
+
+    ``statements`` holds one full :func:`serialize_select` payload per
+    select-list item, in list order — byte-for-byte the payload each item
+    would produce as its own statement, which is exactly the bit-identity
+    the acceptance tests pin.
+    """
+    return {
+        "kind": "multi_select",
+        "statements": [serialize_select(item) for item in result.items],
+    }
+
+
+def serialize_simulate(result: SimulateResult) -> dict[str, Any]:
+    """A SIMULATE result as a JSON-ready dict.
+
+    Per series, ``worlds`` is a list of sampled worlds; each world lists
+    ``[t, value]`` pairs in ascending time order with ``null`` marking
+    the OUTSIDE (off-grid) alternative.  ``seed`` is the resolved
+    statement seed, so the payload names its own reproduction recipe.
+    """
+    entries = [
+        {
+            "series": entry.series_id,
+            "worlds": [
+                [
+                    [_scalar_time(t), None if v is None else float(v)]
+                    for t, v in world
+                ]
+                for world in entry.result
+            ],
+        }
+        for entry in result.results
+    ]
+    payload = {
+        "kind": "simulate",
+        "n_worlds": int(result.n_worlds),
+        "seed": int(result.seed),
+        "matched": [str(series_id) for series_id in result.matched],
+        "results": entries,
+    }
+    if result.stats is not None:
+        payload["pruning"] = result.stats.as_dict()
+    return payload
+
+
 def serialize_view(view: ProbabilisticView) -> dict[str, Any]:
     """A created probabilistic view as a JSON-ready dict."""
     cols = view.columns
@@ -245,6 +298,10 @@ def serialize_result(result: Any) -> dict[str, Any]:
     """Serialize whatever ``Database.execute`` returned."""
     if isinstance(result, SelectResult):
         return serialize_select(result)
+    if isinstance(result, MultiSelectResult):
+        return serialize_multi_select(result)
+    if isinstance(result, SimulateResult):
+        return serialize_simulate(result)
     if isinstance(result, ProbabilisticView):
         return serialize_view(result)
     raise TypeError(

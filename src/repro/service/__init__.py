@@ -9,8 +9,10 @@ zero-copy mmap segment reads), and materialised view matrices are kept
 warm in a byte-budgeted LRU cache so repeated statements never reload a
 segment.
 
-* :mod:`repro.service.planner` — binds a parsed statement to a catalog:
-  aggregate resolution + argument checks + snapshot fan-out list, plus
+* :mod:`repro.service.plan` — the logical plan tree every statement
+  lowers through (scan → prune → kernels → combine → finalize);
+* :mod:`repro.service.planner` — physical lowering: kernel resolution +
+  argument checks + snapshot fan-out list per select-list item, plus
   the picklable per-series task envelopes backends consume;
 * :mod:`repro.service.backends` — the executor backends and the single
   per-envelope compute path they all share;
@@ -30,11 +32,21 @@ from repro.service.backends import (
 from repro.service.cache import CacheStats, MatrixCache
 from repro.service.executor import (
     CatalogQueryService,
+    MultiSelectResult,
     SelectResult,
     SeriesResult,
+    SimulateResult,
     execute_select,
 )
-from repro.service.planner import AGGREGATES, QueryPlan, plan_select
+from repro.service.plan import LogicalPlan, explain, logical_plan
+from repro.service.planner import (
+    AGGREGATES,
+    KERNELS,
+    ItemPlan,
+    QueryPlan,
+    plan_select,
+    plan_statement,
+)
 
 __all__ = [
     "AGGREGATES",
@@ -42,14 +54,22 @@ __all__ = [
     "CacheStats",
     "CatalogQueryService",
     "ExecutorBackend",
+    "ItemPlan",
+    "KERNELS",
+    "LogicalPlan",
     "MatrixCache",
+    "MultiSelectResult",
     "ProcessBackend",
     "QueryPlan",
     "SelectResult",
     "SequentialBackend",
     "SeriesResult",
+    "SimulateResult",
     "ThreadBackend",
     "execute_select",
+    "explain",
+    "logical_plan",
     "make_backend",
     "plan_select",
+    "plan_statement",
 ]

@@ -56,7 +56,7 @@ from repro.exceptions import (
 )
 from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.service.cache import MatrixCache
-from repro.service.planner import AGGREGATES, TaskEnvelope
+from repro.service.planner import KERNELS, TaskEnvelope
 from repro.store.catalog import _load_view_from_segments
 
 __all__ = [
@@ -154,7 +154,7 @@ def run_envelope(
     ``timings=False`` is the fully uninstrumented path the overhead
     benchmark baselines against.
     """
-    spec = AGGREGATES[envelope.aggregate]
+    spec = KERNELS[envelope.aggregate]
     hit = True
     load_s = 0.0
     compute_s = 0.0
@@ -177,7 +177,9 @@ def run_envelope(
         view = cache.get(envelope.cache_key, _load)
         start = time.perf_counter() if timings else 0.0
         view = restrict_time_range(view, envelope.time_lo, envelope.time_hi)
-        result, score = spec.compute(view, envelope.arguments)
+        result, score = spec.compute(
+            view, envelope.arguments, envelope.series_id
+        )
         if timings:
             compute_s = time.perf_counter() - start
     except (ReproError, OSError) as exc:

@@ -37,42 +37,64 @@ from repro.service.backends import (
 )
 from repro.service.cache import MatrixCache
 from repro.service.planner import (
+    ItemPlan,
     PlanStats,
     QueryPlan,
     SeriesTask,
-    plan_select,
+    plan_statement,
 )
 from repro.service.synopsis import estimate_series
 from repro.store.binary import compute_view_synopsis, load_view_columns
 from repro.store.catalog import Catalog
-from repro.view.sql import SelectQuery, parse_statement
+from repro.view.sql import (
+    SelectItem,
+    SelectQuery,
+    SimulateQuery,
+    parse_statement,
+)
 
 __all__ = [
     "CatalogQueryService",
+    "MultiSelectResult",
     "SelectResult",
     "SeriesResult",
+    "SimulateResult",
     "execute_select",
     "restrict_time_range",
 ]
 
 
-def _statement_text(query: SelectQuery) -> str:
-    """A readable SELECT reconstruction for traces and the slow log.
+def _item_text(item: SelectItem) -> str:
+    """One select-list item rendered exactly as the grammar accepts it."""
+    if item.name == "probability_of":
+        low, high = item.arguments
+        column = item.column or "v"
+        return f"PROBABILITY OF {column} BETWEEN {low:g} AND {high:g}"
+    if item.arguments:
+        arguments = ", ".join(f"{a:g}" for a in item.arguments)
+        return f"{item.name}({arguments})"
+    # Zero-argument aggregates are written bare — the grammar rejects
+    # an empty argument list.
+    return item.name
+
+
+def _statement_text(query: SelectQuery | SimulateQuery) -> str:
+    """A readable statement reconstruction for traces and the slow log.
 
     Parsed queries are inert (they do not keep their source text), so
-    when a caller hands the service a :class:`SelectQuery` directly the
-    slow log still needs something an operator can re-run.
+    when a caller hands the service a parsed statement directly the slow
+    log still needs something an operator can re-run.  The rendering
+    round-trips: parsing it yields back an equal query object.
     """
-    parts = ["SELECT"]
-    if query.approx:
-        parts.append("APPROX")
-    if query.arguments:
-        arguments = ", ".join(f"{a:g}" for a in query.arguments)
-        parts.append(f"{query.aggregate}({arguments})")
+    if isinstance(query, SimulateQuery):
+        parts = [f"SIMULATE {query.n_worlds}"]
+        if query.seed is not None:
+            parts.append(f"SEED {query.seed}")
     else:
-        # Zero-argument aggregates are written bare — the grammar rejects
-        # an empty argument list.
-        parts.append(query.aggregate)
+        parts = ["SELECT"]
+        if query.approx:
+            parts.append("APPROX")
+        parts.append(", ".join(_item_text(item) for item in query.items))
     parts.append(f"FROM CATALOG '{query.catalog_path}'")
     if query.series_pattern != "*":
         parts.append(f"SERIES '{query.series_pattern}'")
@@ -84,7 +106,7 @@ def _statement_text(query: SelectQuery) -> str:
         parts.append(f"WHERE t >= {query.time_lo:g}")
     elif query.time_hi is not None:
         parts.append(f"WHERE t <= {query.time_hi:g}")
-    if query.top_k is not None:
+    if getattr(query, "top_k", None) is not None:
         parts.append(f"TOP {query.top_k}")
     return " ".join(parts)
 
@@ -143,6 +165,75 @@ class SelectResult:
             f"SelectResult(aggregate={self.aggregate!r}, "
             f"series={len(self.results)}/{len(self.matched)})"
         )
+
+
+@dataclass(frozen=True)
+class SimulateResult:
+    """Everything one SIMULATE statement produced.
+
+    ``results`` holds one :class:`SeriesResult` per matched series (in
+    series-id order) whose ``result`` is the list of sampled worlds —
+    each world a ``[t, value]`` list in ascending time order, ``value``
+    ``None`` for the OUTSIDE alternative.  ``seed`` is the *resolved*
+    statement seed (the default seed when the statement omitted ``SEED``),
+    so re-running ``SIMULATE {n} SEED {seed}`` reproduces the result
+    bit-for-bit on any backend.
+    """
+
+    n_worlds: int
+    seed: int
+    results: tuple[SeriesResult, ...]
+    matched: tuple[str, ...]
+    stats: PlanStats | None = None
+    trace: Any = field(default=None, compare=False, repr=False)
+
+    @property
+    def aggregate(self) -> str:
+        return "simulate"
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulateResult(n_worlds={self.n_worlds}, seed={self.seed}, "
+            f"series={len(self.results)})"
+        )
+
+
+@dataclass(frozen=True)
+class MultiSelectResult:
+    """A multi-aggregate select list's results, one entry per item.
+
+    ``items`` holds one complete :class:`SelectResult` per select-list
+    item, in select-list order — each bit-identical to running that item
+    as its own single-aggregate statement (same pruning, same ranking,
+    same stats), they merely shared one scan.
+    """
+
+    items: tuple[SelectResult, ...]
+    trace: Any = field(default=None, compare=False, repr=False)
+
+    @property
+    def aggregate(self) -> str:
+        return ", ".join(item.aggregate for item in self.items)
+
+    @property
+    def stats(self) -> PlanStats | None:
+        """No single pruning record exists — read ``items[*].stats``."""
+        return None
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __repr__(self) -> str:
+        return f"MultiSelectResult(aggregates={self.aggregate!r})"
 
 
 class CatalogQueryService:
@@ -288,11 +379,11 @@ class CatalogQueryService:
     # ------------------------------------------------------------------
     def execute(
         self,
-        statement: str | SelectQuery,
+        statement: str | SelectQuery | SimulateQuery,
         *,
         trace: QueryTrace | None = None,
-    ) -> SelectResult:
-        """Parse (if needed), plan, and run one SELECT statement.
+    ) -> "SelectResult | SimulateResult | MultiSelectResult":
+        """Parse (if needed), plan, and run one SELECT/SIMULATE statement.
 
         The statement's own ``FROM CATALOG`` path is checked against this
         service's catalog so a statement aimed elsewhere fails loudly
@@ -319,15 +410,15 @@ class CatalogQueryService:
         stage = "parse" if isinstance(statement, str) else "validate"
         with trace.stage(stage):
             query = self._coerce(statement)
-        plan = plan_select(
+        plan = plan_statement(
             self.catalog, query, pruning=self.pruning, trace=trace
         )
         return self._execute_traced(plan, trace, own)
 
     def execute_many(
-        self, statements: "list[str | SelectQuery] | tuple"
-    ) -> list[SelectResult]:
-        """Batch entry point: run several SELECTs as one fan-out.
+        self, statements: "list[str | SelectQuery | SimulateQuery] | tuple"
+    ) -> "list[SelectResult | SimulateResult | MultiSelectResult]":
+        """Batch entry point: run several statements as one fan-out.
 
         Duplicate statements (after parsing) are planned and executed
         **once** and their result shared across the answer list — the
@@ -335,32 +426,45 @@ class CatalogQueryService:
         coalescing, for callers holding a whole batch up front (the CLI
         accepts several statements per invocation; library users get one
         warm-cache fan-out instead of N).  The per-series tasks of every
-        distinct exact plan are flattened into a single pool pass, so a
-        batch keeps all workers busy even when its individual statements
-        match only a few series each; APPROX statements are answered from
-        synopses without entering the pool at all.  Results come back in
-        request order.
+        item of every distinct exact plan are flattened into a single
+        pool pass, so a batch keeps all workers busy even when its
+        individual statements match only a few series each; APPROX
+        statements are answered from synopses without entering the pool
+        at all.  Results come back in request order.
         """
         queries = [self._coerce(statement) for statement in statements]
-        plans: dict[SelectQuery, QueryPlan] = {}
+        plans: dict[SelectQuery | SimulateQuery, QueryPlan] = {}
         for query in queries:
             if query not in plans:
-                plans[query] = plan_select(
+                plans[query] = plan_statement(
                     self.catalog, query, pruning=self.pruning
                 )
         exact = [
             plan for plan in plans.values() if not plan.stats.approx
         ]
-        jobs = [(plan, task) for plan in exact for task in plan.tasks]
+        jobs = [
+            (item, task)
+            for plan in exact
+            for item in plan.items
+            for task in item.tasks
+        ]
         outcomes = self._map_tasks(jobs)
-        results: dict[SelectQuery, SelectResult] = {}
+        results: dict[
+            SelectQuery | SimulateQuery,
+            SelectResult | SimulateResult | MultiSelectResult,
+        ] = {}
         offset = 0
         for plan in exact:
-            count = len(plan.tasks)
-            results[plan.query] = self._finalize(
-                plan, outcomes[offset : offset + count]
-            )
-            offset += count
+            per_item: list[SelectResult] = []
+            for item in plan.items:
+                count = len(item.tasks)
+                per_item.append(
+                    self._finalize_item(
+                        plan.query, item, outcomes[offset : offset + count]
+                    )
+                )
+                offset += count
+            results[plan.query] = self._wrap(plan, per_item, NULL_TRACE)
         for plan in plans.values():
             if plan.stats.approx:
                 results[plan.query] = self._execute_approx(plan)
@@ -368,7 +472,7 @@ class CatalogQueryService:
 
     def execute_plan(
         self, plan: QueryPlan, *, trace: QueryTrace | None = None
-    ) -> SelectResult:
+    ) -> "SelectResult | SimulateResult | MultiSelectResult":
         """Run an already-bound plan: fan out, gather, rank.
 
         APPROX plans never reach the backend: they are answered inline
@@ -382,35 +486,57 @@ class CatalogQueryService:
 
     def _execute_traced(
         self, plan: QueryPlan, trace: QueryTrace, own: bool
-    ) -> SelectResult:
+    ) -> "SelectResult | SimulateResult | MultiSelectResult":
         """Run a plan under a trace; finish the trace only when owned."""
         if trace.enabled:
             trace.backend = self._backend.name
         if plan.stats.approx:
             result = self._execute_approx(plan, trace=trace)
         else:
+            # One fan-out for the whole statement: every item's tasks in
+            # one pool pass, so a multi-aggregate select list shares the
+            # warm cache (and, per cache key, the materialised views)
+            # its items would otherwise each load alone.
+            jobs = [
+                (item, task)
+                for item in plan.items
+                for task in item.tasks
+            ]
             with trace.stage("fan_out"):
-                gathered = self._map_tasks(
-                    [(plan, task) for task in plan.tasks], trace=trace
-                )
-            result = self._finalize(plan, gathered, trace=trace)
+                gathered = self._map_tasks(jobs, trace=trace)
+            with trace.stage("finalize"):
+                per_item = []
+                offset = 0
+                for item in plan.items:
+                    count = len(item.tasks)
+                    per_item.append(
+                        self._finalize_item(
+                            plan.query,
+                            item,
+                            gathered[offset : offset + count],
+                        )
+                    )
+                    offset += count
+            result = self._wrap(plan, per_item, trace)
         self._observe_query(trace, result)
         if own:
             trace.finish()
         return result
 
-    def accepts(self, query: SelectQuery) -> bool:
+    def accepts(self, query: SelectQuery | SimulateQuery) -> bool:
         """Whether a parsed statement addresses this service's catalog."""
         return Path(query.catalog_path).resolve() == self._root_resolved
 
-    def _coerce(self, statement: str | SelectQuery) -> SelectQuery:
+    def _coerce(
+        self, statement: str | SelectQuery | SimulateQuery
+    ) -> SelectQuery | SimulateQuery:
         """Parse if needed and pin the statement to this catalog."""
         if isinstance(statement, str):
             parsed = parse_statement(statement)
-            if not isinstance(parsed, SelectQuery):
+            if not isinstance(parsed, (SelectQuery, SimulateQuery)):
                 raise QueryError(
-                    "CatalogQueryService executes SELECT statements; use "
-                    "Database.execute for CREATE VIEW"
+                    "CatalogQueryService executes SELECT and SIMULATE "
+                    "statements; use Database.execute for CREATE VIEW"
                 )
             statement = parsed
         if not self.accepts(statement):
@@ -422,11 +548,11 @@ class CatalogQueryService:
 
     def _map_tasks(
         self,
-        jobs: list[tuple[QueryPlan, SeriesTask]],
+        jobs: list[tuple[ItemPlan, SeriesTask]],
         *,
         trace: QueryTrace = NULL_TRACE,
     ) -> list[SeriesResult]:
-        """Run ``(plan, task)`` jobs through the backend.
+        """Run ``(item, task)`` jobs through the backend.
 
         A closed service refuses new statements with a clear
         :class:`~repro.exceptions.QueryError` on *every* backend — the
@@ -443,7 +569,7 @@ class CatalogQueryService:
                 "service closed: CatalogQueryService.close() was called; "
                 "create a new service to keep querying"
             )
-        envelopes = [plan.envelope(task) for plan, task in jobs]
+        envelopes = [item.envelope(task) for item, task in jobs]
         gathered = self._backend.map(envelopes)
         merge = trace.enabled
         results: list[SeriesResult] = []
@@ -466,50 +592,64 @@ class CatalogQueryService:
             )
         return results
 
-    def _finalize(
+    def _finalize_item(
         self,
-        plan: QueryPlan,
+        query: SelectQuery | SimulateQuery,
+        item: ItemPlan,
         gathered: list[SeriesResult],
-        *,
-        trace: QueryTrace = NULL_TRACE,
     ) -> SelectResult:
-        """Rank, truncate, and wrap one plan's gathered results.
+        """Rank, truncate, and wrap one item's gathered results.
 
         Series the prune phase skipped entirely contribute their
-        synthesised empty result (the exact value the aggregate returns
+        synthesised empty result (the exact value the kernel returns
         over an empty restricted view) at the correct position — callers
         cannot tell a skipped series from a scanned-and-empty one.
         """
-        with trace.stage("finalize"):
-            if plan.skipped:
-                empty = self._empty_result(plan.aggregate.name)
-                by_id = {entry.series_id: entry for entry in gathered}
-                for series_id in plan.skipped:
-                    by_id[series_id] = SeriesResult(
-                        series_id=series_id, score=0.0, result=empty
-                    )
-                gathered = [
-                    by_id[series_id] for series_id in plan.series_ids
-                ]
-            if plan.query.top_k is not None:
-                gathered = sorted(
-                    gathered,
-                    key=lambda entry: (-entry.score, entry.series_id),
-                )[: plan.query.top_k]
-            self._record_stats(plan.stats, plan.aggregate.name)
+        if item.skipped:
+            empty = item.kernel.empty_result(item.arguments)
+            by_id = {entry.series_id: entry for entry in gathered}
+            for series_id in item.skipped:
+                by_id[series_id] = SeriesResult(
+                    series_id=series_id, score=0.0, result=empty
+                )
+            gathered = [by_id[series_id] for series_id in item.series_ids]
+        top_k = getattr(query, "top_k", None)
+        if top_k is not None:
+            gathered = sorted(
+                gathered,
+                key=lambda entry: (-entry.score, entry.series_id),
+            )[:top_k]
+        self._record_stats(item.stats, item.kernel.name)
         return SelectResult(
-            aggregate=plan.aggregate.name,
-            score_label=plan.aggregate.score_label,
+            aggregate=item.kernel.name,
+            score_label=item.kernel.score_label,
             results=tuple(gathered),
-            matched=tuple(plan.series_ids),
-            stats=plan.stats,
-            trace=trace if trace.enabled else None,
+            matched=tuple(item.series_ids),
+            stats=item.stats,
         )
 
-    @staticmethod
-    def _empty_result(aggregate: str) -> Any:
-        """What the aggregate returns over an empty (restricted) view."""
-        return [] if aggregate == "threshold" else {}
+    def _wrap(
+        self,
+        plan: QueryPlan,
+        per_item: list[SelectResult],
+        trace: QueryTrace,
+    ) -> "SelectResult | SimulateResult | MultiSelectResult":
+        """Combine finalized items into the statement's result shape."""
+        attached = trace if trace.enabled else None
+        if isinstance(plan.query, SimulateQuery):
+            inner = per_item[0]
+            n_worlds, seed = plan.items[0].arguments
+            return SimulateResult(
+                n_worlds=int(n_worlds),
+                seed=int(seed),
+                results=inner.results,
+                matched=inner.matched,
+                stats=inner.stats,
+                trace=attached,
+            )
+        if len(per_item) == 1:
+            return replace(per_item[0], trace=attached)
+        return MultiSelectResult(items=tuple(per_item), trace=attached)
 
     def _execute_approx(
         self, plan: QueryPlan, *, trace: QueryTrace = NULL_TRACE
@@ -610,7 +750,9 @@ class CatalogQueryService:
                 self._obs_series_skipped.inc(stats.series_skipped)
 
     def _observe_query(
-        self, trace: QueryTrace, result: SelectResult
+        self,
+        trace: QueryTrace,
+        result: "SelectResult | SimulateResult | MultiSelectResult",
     ) -> None:
         """Latency histogram + slow-query log for one finished statement.
 
@@ -654,7 +796,7 @@ class CatalogQueryService:
 
 
 def execute_select(
-    statement: str | SelectQuery,
+    statement: str | SelectQuery | SimulateQuery,
     *,
     max_workers: int | None = None,
     cache_budget_bytes: int = 64 << 20,
@@ -663,7 +805,7 @@ def execute_select(
     pruning: bool = True,
     registry: MetricsRegistry | None = None,
     trace: QueryTrace | None = None,
-) -> SelectResult:
+) -> "SelectResult | SimulateResult | MultiSelectResult":
     """One-shot convenience: open the statement's catalog and execute.
 
     The ergonomic path for ``Database.execute`` and the CLI; long-lived
@@ -673,10 +815,10 @@ def execute_select(
     """
     if isinstance(statement, str):
         parsed = parse_statement(statement)
-        if not isinstance(parsed, SelectQuery):
+        if not isinstance(parsed, (SelectQuery, SimulateQuery)):
             raise QueryError(
-                "execute_select handles SELECT statements; use "
-                "Database.execute for CREATE VIEW"
+                "execute_select handles SELECT and SIMULATE statements; "
+                "use Database.execute for CREATE VIEW"
             )
         statement = parsed
     with CatalogQueryService(

@@ -1,0 +1,164 @@
+"""Logical query plans for catalog statements.
+
+Every catalog statement — ``SELECT`` (single- or multi-item) and
+``SIMULATE`` — lowers through the same five-node logical tree::
+
+    Finalize(top_k)                  rank, truncate, wrap
+      └─ Combine(mode)               one result column per kernel
+           ├─ Kernel(name, args)     per-series compute (xN)
+           └─ Prune(lo, hi)          zone-map segment pruning
+                └─ Scan(catalog, pattern)
+
+The logical form is *inert* — plain frozen dataclasses built from the
+parsed statement alone, before the catalog is opened.  Physical lowering
+(:func:`repro.service.planner.plan_statement`) binds it to reality:
+``Scan`` expands the series glob against the manifest, ``Prune`` consults
+segment synopses, each ``Kernel`` resolves against the registry and
+becomes one :class:`~repro.service.planner.ItemPlan` worth of per-series
+tasks, and ``Combine``/``Finalize`` steer how the executor stitches the
+gathered results back together.
+
+Keeping the tree explicit (rather than a flat aggregate registry) is the
+stated unlock for GROUP BY / JOIN nodes and deeper synopsis pruning in
+later growth steps: new logical nodes slot between ``Kernel`` and
+``Finalize`` without touching the fan-out machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.rng import DEFAULT_SEED
+from repro.view.sql import SelectQuery, SimulateQuery
+
+__all__ = [
+    "CombineNode",
+    "FinalizeNode",
+    "KernelNode",
+    "LogicalPlan",
+    "PruneNode",
+    "ScanNode",
+    "explain",
+    "logical_plan",
+]
+
+
+@dataclass(frozen=True)
+class ScanNode:
+    """Leaf: which catalog and which series glob to expand."""
+
+    catalog_path: str
+    series_pattern: str = "*"
+
+    def label(self) -> str:
+        return f"Scan({self.catalog_path!r}, series={self.series_pattern!r})"
+
+
+@dataclass(frozen=True)
+class PruneNode:
+    """Zone-map segment pruning under an inclusive time window."""
+
+    child: ScanNode
+    time_lo: float | None = None
+    time_hi: float | None = None
+
+    def label(self) -> str:
+        lo = "-inf" if self.time_lo is None else f"{self.time_lo:g}"
+        hi = "+inf" if self.time_hi is None else f"{self.time_hi:g}"
+        return f"Prune(t in [{lo}, {hi}])"
+
+
+@dataclass(frozen=True)
+class KernelNode:
+    """One per-series computation: an aggregate, row expression, or sampler."""
+
+    name: str
+    arguments: tuple[float, ...] = ()
+    #: Value-column identifier of a ``PROBABILITY OF`` item (display only).
+    column: str | None = None
+
+    def label(self) -> str:
+        if self.name == "probability_of":
+            low, high = self.arguments
+            column = self.column or "v"
+            return f"PROBABILITY OF {column} BETWEEN {low:g} AND {high:g}"
+        if self.name == "simulate":
+            n_worlds, seed = self.arguments
+            return f"simulate({int(n_worlds)} worlds, seed {int(seed)})"
+        if self.arguments:
+            rendered = ", ".join(f"{a:g}" for a in self.arguments)
+            return f"{self.name}({rendered})"
+        return self.name
+
+
+@dataclass(frozen=True)
+class CombineNode:
+    """Fan the pruned scan through every kernel; one result column each.
+
+    ``mode`` selects the physical strategy: ``"exact"`` runs kernels on
+    backend workers, ``"approx"`` answers from synopses without fan-out,
+    ``"simulate"`` runs the possible-worlds sampler kernel.
+    """
+
+    source: PruneNode
+    kernels: tuple[KernelNode, ...]
+    mode: str = "exact"
+
+    def label(self) -> str:
+        return f"Combine[{self.mode}] x{len(self.kernels)}"
+
+
+@dataclass(frozen=True)
+class FinalizeNode:
+    """Root: rank by per-kernel score, truncate to TOP k, wrap."""
+
+    child: CombineNode
+    top_k: int | None = None
+
+    def label(self) -> str:
+        if self.top_k is None:
+            return "Finalize"
+        return f"Finalize(top {self.top_k})"
+
+
+#: The root node type — a logical plan *is* its finalize root.
+LogicalPlan = FinalizeNode
+
+
+def logical_plan(query: SelectQuery | SimulateQuery) -> FinalizeNode:
+    """The logical tree of one parsed statement (no catalog access)."""
+    scan = ScanNode(
+        catalog_path=query.catalog_path,
+        series_pattern=query.series_pattern,
+    )
+    prune = PruneNode(
+        child=scan, time_lo=query.time_lo, time_hi=query.time_hi
+    )
+    if isinstance(query, SimulateQuery):
+        seed = DEFAULT_SEED if query.seed is None else query.seed
+        kernel = KernelNode(
+            name="simulate",
+            arguments=(float(query.n_worlds), float(seed)),
+        )
+        combine = CombineNode(source=prune, kernels=(kernel,), mode="simulate")
+        return FinalizeNode(child=combine, top_k=None)
+    kernels = tuple(
+        KernelNode(name=item.name, arguments=item.arguments, column=item.column)
+        for item in query.items
+    )
+    mode = "approx" if query.approx else "exact"
+    combine = CombineNode(source=prune, kernels=kernels, mode=mode)
+    return FinalizeNode(child=combine, top_k=query.top_k)
+
+
+def explain(plan: FinalizeNode) -> str:
+    """An indented, human-readable rendering of the logical tree."""
+    lines = [plan.label()]
+    combine = plan.child
+    lines.append(f"  {combine.label()}")
+    for kernel in combine.kernels:
+        lines.append(f"    Kernel: {kernel.label()}")
+    prune = combine.source
+    lines.append(f"    {prune.label()}")
+    lines.append(f"      {prune.child.label()}")
+    return "\n".join(lines)

@@ -1,26 +1,34 @@
-"""Planning catalog-wide SELECT statements into per-series tasks.
+"""Physical planning: lower logical plans into per-series tasks.
 
-A parsed :class:`~repro.view.sql.SelectQuery` is inert text; this module
-binds it to reality: the aggregate name resolves against the registry of
-known aggregates (argument arity and domains checked up front, not deep in
-a worker thread), the ``SERIES`` glob expands against the catalog manifest,
-and each matched series becomes one :class:`SeriesTask` carrying a
-read-only :class:`~repro.store.catalog.SeriesSnapshot` plus its cache key.
-The executor (:mod:`repro.service.executor`) then runs tasks in any order,
-on any thread, without touching shared catalog state.
+A parsed :class:`~repro.view.sql.SelectQuery` /
+:class:`~repro.view.sql.SimulateQuery` is inert text.  This module builds
+its logical tree (:mod:`repro.service.plan`: scan → prune → kernels →
+combine → finalize) and lowers it against a catalog: every kernel name
+resolves against the registry (argument arity and domains checked up
+front, not deep in a worker thread), the ``SERIES`` glob expands against
+the catalog manifest, the prune node consults segment synopses, and each
+matched series becomes one :class:`SeriesTask` carrying a read-only
+:class:`~repro.store.catalog.SeriesSnapshot` plus its cache key.  The
+executor (:mod:`repro.service.executor`) then runs tasks in any order, on
+any thread or process, without touching shared catalog state.
 
-Aggregates map onto the one-shot query functions of :mod:`repro.db` — the
-paper's point that standard probabilistic query machinery applies directly
-— and each also defines a per-series *score*, the scalar ``TOP k`` ranks
-by (hit count, max probability, mean expectation...).
+Kernels map onto the one-shot query functions of :mod:`repro.db` — the
+paper's point that standard probabilistic query machinery applies
+directly.  Aggregate kernels also define a per-series *score*, the scalar
+``TOP k`` ranks by; the ``simulate`` kernel samples possible worlds
+(:mod:`repro.db.worlds`) under deterministic per-series seeding, and
+``probability_of`` answers the BQL-style row expression exactly via
+:func:`~repro.db.worlds.conjunctive_range_query`.
 """
 
 from __future__ import annotations
 
 import time
 from collections.abc import Callable
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
+
+import numpy as np
 
 from repro.db.prob_view import ProbabilisticView
 from repro.db.queries import expected_value_query, threshold_query
@@ -28,32 +36,45 @@ from repro.db.stream_queries import (
     exceedance_probability,
     expected_time_above,
 )
+from repro.db.worlds import (
+    WorldSampler,
+    conjunctive_range_query,
+    derive_series_seed,
+)
 from repro.exceptions import InvalidParameterError, QueryError
 from repro.obs.trace import NULL_TRACE
+from repro.service.plan import FinalizeNode, logical_plan
+from repro.service.plan import explain as explain_logical
 from repro.service.synopsis import prune_segments
 from repro.store.catalog import Catalog, SeriesSnapshot
-from repro.view.sql import SelectQuery
+from repro.util.rng import DEFAULT_SEED
+from repro.view.sql import SelectItem, SelectQuery, SimulateQuery
 
 __all__ = [
     "AGGREGATES",
+    "APPROX_KERNELS",
     "AggregateSpec",
+    "ItemPlan",
+    "KERNELS",
+    "KernelSpec",
     "PlanStats",
     "QueryPlan",
     "SeriesTask",
     "TaskEnvelope",
     "plan_select",
+    "plan_statement",
 ]
 
 
 def _compute_threshold(
-    view: ProbabilisticView, arguments: tuple[float, ...]
+    view: ProbabilisticView, arguments: tuple[float, ...], series_id: str
 ) -> tuple[Any, float]:
     hits = threshold_query(view, arguments[0])
     return hits, float(len(hits))
 
 
 def _compute_expected_value(
-    view: ProbabilisticView, arguments: tuple[float, ...]
+    view: ProbabilisticView, arguments: tuple[float, ...], series_id: str
 ) -> tuple[Any, float]:
     values = expected_value_query(view)
     score = sum(values.values()) / len(values) if values else 0.0
@@ -61,17 +82,60 @@ def _compute_expected_value(
 
 
 def _compute_exceedance(
-    view: ProbabilisticView, arguments: tuple[float, ...]
+    view: ProbabilisticView, arguments: tuple[float, ...], series_id: str
 ) -> tuple[Any, float]:
     values = exceedance_probability(view, arguments[0])
     return values, float(max(values.values(), default=0.0))
 
 
 def _compute_time_above(
-    view: ProbabilisticView, arguments: tuple[float, ...]
+    view: ProbabilisticView, arguments: tuple[float, ...], series_id: str
 ) -> tuple[Any, float]:
     values = expected_time_above(view, arguments[0], int(arguments[1]))
     return values, float(max(values.values(), default=0.0))
+
+
+def _compute_probability_of(
+    view: ProbabilisticView, arguments: tuple[float, ...], series_id: str
+) -> tuple[Any, float]:
+    """Per-time P(value in the half-open range) — the BQL row expression.
+
+    Each time is one single-predicate
+    :func:`~repro.db.worlds.conjunctive_range_query` over the view's
+    block-independent-disjoint tuples, so the result is exact (the
+    probability mass of every overlapping alternative, scaled by its
+    overlap fraction) rather than a Monte Carlo estimate.
+    """
+    low, high = arguments
+    values = {
+        int(t): conjunctive_range_query(view, {int(t): (low, high)})
+        for t in view.times
+    }
+    return values, float(max(values.values(), default=0.0))
+
+
+def _compute_simulate(
+    view: ProbabilisticView, arguments: tuple[float, ...], series_id: str
+) -> tuple[Any, float]:
+    """Draw ``n_worlds`` complete possible worlds for one series.
+
+    The sampling stream is seeded from ``(seed, series_id)`` alone
+    (:func:`~repro.db.worlds.derive_series_seed`), so the drawn worlds
+    are bit-identical no matter which backend, worker, or fan-out order
+    executed the series.  Each world serialises as ``[t, value]`` pairs
+    in ascending time order, ``value`` ``None`` for the OUTSIDE
+    alternative.
+    """
+    n_worlds = int(arguments[0])
+    seed = int(arguments[1])
+    rng = np.random.default_rng(derive_series_seed(seed, series_id))
+    sampler = WorldSampler(view)
+    times = [int(t) for t in view.times]
+    worlds = []
+    for _ in range(n_worlds):
+        world = sampler.sample(rng)
+        worlds.append([[t, world.values[t]] for t in times])
+    return worlds, float(len(times))
 
 
 def _check_tau(arguments: tuple[float, ...]) -> tuple[float, ...]:
@@ -92,22 +156,50 @@ def _check_window(arguments: tuple[float, ...]) -> tuple[float, ...]:
     return (arguments[0], float(int(window)))
 
 
-@dataclass(frozen=True)
-class AggregateSpec:
-    """One catalog-wide aggregate: arity, domain checks, and computation.
+def _check_value_range(arguments: tuple[float, ...]) -> tuple[float, ...]:
+    if arguments[1] < arguments[0]:
+        raise InvalidParameterError(
+            f"probability_of(low, high) range is inverted: "
+            f"[{arguments[0]}, {arguments[1]}]"
+        )
+    return arguments
 
-    ``compute(view, arguments)`` returns ``(result, score)`` where
-    ``result`` is whatever the underlying one-shot query returns for that
-    series and ``score`` the scalar used for ``TOP k`` ranking.
+
+def _check_simulate(arguments: tuple[float, ...]) -> tuple[float, ...]:
+    n_worlds, seed = arguments
+    if n_worlds != int(n_worlds) or n_worlds < 1:
+        raise InvalidParameterError(
+            f"simulate(n_worlds, seed) needs an integer n_worlds >= 1, "
+            f"got {n_worlds}"
+        )
+    if seed != int(seed) or seed < 0:
+        raise InvalidParameterError(
+            f"simulate(n_worlds, seed) needs an integer seed >= 0, "
+            f"got {seed}"
+        )
+    return (float(int(n_worlds)), float(int(seed)))
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One per-series kernel: arity, domain checks, and computation.
+
+    ``compute(view, arguments, series_id)`` returns ``(result, score)``
+    where ``result`` is whatever the underlying one-shot query returns
+    for that series and ``score`` the scalar used for ``TOP k`` ranking.
+    ``empty`` synthesises the exact result the kernel returns over an
+    empty restricted view — what the executor emits for series the prune
+    phase skipped entirely.
     """
 
     name: str
     parameters: tuple[str, ...]
     compute: Callable[
-        [ProbabilisticView, tuple[float, ...]], tuple[Any, float]
+        [ProbabilisticView, tuple[float, ...], str], tuple[Any, float]
     ]
     score_label: str
     validate: Callable[[tuple[float, ...]], tuple[float, ...]] | None = None
+    empty: Callable[[tuple[float, ...]], Any] | None = None
 
     def bind(self, arguments: tuple[float, ...]) -> tuple[float, ...]:
         """Check arity and domains; returns the normalised arguments."""
@@ -119,38 +211,79 @@ class AggregateSpec:
             )
         return self.validate(arguments) if self.validate else arguments
 
+    def empty_result(self, arguments: tuple[float, ...]) -> Any:
+        """The exact result over an empty (fully pruned) view."""
+        if self.empty is not None:
+            return self.empty(arguments)
+        return {}
 
-AGGREGATES: dict[str, AggregateSpec] = {
+
+#: Backwards-compatible alias: the registry entries used to be
+#: aggregate-only, and external callers may still import the old name.
+AggregateSpec = KernelSpec
+
+
+#: Kernels usable in a SELECT list, keyed by grammar name.
+AGGREGATES: dict[str, KernelSpec] = {
     spec.name: spec
     for spec in (
-        AggregateSpec(
+        KernelSpec(
             name="threshold",
             parameters=("tau",),
             compute=_compute_threshold,
             score_label="hits",
             validate=_check_tau,
+            empty=lambda arguments: [],
         ),
-        AggregateSpec(
+        KernelSpec(
             name="expected_value",
             parameters=(),
             compute=_compute_expected_value,
             score_label="mean_ev",
         ),
-        AggregateSpec(
+        KernelSpec(
             name="exceedance",
             parameters=("threshold",),
             compute=_compute_exceedance,
             score_label="max_p",
         ),
-        AggregateSpec(
+        KernelSpec(
             name="time_above",
             parameters=("threshold", "window"),
             compute=_compute_time_above,
             score_label="max_expected_count",
             validate=_check_window,
         ),
+        KernelSpec(
+            name="probability_of",
+            parameters=("low", "high"),
+            compute=_compute_probability_of,
+            score_label="max_p",
+            validate=_check_value_range,
+        ),
     )
 }
+
+#: The statement-level SIMULATE kernel (not addressable from a SELECT list).
+SIMULATE_KERNEL = KernelSpec(
+    name="simulate",
+    parameters=("n_worlds", "seed"),
+    compute=_compute_simulate,
+    score_label="times",
+    validate=_check_simulate,
+    empty=lambda arguments: [[] for _ in range(int(arguments[0]))],
+)
+
+#: Every kernel a worker can be asked to run, keyed by envelope name.
+KERNELS: dict[str, KernelSpec] = {
+    **AGGREGATES,
+    SIMULATE_KERNEL.name: SIMULATE_KERNEL,
+}
+
+#: Kernels with a synopsis-only estimator (``SELECT APPROX ...``).
+APPROX_KERNELS = frozenset(
+    ("threshold", "expected_value", "exceedance", "time_above")
+)
 
 
 @dataclass(frozen=True)
@@ -206,11 +339,10 @@ class TaskEnvelope:
 
     Everything a worker — a pool thread *or a separate process* — needs to
     compute one series' contribution: where the (surviving) segments live,
-    which aggregate to run (by registry name, so the callable never
-    crosses a process boundary), its already-validated arguments, and the
-    cache key identifying the materialised view.  Plain strings/tuples
-    throughout so the envelope pickles cheaply under any multiprocessing
-    start method.
+    which kernel to run (by registry name, so the callable never crosses a
+    process boundary), its already-validated arguments, and the cache key
+    identifying the materialised view.  Plain strings/tuples throughout so
+    the envelope pickles cheaply under any multiprocessing start method.
     """
 
     series_id: str
@@ -224,22 +356,26 @@ class TaskEnvelope:
 
 
 @dataclass(frozen=True)
-class QueryPlan:
-    """A bound, executable form of one SELECT statement.
+class ItemPlan:
+    """One kernel of a statement, bound and pruned: the per-item physical plan.
 
-    The prune phase ran at planning time: ``tasks`` holds only series
-    with at least one surviving segment, ``skipped`` the matched series
-    whose every segment was proven irrelevant — the executor synthesises
-    their (empty) results without reading anything.  ``stats`` records
-    what pruning did, for the per-query observability counters.
+    The prune phase ran at planning time — per item, because kernels
+    prune differently (``threshold`` drops segments on probability, the
+    rest on time alone): ``tasks`` holds only series with at least one
+    surviving segment, ``skipped`` the matched series whose every segment
+    was proven irrelevant.  ``stats`` records what pruning did for *this*
+    item, so a multi-aggregate statement reports exactly what each
+    aggregate would report standalone.
     """
 
-    query: SelectQuery
-    aggregate: AggregateSpec
+    kernel: KernelSpec
     arguments: tuple[float, ...]
     tasks: tuple[SeriesTask, ...]
-    skipped: tuple[str, ...] = ()
-    stats: PlanStats = PlanStats()
+    skipped: tuple[str, ...]
+    stats: PlanStats
+    time_lo: float | None = None
+    time_hi: float | None = None
+    column: str | None = None
 
     @property
     def series_ids(self) -> list[str]:
@@ -249,32 +385,101 @@ class QueryPlan:
         )
 
     def envelope(self, task: SeriesTask) -> TaskEnvelope:
-        """The backend-facing form of one of this plan's tasks."""
+        """The backend-facing form of one of this item's tasks."""
         return TaskEnvelope(
             series_id=task.series_id,
             directory=str(task.snapshot.directory),
             segments=task.segments,
             cache_key=task.cache_key,
-            aggregate=self.aggregate.name,
+            aggregate=self.kernel.name,
             arguments=self.arguments,
-            time_lo=self.query.time_lo,
-            time_hi=self.query.time_hi,
+            time_lo=self.time_lo,
+            time_hi=self.time_hi,
         )
+
+    def label(self) -> str:
+        """The item as written: ``exceedance(21)``, ``PROBABILITY OF ...``."""
+        if self.kernel.name == "probability_of":
+            low, high = self.arguments
+            column = self.column or "v"
+            return f"PROBABILITY OF {column} BETWEEN {low:g} AND {high:g}"
+        if self.kernel.name == "simulate":
+            n_worlds, seed = self.arguments
+            return f"simulate({int(n_worlds)} worlds, seed {int(seed)})"
+        if self.arguments:
+            rendered = ", ".join(f"{a:g}" for a in self.arguments)
+            return f"{self.kernel.name}({rendered})"
+        return self.kernel.name
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """A bound, executable form of one statement: the physical plan.
+
+    ``items`` holds one :class:`ItemPlan` per kernel of the statement
+    (one for a classic single-aggregate SELECT or a SIMULATE, several for
+    a multi-aggregate select list); ``logical`` the inert logical tree it
+    was lowered from.  The single-item accessors (``aggregate``,
+    ``arguments``, ``tasks``, ``skipped``, ``stats``, ``envelope``) read
+    the first item, keeping every pre-plan-tree caller working unchanged.
+    """
+
+    query: SelectQuery | SimulateQuery
+    items: tuple[ItemPlan, ...]
+    logical: FinalizeNode | None = field(
+        default=None, compare=False, repr=False
+    )
+
+    # -- legacy single-item accessors ----------------------------------
+    @property
+    def aggregate(self) -> KernelSpec:
+        return self.items[0].kernel
+
+    @property
+    def arguments(self) -> tuple[float, ...]:
+        return self.items[0].arguments
+
+    @property
+    def tasks(self) -> tuple[SeriesTask, ...]:
+        return self.items[0].tasks
+
+    @property
+    def skipped(self) -> tuple[str, ...]:
+        return self.items[0].skipped
+
+    @property
+    def stats(self) -> PlanStats:
+        return self.items[0].stats
+
+    @property
+    def series_ids(self) -> list[str]:
+        """Every matched series id (scanned and skipped), sorted."""
+        return self.items[0].series_ids
+
+    def envelope(self, task: SeriesTask) -> TaskEnvelope:
+        """The backend-facing form of one first-item task."""
+        return self.items[0].envelope(task)
 
     def describe(self) -> str:
-        arguments = ", ".join(f"{a:g}" for a in self.arguments)
-        suffix = f"({arguments})" if arguments else ""
-        mode = "APPROX " if self.stats.approx else ""
+        first = self.items[0]
+        labels = ", ".join(item.label() for item in self.items)
+        mode = "APPROX " if first.stats.approx else ""
         return (
-            f"{mode}{self.aggregate.name}{suffix} over {len(self.tasks)} "
+            f"{mode}{labels} over {len(first.tasks)} "
             f"series of {self.query.catalog_path} "
-            f"({self.stats.segments_pruned} segments pruned, "
-            f"{self.stats.series_skipped} series skipped)"
+            f"({first.stats.segments_pruned} segments pruned, "
+            f"{first.stats.series_skipped} series skipped)"
         )
 
+    def explain(self) -> str:
+        """The logical tree this plan was lowered from, rendered."""
+        if self.logical is None:
+            return self.describe()
+        return explain_logical(self.logical)
 
-def resolve_aggregate(name: str) -> AggregateSpec:
-    """The registered aggregate for ``name`` (case already lowered)."""
+
+def resolve_aggregate(name: str) -> KernelSpec:
+    """The registered SELECT-list kernel for ``name`` (case already lowered)."""
     spec = AGGREGATES.get(name)
     if spec is None:
         raise QueryError(
@@ -283,36 +488,8 @@ def resolve_aggregate(name: str) -> AggregateSpec:
     return spec
 
 
-def plan_select(
-    catalog: Catalog,
-    query: SelectQuery,
-    *,
-    pruning: bool = True,
-    trace: Any = NULL_TRACE,
-) -> QueryPlan:
-    """Bind a parsed SELECT to a catalog: aggregate + matched snapshots.
-
-    Raises :class:`~repro.exceptions.QueryError` for an unknown aggregate
-    or a pattern matching no series, and
-    :class:`~repro.exceptions.InvalidParameterError` for argument arity or
-    domain violations — all before any segment is read.
-
-    For exact queries the prune phase runs here (pure metadata work —
-    snapshots carry their segment synopses): segments whose synopsis
-    proves non-contribution are dropped from the task, and series with no
-    surviving segment move to ``plan.skipped``.  ``pruning=False`` keeps
-    the full scan — the parity reference the property tests compare
-    against.  APPROX plans carry every snapshot; the executor answers
-    them from synopses without backend fan-out.
-
-    ``trace`` gets two spans: ``plan`` (binding, manifest expansion, task
-    construction) and ``prune`` (the synopsis scan) — split out because a
-    slow plan and a slow prune point at different fixes.
-    """
-    plan_offset = trace.offset()
-    plan_t0 = time.perf_counter()
-    spec = resolve_aggregate(query.aggregate)
-    arguments = spec.bind(query.arguments)
+def _check_time_range(query: SelectQuery | SimulateQuery) -> None:
+    """Guard programmatically built queries (the parser rejects earlier)."""
     if (
         query.time_lo is not None
         and query.time_hi is not None
@@ -321,10 +498,75 @@ def plan_select(
         raise InvalidParameterError(
             f"empty time range: [{query.time_lo}, {query.time_hi}]"
         )
+
+
+def _bound_items(
+    query: SelectQuery | SimulateQuery,
+) -> list[tuple[KernelSpec, tuple[float, ...], str | None]]:
+    """Resolve and bind every kernel of the statement, up front."""
+    if isinstance(query, SimulateQuery):
+        seed = DEFAULT_SEED if query.seed is None else query.seed
+        arguments = SIMULATE_KERNEL.bind(
+            (float(query.n_worlds), float(seed))
+        )
+        return [(SIMULATE_KERNEL, arguments, None)]
+    if query.approx and len(query.items) > 1:
+        # The parser rejects this too; guard programmatically built
+        # queries so the approx path can assume a single item.
+        raise QueryError(
+            f"APPROX supports a single aggregate, got a select list of "
+            f"{len(query.items)} items"
+        )
+    bound: list[tuple[KernelSpec, tuple[float, ...], str | None]] = []
+    for item in query.items:
+        spec = resolve_aggregate(item.name)
+        if query.approx and spec.name not in APPROX_KERNELS:
+            raise QueryError(
+                f"APPROX does not support {spec.name!r}; one of "
+                f"{', '.join(sorted(APPROX_KERNELS))}"
+            )
+        bound.append((spec, spec.bind(item.arguments), item.column))
+    return bound
+
+
+def plan_statement(
+    catalog: Catalog,
+    query: SelectQuery | SimulateQuery,
+    *,
+    pruning: bool = True,
+    trace: Any = NULL_TRACE,
+) -> QueryPlan:
+    """Lower a parsed statement's logical tree against a catalog.
+
+    Raises :class:`~repro.exceptions.QueryError` for an unknown kernel or
+    a pattern matching no series, and
+    :class:`~repro.exceptions.InvalidParameterError` for argument arity
+    or domain violations — all before any segment is read.
+
+    For exact plans the prune phase runs here, **per item** (pure
+    metadata work — snapshots carry their segment synopses): segments
+    whose synopsis proves non-contribution are dropped from the item's
+    task, and series with no surviving segment move to its ``skipped``
+    list, exactly as they would for the same kernel planned standalone.
+    ``pruning=False`` keeps the full scan — the parity reference the
+    property tests compare against.  APPROX plans carry every snapshot;
+    the executor answers them from synopses without backend fan-out.
+
+    ``trace`` gets two spans: ``plan`` (binding, manifest expansion, task
+    construction) and ``prune`` (the synopsis scans, summed across items)
+    — split out because a slow plan and a slow prune point at different
+    fixes.
+    """
+    plan_offset = trace.offset()
+    plan_t0 = time.perf_counter()
+    logical = logical_plan(query)
+    bound = _bound_items(query)
+    _check_time_range(query)
     root = str(catalog.root)
     snapshots = catalog.open_many(query.series_pattern)
     segments_total = sum(len(snapshot.segments) for snapshot in snapshots)
     if getattr(query, "approx", False):
+        spec, arguments, column = bound[0]
         tasks = tuple(
             SeriesTask(
                 snapshot=snapshot,
@@ -338,68 +580,104 @@ def plan_select(
             segments_total=segments_total,
             approx=True,
         )
-        trace.add_stage(
-            "plan", plan_offset, time.perf_counter() - plan_t0
-        )
-        return QueryPlan(
-            query=query,
-            aggregate=spec,
+        item = ItemPlan(
+            kernel=spec,
             arguments=arguments,
             tasks=tasks,
+            skipped=(),
             stats=stats,
+            time_lo=query.time_lo,
+            time_hi=query.time_hi,
+            column=column,
         )
+        trace.add_stage("plan", plan_offset, time.perf_counter() - plan_t0)
+        return QueryPlan(query=query, items=(item,), logical=logical)
     # Pass 1 — the prune phase proper, timed as its own span: every
-    # snapshot's surviving segment list (or the full list with pruning
+    # item's surviving segment lists (or the full lists with pruning
     # off).  Pure metadata work against the segment synopses.
     prune_offset = trace.offset()
     prune_t0 = time.perf_counter()
-    if pruning:
-        survivors = [
-            prune_segments(
-                snapshot, spec.name, arguments, query.time_lo, query.time_hi
+    survivors_per_item: list[list[tuple[str, ...]]] = []
+    for spec, arguments, _column in bound:
+        if pruning:
+            survivors_per_item.append(
+                [
+                    prune_segments(
+                        snapshot,
+                        spec.name,
+                        arguments,
+                        query.time_lo,
+                        query.time_hi,
+                    )
+                    for snapshot in snapshots
+                ]
             )
-            for snapshot in snapshots
-        ]
-    else:
-        survivors = [snapshot.segments for snapshot in snapshots]
+        else:
+            survivors_per_item.append(
+                [snapshot.segments for snapshot in snapshots]
+            )
     prune_s = time.perf_counter() - prune_t0
     # Pass 2 — task construction from the surviving lists (plan time).
-    tasks_list: list[SeriesTask] = []
-    skipped: list[str] = []
-    segments_scanned = 0
-    for snapshot, surviving in zip(snapshots, survivors):
-        if pruning and not surviving:
-            skipped.append(snapshot.series_id)
-            continue
-        segments_scanned += len(surviving)
-        subset = () if surviving == snapshot.segments else surviving
-        tasks_list.append(
-            SeriesTask(
-                snapshot=snapshot,
-                segments=surviving,
-                cache_key=(
-                    root,
-                    snapshot.series_id,
-                    snapshot.generation,
-                    subset,
-                ),
+    items: list[ItemPlan] = []
+    for (spec, arguments, column), survivors in zip(
+        bound, survivors_per_item
+    ):
+        tasks_list: list[SeriesTask] = []
+        skipped: list[str] = []
+        segments_scanned = 0
+        for snapshot, surviving in zip(snapshots, survivors):
+            if pruning and not surviving:
+                skipped.append(snapshot.series_id)
+                continue
+            segments_scanned += len(surviving)
+            subset = () if surviving == snapshot.segments else surviving
+            tasks_list.append(
+                SeriesTask(
+                    snapshot=snapshot,
+                    segments=surviving,
+                    cache_key=(
+                        root,
+                        snapshot.series_id,
+                        snapshot.generation,
+                        subset,
+                    ),
+                )
+            )
+        stats = PlanStats(
+            series_matched=len(snapshots),
+            series_skipped=len(skipped),
+            segments_total=segments_total,
+            segments_scanned=segments_scanned,
+            segments_pruned=segments_total - segments_scanned,
+        )
+        items.append(
+            ItemPlan(
+                kernel=spec,
+                arguments=arguments,
+                tasks=tuple(tasks_list),
+                skipped=tuple(skipped),
+                stats=stats,
+                time_lo=query.time_lo,
+                time_hi=query.time_hi,
+                column=column,
             )
         )
-    stats = PlanStats(
-        series_matched=len(snapshots),
-        series_skipped=len(skipped),
-        segments_total=segments_total,
-        segments_scanned=segments_scanned,
-        segments_pruned=segments_total - segments_scanned,
-    )
     plan_s = time.perf_counter() - plan_t0
     trace.add_stage("plan", plan_offset, max(0.0, plan_s - prune_s))
     trace.add_stage("prune", prune_offset, prune_s)
-    return QueryPlan(
-        query=query,
-        aggregate=spec,
-        arguments=arguments,
-        tasks=tuple(tasks_list),
-        skipped=tuple(skipped),
-        stats=stats,
-    )
+    return QueryPlan(query=query, items=tuple(items), logical=logical)
+
+
+def plan_select(
+    catalog: Catalog,
+    query: SelectQuery,
+    *,
+    pruning: bool = True,
+    trace: Any = NULL_TRACE,
+) -> QueryPlan:
+    """Bind a parsed SELECT to a catalog (legacy name for SELECT-only callers).
+
+    Identical to :func:`plan_statement`; kept because the SELECT planner
+    predates the logical plan tree and external callers import it.
+    """
+    return plan_statement(catalog, query, pruning=pruning, trace=trace)

@@ -22,24 +22,42 @@ syntax plus the natural extensions the framework needs (all optional):
 
 A second statement queries every stored view of a catalog at once::
 
-    SELECT exceedance(21.0) FROM CATALOG '/data/catalogs/main'
+    SELECT exceedance(21.0), expected_value
+        FROM CATALOG '/data/catalogs/main'
         SERIES 'sensor-*'
         WHERE t BETWEEN 100 AND 500
         TOP 5
 
-The aggregate is one of ``threshold(tau)``, ``expected_value``,
-``exceedance(threshold)`` or ``time_above(threshold, window)``; ``SERIES``
+The select list holds one or more comma-separated items, each either an
+aggregate — ``threshold(tau)``, ``expected_value``,
+``exceedance(threshold)``, ``time_above(threshold, window)`` — or the
+possible-worlds row expression ``PROBABILITY OF <column> BETWEEN a AND
+b`` (the exact per-time probability that the value lies in the half-open
+range ``[a, b)``, answered via
+:func:`repro.db.worlds.conjunctive_range_query`).  ``SERIES``
 glob-selects the series ids (default: all); ``TOP k`` keeps the k
 highest-scoring series.  An optional ``APPROX`` modifier directly after
-``SELECT`` answers the aggregate from stored segment synopses alone — per
-series an ``(estimate, error_bound)`` pair instead of exact rows, in time
-independent of the stored tuple count.  Parsing yields an inert
+``SELECT`` answers a single aggregate from stored segment synopses alone
+— per series an ``(estimate, error_bound)`` pair instead of exact rows,
+in time independent of the stored tuple count.  Parsing yields an inert
 :class:`SelectQuery`; planning and execution belong to
 :mod:`repro.service`.
 
+A third statement samples complete possible worlds from every matched
+series (the MCDB-style ``SIMULATE`` of BQL)::
+
+    SIMULATE 32 SEED 7 FROM CATALOG '/data/catalogs/main'
+        SERIES 'sensor-*'
+        WHERE t BETWEEN 100 AND 500
+
+``SEED`` pins the deterministic per-series sampling streams (omitted: the
+framework default seed); the result is bit-identical across executor
+backends.  Parsing yields an inert :class:`SimulateQuery`.
+
 Keywords are case-insensitive; identifiers and numbers follow Python rules.
-Parsing produces an inert :class:`ViewQuery` / :class:`SelectQuery`;
-execution belongs to :class:`repro.db.engine.Database`.
+Parsing produces an inert :class:`ViewQuery` / :class:`SelectQuery` /
+:class:`SimulateQuery`; execution belongs to
+:class:`repro.db.engine.Database`.
 """
 
 from __future__ import annotations
@@ -52,7 +70,9 @@ from repro.exceptions import ParseError
 from repro.view.omega import OmegaGrid
 
 __all__ = [
+    "SelectItem",
     "SelectQuery",
+    "SimulateQuery",
     "ViewQuery",
     "parse_select_query",
     "parse_statement",
@@ -127,17 +147,33 @@ class ViewQuery:
 
 
 @dataclass(frozen=True)
+class SelectItem:
+    """One entry of a SELECT list, exactly as written.
+
+    ``name`` is the kernel the planner resolves (an aggregate name, or
+    ``"probability_of"`` for the ``PROBABILITY OF`` row expression) and
+    ``arguments`` its positional numeric arguments — validating them
+    against the known kernels is the planner's job
+    (:mod:`repro.service.planner`), keeping this form inert.  ``column``
+    carries the value-column identifier of a ``PROBABILITY OF`` item
+    (``None`` for plain aggregates).
+    """
+
+    name: str
+    arguments: tuple[float, ...] = ()
+    column: str | None = None
+
+
+@dataclass(frozen=True)
 class SelectQuery:
     """Parsed form of a ``SELECT ... FROM CATALOG ...`` statement.
 
-    ``aggregate`` names what to compute per series and ``arguments`` its
-    positional numeric arguments, exactly as written — validating them
-    against the known aggregates is the planner's job
-    (:mod:`repro.service.planner`), keeping this form inert.
+    ``items`` holds the select list in written order; the legacy
+    single-aggregate accessors ``aggregate``/``arguments`` read the first
+    item, so pre-multi-aggregate callers keep working unchanged.
     """
 
-    aggregate: str
-    arguments: tuple[float, ...]
+    items: tuple[SelectItem, ...]
     catalog_path: str
     series_pattern: str = "*"
     time_lo: float | None = None
@@ -146,6 +182,35 @@ class SelectQuery:
     #: ``SELECT APPROX ...``: answer from segment synopses alone, as an
     #: ``(estimate, error_bound)`` pair per series, in sublinear time.
     approx: bool = False
+
+    @property
+    def aggregate(self) -> str:
+        """The first select item's kernel name (legacy accessor)."""
+        return self.items[0].name
+
+    @property
+    def arguments(self) -> tuple[float, ...]:
+        """The first select item's arguments (legacy accessor)."""
+        return self.items[0].arguments
+
+
+@dataclass(frozen=True)
+class SimulateQuery:
+    """Parsed form of a ``SIMULATE n [SEED s] FROM CATALOG ...`` statement.
+
+    Draws ``n_worlds`` complete possible worlds per matched series through
+    :mod:`repro.db.worlds`.  ``seed`` is the statement-level seed the
+    planner mixes with each series id to derive deterministic,
+    backend-independent per-series sampling streams (``None``: the
+    framework default seed).
+    """
+
+    n_worlds: int
+    catalog_path: str
+    seed: int | None = None
+    series_pattern: str = "*"
+    time_lo: float | None = None
+    time_hi: float | None = None
 
 
 def _tokenize(text: str) -> list[_Token]:
@@ -237,11 +302,13 @@ class _Parser:
         return int(value)
 
     # -- grammar --------------------------------------------------------
-    def parse_statement(self) -> ViewQuery | SelectQuery:
-        """Dispatch on the leading keyword (CREATE vs SELECT)."""
+    def parse_statement(self) -> ViewQuery | SelectQuery | SimulateQuery:
+        """Dispatch on the leading keyword (CREATE / SELECT / SIMULATE)."""
         token = self.peek()
         if token.kind == "ident" and token.lowered == "select":
             return self.parse_select()
+        if token.kind == "ident" and token.lowered == "simulate":
+            return self.parse_simulate()
         return self.parse()
 
     def parse_select(self) -> SelectQuery:
@@ -250,7 +317,15 @@ class _Parser:
         # bounds.  Matched positionally (like select/catalog/series/top)
         # so CREATE VIEW statements keep "approx" usable as a name.
         approx = self.accept_keyword("approx")
-        aggregate, arguments = self._parse_aggregate()
+        items = [self._parse_select_item()]
+        while self.peek().kind == "op" and self.peek().text == ",":
+            self.advance()
+            items.append(self._parse_select_item())
+        if approx and len(items) > 1:
+            raise ParseError(
+                "APPROX supports a single aggregate, got a select list "
+                f"of {len(items)} items"
+            )
         self.expect_keyword("from")
         self.expect_keyword("catalog")
         catalog_path = self.expect_string("catalog path")
@@ -272,8 +347,7 @@ class _Parser:
                 f"unexpected trailing input {tail.text!r}", tail.position
             )
         return SelectQuery(
-            aggregate=aggregate,
-            arguments=arguments,
+            items=tuple(items),
             catalog_path=catalog_path,
             series_pattern=series_pattern,
             time_lo=time_lo,
@@ -281,6 +355,65 @@ class _Parser:
             top_k=top_k,
             approx=approx,
         )
+
+    def parse_simulate(self) -> SimulateQuery:
+        """``SIMULATE n [SEED s] FROM CATALOG '<path>' [SERIES ...] [WHERE ...]``."""
+        self.expect_keyword("simulate")
+        n_worlds = self.expect_int("SIMULATE world count")
+        if n_worlds < 1:
+            raise ParseError(
+                f"SIMULATE world count must be >= 1, got {n_worlds}"
+            )
+        seed: int | None = None
+        if self.accept_keyword("seed"):
+            seed = self.expect_int("SEED value")
+            if seed < 0:
+                raise ParseError(f"SEED must be >= 0, got {seed}")
+        self.expect_keyword("from")
+        self.expect_keyword("catalog")
+        catalog_path = self.expect_string("catalog path")
+        series_pattern = "*"
+        if self.accept_keyword("series"):
+            series_pattern = self.expect_string("series pattern")
+        time_lo: float | None = None
+        time_hi: float | None = None
+        if self.accept_keyword("where"):
+            time_lo, time_hi = self._parse_where("t")
+        tail = self.peek()
+        if tail.kind != "end":
+            raise ParseError(
+                f"unexpected trailing input {tail.text!r}", tail.position
+            )
+        return SimulateQuery(
+            n_worlds=n_worlds,
+            seed=seed,
+            catalog_path=catalog_path,
+            series_pattern=series_pattern,
+            time_lo=time_lo,
+            time_hi=time_hi,
+        )
+
+    def _parse_select_item(self) -> SelectItem:
+        """One select-list entry: an aggregate call or ``PROBABILITY OF``."""
+        token = self.peek()
+        if token.kind == "ident" and token.lowered == "probability":
+            self.advance()
+            self.expect_keyword("of")
+            column = self.expect_ident("PROBABILITY OF value column")
+            self.expect_keyword("between")
+            low = self.expect_number("PROBABILITY OF lower value bound")
+            self.expect_keyword("and")
+            high = self.expect_number("PROBABILITY OF upper value bound")
+            if high < low:
+                raise ParseError(
+                    f"PROBABILITY OF range is inverted: [{low:g}, {high:g}]",
+                    token.position,
+                )
+            return SelectItem(
+                name="probability_of", arguments=(low, high), column=column
+            )
+        name, arguments = self._parse_aggregate()
+        return SelectItem(name=name, arguments=arguments)
 
     def _parse_aggregate(self) -> tuple[str, tuple[float, ...]]:
         """``<name> [( number {, number} )]`` — e.g. ``time_above(21, 5)``."""
@@ -461,7 +594,7 @@ class _Parser:
             lo = self.expect_number("lower time bound")
             self.expect_keyword("and")
             hi = self.expect_number("upper time bound")
-            return lo, hi
+            return self._check_bounds(lo, hi)
         lo, hi = self._apply_comparison(lo, hi)
         if self.accept_keyword("and"):
             column = self.expect_ident("time column in WHERE")
@@ -471,6 +604,18 @@ class _Parser:
                     f"got {column!r}"
                 )
             lo, hi = self._apply_comparison(lo, hi)
+        return self._check_bounds(lo, hi)
+
+    @staticmethod
+    def _check_bounds(
+        lo: float | None, hi: float | None
+    ) -> tuple[float | None, float | None]:
+        """Reject inverted WHERE bounds that would silently match nothing."""
+        if lo is not None and hi is not None and lo > hi:
+            raise ParseError(
+                f"empty time range: WHERE bounds [{lo:g}, {hi:g}] can "
+                f"never match"
+            )
         return lo, hi
 
     def _apply_comparison(
@@ -529,8 +674,8 @@ def parse_select_query(text: str) -> SelectQuery:
     return _Parser(text).parse_select()
 
 
-def parse_statement(text: str) -> ViewQuery | SelectQuery:
-    """Parse either statement kind, dispatching on the leading keyword."""
+def parse_statement(text: str) -> ViewQuery | SelectQuery | SimulateQuery:
+    """Parse any statement kind, dispatching on the leading keyword."""
     if not text or not text.strip():
         raise ParseError("empty query")
     return _Parser(text).parse_statement()

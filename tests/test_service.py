@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 import pytest
 
@@ -11,7 +13,12 @@ from repro.db.stream_queries import (
     exceedance_probability,
     expected_time_above,
 )
-from repro.exceptions import InvalidParameterError, QueryError, StoreError
+from repro.exceptions import (
+    InvalidParameterError,
+    ParseError,
+    QueryError,
+    StoreError,
+)
 from repro.service import (
     CatalogQueryService,
     MatrixCache,
@@ -178,11 +185,20 @@ class TestPlannerValidation:
         with pytest.raises(InvalidParameterError, match="window"):
             execute_select(_sql(catalog, "time_above(21.0, 0)"))
 
-    def test_empty_time_range(self, catalog):
-        with pytest.raises(InvalidParameterError, match="empty time range"):
+    def test_empty_time_range_rejected_at_parse_time(self, catalog):
+        # The parser now refuses inverted WHERE bounds outright ...
+        with pytest.raises(ParseError, match="empty time range"):
             execute_select(
                 _sql(catalog, "expected_value") + " WHERE t BETWEEN 50 AND 10"
             )
+
+    def test_empty_time_range_rejected_for_built_queries(self, catalog):
+        # ... and the planner still guards programmatically built queries
+        # that never went through the parser.
+        query = parse_select_query(_sql(catalog, "expected_value"))
+        inverted = dataclasses.replace(query, time_lo=50.0, time_hi=10.0)
+        with pytest.raises(InvalidParameterError, match="empty time range"):
+            execute_select(inverted)
 
     def test_per_series_failure_names_the_series(self, catalog):
         # A window longer than any series' stored times fails inside the

@@ -1,0 +1,271 @@
+"""SIMULATE + multi-aggregate integration: the PR's acceptance criteria.
+
+Pins the two bit-identity guarantees end to end:
+
+* ``SIMULATE n SEED s`` serialises to byte-identical canonical JSON on
+  the sequential, thread, and process backends (deterministic per-series
+  seeding via :func:`repro.db.worlds.derive_series_seed`);
+* a multi-aggregate select list returns results — and wire payloads —
+  bit-identical to running each aggregate as its own statement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db.engine import Database
+from repro.db.worlds import (
+    WorldSampler,
+    conjunctive_range_query,
+    derive_series_seed,
+)
+from repro.exceptions import InvalidParameterError, QueryError
+from repro.server.protocol import canonical_dumps, serialize_result
+from repro.service import (
+    CatalogQueryService,
+    MultiSelectResult,
+    SimulateResult,
+    plan_statement,
+)
+from repro.store import Catalog
+from repro.view.omega import OmegaGrid
+from repro.view.sql import parse_statement
+
+H = 20
+GRID = OmegaGrid(delta=0.5, n=4)
+
+
+def _fill_catalog(root, series_count=4, length=90, seed=0) -> Catalog:
+    catalog = Catalog(root)
+    rng = np.random.default_rng(seed)
+    for index in range(series_count):
+        series_id = f"sensor-{index:02d}"
+        catalog.create_series(
+            series_id, metric="variable_threshold", H=H, grid=GRID
+        )
+        values = 20.0 + index * 0.5 + np.cumsum(
+            rng.normal(0.0, 0.15, size=length)
+        )
+        catalog.append(series_id, values)
+    return catalog
+
+
+@pytest.fixture
+def catalog(tmp_path) -> Catalog:
+    return _fill_catalog(tmp_path / "catalog")
+
+
+class TestSimulate:
+    def test_bit_identical_across_backends(self, catalog):
+        statement = f"SIMULATE 4 SEED 7 FROM CATALOG '{catalog.root}'"
+        wires = {}
+        for backend in ("sequential", "thread", "process"):
+            with CatalogQueryService(catalog, backend=backend) as service:
+                result = service.execute(statement)
+                wires[backend] = canonical_dumps(serialize_result(result))
+        assert wires["sequential"] == wires["thread"]
+        assert wires["sequential"] == wires["process"]
+
+    def test_matches_directly_seeded_sampler(self, catalog):
+        with CatalogQueryService(catalog, backend="sequential") as service:
+            result = service.execute(
+                f"SIMULATE 2 SEED 11 FROM CATALOG '{catalog.root}'"
+            )
+        assert isinstance(result, SimulateResult)
+        for entry in result.results:
+            view = catalog.view(entry.series_id)
+            rng = np.random.default_rng(
+                derive_series_seed(11, entry.series_id)
+            )
+            sampler = WorldSampler(view)
+            times = [int(t) for t in view.times]
+            for world_rows in entry.result:
+                world = sampler.sample(rng)
+                assert world_rows == [
+                    [t, world.values[t]] for t in times
+                ]
+
+    def test_default_seed_is_resolved_and_reproducible(self, catalog):
+        with CatalogQueryService(catalog, backend="sequential") as service:
+            bare = service.execute(
+                f"SIMULATE 3 FROM CATALOG '{catalog.root}'"
+            )
+            pinned = service.execute(
+                f"SIMULATE 3 SEED {bare.seed} FROM CATALOG '{catalog.root}'"
+            )
+        assert bare.results == pinned.results
+
+    def test_time_window_restricts_sampled_times(self, catalog):
+        with CatalogQueryService(catalog, backend="sequential") as service:
+            result = service.execute(
+                f"SIMULATE 2 SEED 3 FROM CATALOG '{catalog.root}' "
+                f"WHERE t BETWEEN 20 AND 25"
+            )
+        for entry in result.results:
+            for world in entry.result:
+                assert [t for t, _v in world] == [20, 21, 22, 23, 24, 25]
+
+    def test_engine_dispatches_simulate(self, catalog):
+        result = Database().execute(
+            f"SIMULATE 2 SEED 5 FROM CATALOG '{catalog.root}'"
+        )
+        assert isinstance(result, SimulateResult)
+        assert result.n_worlds == 2 and result.seed == 5
+
+    def test_wire_payload_shape(self, catalog):
+        with CatalogQueryService(catalog, backend="sequential") as service:
+            result = service.execute(
+                f"SIMULATE 2 SEED 9 FROM CATALOG '{catalog.root}'"
+            )
+        payload = serialize_result(result)
+        assert payload["kind"] == "simulate"
+        assert payload["n_worlds"] == 2 and payload["seed"] == 9
+        assert payload["matched"] == list(result.matched)
+        entry = payload["results"][0]
+        assert len(entry["worlds"]) == 2
+        t, value = entry["worlds"][0][0]
+        assert isinstance(t, int)
+        assert value is None or isinstance(value, float)
+
+    def test_invalid_parameters_rejected(self, catalog):
+        query = parse_statement(
+            f"SIMULATE 2 FROM CATALOG '{catalog.root}'"
+        )
+        bad = type(query)(
+            n_worlds=0,
+            catalog_path=query.catalog_path,
+        )
+        with pytest.raises(InvalidParameterError, match="n_worlds"):
+            plan_statement(catalog, bad)
+
+
+class TestMultiAggregate:
+    STATEMENTS = (
+        "threshold(0.4)",
+        "expected_value",
+        "PROBABILITY OF v BETWEEN 20 AND 22",
+    )
+
+    def test_bit_identical_to_single_statements(self, catalog):
+        with CatalogQueryService(catalog, backend="thread") as service:
+            multi = service.execute(
+                f"SELECT {', '.join(self.STATEMENTS)} "
+                f"FROM CATALOG '{catalog.root}'"
+            )
+            singles = [
+                service.execute(
+                    f"SELECT {body} FROM CATALOG '{catalog.root}'"
+                )
+                for body in self.STATEMENTS
+            ]
+        assert isinstance(multi, MultiSelectResult)
+        payload = serialize_result(multi)
+        assert payload["kind"] == "multi_select"
+        for item, wire, single in zip(
+            multi.items, payload["statements"], singles
+        ):
+            assert item == single
+            assert canonical_dumps(wire) == canonical_dumps(
+                serialize_result(single)
+            )
+
+    def test_execute_many_mixes_statement_kinds(self, catalog):
+        statements = [
+            f"SELECT exceedance(21) FROM CATALOG '{catalog.root}'",
+            f"SIMULATE 2 SEED 1 FROM CATALOG '{catalog.root}'",
+            f"SELECT threshold(0.4), expected_value "
+            f"FROM CATALOG '{catalog.root}'",
+        ]
+        with CatalogQueryService(catalog, backend="thread") as service:
+            batch = service.execute_many(statements)
+            solo = [service.execute(s) for s in statements]
+        for batched, single in zip(batch, solo):
+            assert batched == single
+
+    def test_top_k_ranks_each_item_independently(self, catalog):
+        with CatalogQueryService(catalog, backend="sequential") as service:
+            multi = service.execute(
+                f"SELECT threshold(0.4), exceedance(21) "
+                f"FROM CATALOG '{catalog.root}' TOP 2"
+            )
+        for item in multi.items:
+            assert len(item.results) == 2
+            scores = [entry.score for entry in item.results]
+            assert scores == sorted(scores, reverse=True)
+
+    def test_approx_select_list_rejected_when_built_directly(self, catalog):
+        import dataclasses
+
+        query = parse_statement(
+            f"SELECT threshold(0.4), expected_value "
+            f"FROM CATALOG '{catalog.root}'"
+        )
+        approx = dataclasses.replace(query, approx=True)
+        with pytest.raises(QueryError):
+            plan_statement(catalog, approx)
+
+
+class TestProbabilityOfKernel:
+    def test_matches_conjunctive_range_query(self, catalog):
+        with CatalogQueryService(catalog, backend="sequential") as service:
+            result = service.execute(
+                f"SELECT PROBABILITY OF v BETWEEN 20 AND 22 "
+                f"FROM CATALOG '{catalog.root}'"
+            )
+        for entry in result.results:
+            view = catalog.view(entry.series_id)
+            for t, probability in entry.result.items():
+                assert probability == pytest.approx(
+                    conjunctive_range_query(view, {t: (20.0, 22.0)})
+                )
+            assert entry.score == pytest.approx(
+                max(entry.result.values())
+            )
+
+
+class TestPlanTree:
+    def test_logical_plan_explain(self, catalog):
+        plan = plan_statement(
+            catalog,
+            parse_statement(
+                f"SELECT threshold(0.4), expected_value "
+                f"FROM CATALOG '{catalog.root}' TOP 2"
+            ),
+        )
+        rendered = plan.explain()
+        assert "Finalize(top 2)" in rendered
+        assert "Combine[exact] x2" in rendered
+        assert "threshold(0.4)" in rendered
+        assert "Scan" in rendered and "Prune" in rendered
+
+    def test_per_item_plans_match_standalone(self, catalog):
+        multi = plan_statement(
+            catalog,
+            parse_statement(
+                f"SELECT threshold(0.4), expected_value "
+                f"FROM CATALOG '{catalog.root}'"
+            ),
+        )
+        for body, item in zip(
+            ("threshold(0.4)", "expected_value"), multi.items
+        ):
+            single = plan_statement(
+                catalog,
+                parse_statement(
+                    f"SELECT {body} FROM CATALOG '{catalog.root}'"
+                ),
+            )
+            assert item.stats == single.stats
+            assert [t.cache_key for t in item.tasks] == [
+                t.cache_key for t in single.tasks
+            ]
+
+    def test_simulate_plan_label_names_seed(self, catalog):
+        plan = plan_statement(
+            catalog,
+            parse_statement(
+                f"SIMULATE 8 SEED 3 FROM CATALOG '{catalog.root}'"
+            ),
+        )
+        assert "simulate(8 worlds, seed 3)" in plan.describe()

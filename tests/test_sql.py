@@ -6,7 +6,9 @@ import pytest
 
 from repro.exceptions import ParseError
 from repro.view.sql import (
+    SelectItem,
     SelectQuery,
+    SimulateQuery,
     ViewQuery,
     parse_select_query,
     parse_statement,
@@ -283,3 +285,120 @@ class TestSelectStatement:
             parse_select_query(
                 "CREATE VIEW v AS DENSITY r OVER t OMEGA delta=1, n=2 FROM x"
             )
+
+
+class TestMultiAggregateSelect:
+    def test_select_list_parses_in_order(self):
+        query = parse_select_query(
+            "SELECT threshold(0.4), expected_value, exceedance(21) "
+            "FROM CATALOG '/c'"
+        )
+        assert [item.name for item in query.items] == [
+            "threshold", "expected_value", "exceedance",
+        ]
+        assert query.items[0].arguments == (0.4,)
+        assert query.items[1].arguments == ()
+
+    def test_single_item_compat_accessors(self):
+        query = parse_select_query(
+            "SELECT exceedance(21) FROM CATALOG '/c'"
+        )
+        assert query.aggregate == "exceedance"
+        assert query.arguments == (21.0,)
+
+    def test_probability_of_item(self):
+        query = parse_select_query(
+            "SELECT PROBABILITY OF v BETWEEN 20 AND 22 FROM CATALOG '/c'"
+        )
+        item = query.items[0]
+        assert item == SelectItem(
+            name="probability_of", arguments=(20.0, 22.0), column="v"
+        )
+
+    def test_probability_of_inverted_range_rejected(self):
+        with pytest.raises(ParseError, match="inverted"):
+            parse_select_query(
+                "SELECT PROBABILITY OF v BETWEEN 22 AND 20 "
+                "FROM CATALOG '/c'"
+            )
+
+    def test_approx_rejects_select_lists(self):
+        with pytest.raises(ParseError, match="APPROX"):
+            parse_select_query(
+                "SELECT APPROX exceedance(21), expected_value "
+                "FROM CATALOG '/c'"
+            )
+
+    def test_inverted_where_bounds_rejected(self):
+        with pytest.raises(ParseError, match="empty time range"):
+            parse_select_query(
+                "SELECT expected_value FROM CATALOG '/c' "
+                "WHERE t BETWEEN 90 AND 10"
+            )
+        with pytest.raises(ParseError, match="empty time range"):
+            parse_select_query(
+                "SELECT expected_value FROM CATALOG '/c' "
+                "WHERE t >= 90 AND t <= 10"
+            )
+
+
+class TestSimulateStatement:
+    def test_full_statement(self):
+        query = parse_statement(
+            "SIMULATE 16 SEED 7 FROM CATALOG '/c' SERIES 'room*' "
+            "WHERE t BETWEEN 10 AND 90"
+        )
+        assert query == SimulateQuery(
+            n_worlds=16,
+            catalog_path="/c",
+            seed=7,
+            series_pattern="room*",
+            time_lo=10.0,
+            time_hi=90.0,
+        )
+
+    def test_seed_optional(self):
+        query = parse_statement("SIMULATE 4 FROM CATALOG '/c'")
+        assert query.n_worlds == 4
+        assert query.seed is None
+
+    @pytest.mark.parametrize(
+        "bad, pattern",
+        [
+            ("SIMULATE 0 FROM CATALOG '/c'", ">= 1"),
+            ("SIMULATE FROM CATALOG '/c'", "number"),
+            ("SIMULATE 2 SEED -1 FROM CATALOG '/c'", ">= 0"),
+            ("SIMULATE 2 FROM '/c'", "CATALOG"),
+            ("SIMULATE 2 FROM CATALOG '/c' junk", "trailing"),
+        ],
+    )
+    def test_malformed_simulate_raises(self, bad, pattern):
+        with pytest.raises(ParseError, match=pattern):
+            parse_statement(bad)
+
+
+class TestStatementRoundTrips:
+    """parse → render → parse is the identity on query objects."""
+
+    @pytest.mark.parametrize(
+        "statement",
+        [
+            "SELECT exceedance(21) FROM CATALOG '/c'",
+            "SELECT APPROX threshold(0.4) FROM CATALOG '/c' TOP 3",
+            "SELECT threshold(0.4), expected_value, time_above(21, 5) "
+            "FROM CATALOG '/c' SERIES 'room*' "
+            "WHERE t BETWEEN 10 AND 90 TOP 2",
+            "SELECT PROBABILITY OF v BETWEEN 20 AND 22, expected_value "
+            "FROM CATALOG '/c'",
+            "SIMULATE 8 FROM CATALOG '/c'",
+            "SIMULATE 16 SEED 42 FROM CATALOG '/c' SERIES 's*' "
+            "WHERE t >= 10",
+            "SELECT expected_value FROM CATALOG '/c' WHERE t <= 90",
+        ],
+    )
+    def test_round_trip(self, statement):
+        from repro.service.executor import _statement_text
+
+        parsed = parse_statement(statement)
+        rendered = _statement_text(parsed)
+        assert parse_statement(rendered) == parsed

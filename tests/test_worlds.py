@@ -4,11 +4,14 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.db.prob_view import ProbTuple, ProbabilisticView
 from repro.db.worlds import (
     WorldSampler,
     conjunctive_range_query,
+    derive_series_seed,
     monte_carlo_query,
 )
 from repro.exceptions import InvalidParameterError
@@ -24,6 +27,45 @@ def _view(p1=0.6, p2=0.4, leftover=0.0) -> ProbabilisticView:
         ProbTuple(t=2, low=1.0, high=2.0, probability=(1 - p2) * scale),
     ]
     return ProbabilisticView("w", tuples)
+
+
+class _StubView:
+    """A minimal view-shaped object for block layouts the real
+    :class:`ProbabilisticView` cannot represent (empty blocks, point-mass
+    tuples built outside the constructor's validation)."""
+
+    def __init__(self, blocks):
+        self._blocks = blocks
+
+    @property
+    def times(self):
+        return sorted(self._blocks)
+
+    def tuples_at(self, t):
+        return self._blocks[t]
+
+
+class _Tup:
+    """A bare range tuple (ProbTuple validates ``high > low``)."""
+
+    def __init__(self, t, low, high, probability):
+        self.t, self.low, self.high = t, low, high
+        self.probability = probability
+
+
+class _ZeroFirstUniform(np.random.Generator):
+    """A generator whose *first* unit-uniform draw is exactly 0.0 — the
+    adversarial value that lands on a flat cumulative step."""
+
+    def __init__(self):
+        super().__init__(np.random.PCG64(0))
+        self._armed = True
+
+    def uniform(self, low=0.0, high=1.0, size=None):
+        if self._armed and low == 0.0 and high == 1.0 and size is None:
+            self._armed = False
+            return 0.0
+        return super().uniform(low, high, size)
 
 
 class TestWorldSampler:
@@ -61,6 +103,69 @@ class TestWorldSampler:
         world = WorldSampler(_view()).sample(rng=0)
         with pytest.raises(InvalidParameterError):
             world.value_at(99)
+
+    def test_empty_tuple_block_yields_outside(self):
+        # Regression: an empty block used to raise IndexError on
+        # ``cumulative[-1]``; it must deterministically be OUTSIDE.
+        tuples = {
+            1: [],
+            2: [
+                _Tup(2, 0.0, 1.0, 0.5),
+                _Tup(2, 1.0, 2.0, 0.5),
+            ],
+        }
+        world = WorldSampler(_StubView(tuples)).sample(rng=0)
+        assert world.value_at(1) is None
+        assert world.value_at(2) is not None
+
+    def test_empty_block_consumes_no_draw(self):
+        # The stream must stay aligned: a view with an extra empty block
+        # samples the shared times identically under the same seed.
+        shared = [_Tup(2, 0.0, 1.0, 0.6), _Tup(2, 1.0, 2.0, 0.4)]
+        with_empty = WorldSampler(_StubView({1: [], 2: shared}))
+        without = WorldSampler(_StubView({2: shared}))
+        for seed in range(10):
+            assert (
+                with_empty.sample(rng=seed).value_at(2)
+                == without.sample(rng=seed).value_at(2)
+            )
+
+    def test_zero_probability_alternative_never_selected(self):
+        # cumulative = [0.0, 1.0]; u == 0.0 lands exactly on the flat
+        # step of the rho=0 first tuple — side="right" must skip it.
+        tuples = {
+            1: [
+                _Tup(1, 0.0, 1.0, 0.0),
+                _Tup(1, 1.0, 2.0, 1.0),
+            ]
+        }
+        sampler = WorldSampler(_StubView(tuples))
+        value = sampler.sample(_ZeroFirstUniform()).value_at(1)
+        assert value is not None and 1.0 <= value < 2.0
+
+    def test_in_range_is_half_open(self):
+        world = WorldSampler(_view()).sample(rng=0)
+        t = 1
+        value = world.value_at(t)
+        assert world.in_range(t, value, value + 1.0)
+        assert not world.in_range(t, value - 1.0, value)  # high excluded
+
+
+class TestDeriveSeriesSeed:
+    def test_deterministic_and_distinct(self):
+        assert derive_series_seed(42, "a") == derive_series_seed(42, "a")
+        assert derive_series_seed(42, "a") != derive_series_seed(42, "b")
+        assert derive_series_seed(42, "a") != derive_series_seed(43, "a")
+
+    def test_pins_known_value(self):
+        # Cross-platform stability contract: SHA-256 of the canonical
+        # string, first 8 bytes big-endian.  A change here silently
+        # breaks SIMULATE reproducibility for stored seeds.
+        import hashlib
+
+        digest = hashlib.sha256(b"repro.worlds:7:sensor-00").digest()
+        expected = int.from_bytes(digest[:8], "big")
+        assert derive_series_seed(7, "sensor-00") == expected
 
 
 class TestMonteCarloQuery:
@@ -152,3 +257,75 @@ class TestConjunctiveRangeQuery:
             conjunctive_range_query(_view(), {})
         with pytest.raises(InvalidParameterError):
             conjunctive_range_query(_view(), {1: (2.0, 1.0)})
+
+    def test_inverted_predicate_rejected_before_any_factor(self):
+        # Every predicate is validated up front: an inverted range at a
+        # later time raises even when an earlier factor is already 0.
+        view = _view()
+        with pytest.raises(InvalidParameterError, match="inverted"):
+            conjunctive_range_query(
+                view, {1: (5.0, 6.0), 2: (2.0, 1.0)}
+            )
+
+    def test_degenerate_predicate_is_empty(self):
+        # [a, a) selects nothing under half-open semantics.
+        assert conjunctive_range_query(_view(), {1: (0.5, 0.5)}) == 0.0
+
+    def test_point_mass_tuple(self):
+        # A zero-width tuple is a point mass: all or nothing, never a
+        # division by zero width.
+        blocks = {
+            1: [
+                _Tup(1, 1.0, 1.0, 0.25),
+                _Tup(1, 2.0, 3.0, 0.75),
+            ]
+        }
+        view = _StubView(blocks)
+        assert conjunctive_range_query(
+            view, {1: (0.5, 1.5)}
+        ) == pytest.approx(0.25)
+        # The point sits at the predicate's (excluded) high edge.
+        assert conjunctive_range_query(view, {1: (0.0, 1.0)}) == 0.0
+
+    def test_half_open_boundary_matches_sampler(self):
+        # A predicate ending exactly at a tuple boundary takes none of
+        # the upper tuple's mass.
+        view = _view(p1=0.6)
+        assert conjunctive_range_query(
+            view, {1: (0.0, 1.0)}
+        ) == pytest.approx(0.6)
+
+
+class TestMonteCarloConvergence:
+    """Hypothesis: MC estimates agree with the exact answers within CI."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        p1=st.floats(0.05, 0.95),
+        p2=st.floats(0.05, 0.95),
+        leftover=st.floats(0.0, 0.5),
+        cut=st.floats(0.2, 1.8),
+        seed=st.integers(0, 2**16),
+    )
+    def test_estimate_within_interval_of_exact(
+        self, p1, p2, leftover, cut, seed
+    ):
+        view = _view(p1=p1, p2=p2, leftover=leftover)
+        predicates = {1: (0.0, cut), 2: (cut / 2, 2.0)}
+        exact = conjunctive_range_query(view, predicates)
+        estimate = monte_carlo_query(
+            view,
+            lambda world: float(
+                all(
+                    world.in_range(t, *bounds)
+                    for t, bounds in predicates.items()
+                )
+            ),
+            n_samples=1200,
+            rng=seed,
+        )
+        # z=5 keeps the false-failure probability negligible (~1e-6 per
+        # example); the epsilon floor covers exact == 0/1 edges where
+        # the normal approximation collapses.
+        low, high = estimate.confidence_interval(z=5.0)
+        assert low - 0.01 <= exact <= high + 0.01
