@@ -1,0 +1,261 @@
+"""Revision benchmark: AS OF replay cost and the revision-free fast path.
+
+Two claims back the time-of-knowledge design, recorded in
+``BENCH_revisions.json`` at the repo root:
+
+1. **The fast path stays free**: on a catalog with *no* revisions,
+   executing with an ``AS OF`` clause (which still resolves every
+   series' revision frontier) must cost within 5% of the plain
+   statement — the frontier of a never-revised series is a constant.
+   Recorded and gated as ``headline.asof_overhead_ratio`` (a cap).
+2. **Replay is bit-identical**: on a revised catalog, ``AS OF`` the
+   latest knowledge time serializes identically to the default, and
+   ``AS OF 0`` answers match a fresh catalog built only from the base
+   segments.  Recorded and gated as ``bit_identical``.
+
+The ungated ``resolve`` block records what resolving the revision
+frontier costs on a 1000-series / 5-revisions-each catalog (100 series
+in quick mode) — the absolute per-series microseconds are
+machine-dependent and therefore never gated.
+
+Run directly (``python benchmarks/bench_revisions.py``) or via pytest;
+set ``REPRO_BENCH_QUICK=1`` (the CI smoke job does) to shrink the
+catalogs 10x while keeping the same shape.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.db.prob_view import ProbTuple, ProbabilisticView
+from repro.service import CatalogQueryService
+from repro.store import Catalog
+from repro.util.jsonio import canonical_dumps
+
+_QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+_SERIES_COUNT = 100 if _QUICK else 1000
+_TIMES_PER_SERIES = 48
+_REVISIONS_PER_SERIES = 5
+_REVISION_SPAN = 8
+_CACHE_BUDGET = 512 << 20
+_OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_revisions.json"
+
+
+def _time(function, *, repeat: int = 1):
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = function()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _series_view(series_id: str, index: int) -> ProbabilisticView:
+    base = 20.0 + 0.01 * index
+    return ProbabilisticView(series_id, [
+        ProbTuple(t, base + 0.05 * t, base + 0.05 * t + 1.0, 0.9, "base")
+        for t in range(_TIMES_PER_SERIES)
+    ])
+
+
+def _revision_view(series_id: str, revision: int) -> ProbabilisticView:
+    start = revision * _REVISION_SPAN
+    return ProbabilisticView(series_id, [
+        ProbTuple(t, 26.0 + revision, 27.0 + revision, 0.85,
+                  f"rev{revision}")
+        for t in range(start, start + _REVISION_SPAN)
+    ])
+
+
+def build_catalog(root: Path, *, revisions: int) -> Catalog:
+    """``_SERIES_COUNT`` series; optionally ``revisions`` overlays each."""
+    catalog = Catalog(root)
+    for index in range(_SERIES_COUNT):
+        series_id = f"sensor-{index:04d}"
+        catalog.save_view(series_id, _series_view(series_id, index))
+        for revision in range(revisions):
+            catalog.revise(
+                series_id,
+                _revision_view(series_id, revision),
+                knowledge_time=revision + 1,
+            )
+    return catalog
+
+
+def _answer_sans_stats(result) -> str:
+    payload = result.to_dict()
+    payload.pop("pruning", None)
+    return canonical_dumps(payload)
+
+
+def bench_fast_path(workdir: Path) -> dict:
+    """AS OF on a revision-free catalog vs the plain statement (warm)."""
+    catalog = build_catalog(workdir / "plain", revisions=0)
+    statement = f"SELECT exceedance(21.0) FROM CATALOG '{catalog.root}'"
+    service = CatalogQueryService(
+        catalog,
+        backend="sequential",
+        cache_budget_bytes=_CACHE_BUDGET,
+    )
+    # Warm the matrix cache once so both paths measure plan + aggregate.
+    service.execute(statement)
+    default_s, default_result = _time(
+        lambda: service.execute(statement), repeat=7
+    )
+    asof_s, asof_result = _time(
+        lambda: service.execute(statement + " AS OF 0"), repeat=7
+    )
+    identical = default_result.json() == asof_result.json()
+    service.close()
+    ratio = asof_s / default_s
+    print(
+        f"revision-free fast path: default {default_s * 1e3:7.1f} ms, "
+        f"AS OF 0 {asof_s * 1e3:7.1f} ms (ratio {ratio:.3f})"
+    )
+    return {
+        "default_warm_s": default_s,
+        "asof_warm_s": asof_s,
+        "asof_overhead_ratio": ratio,
+        "bit_identical": identical,
+    }
+
+
+def bench_resolve(workdir: Path) -> tuple[dict, bool]:
+    """Frontier-resolve cost and replay bit-identity on a revised catalog."""
+    catalog = build_catalog(
+        workdir / "revised", revisions=_REVISIONS_PER_SERIES
+    )
+    snapshots = catalog.open_many("*")
+    latest = _REVISIONS_PER_SERIES
+
+    def resolve_all(knowledge_time):
+        return [s.as_of(knowledge_time) for s in snapshots]
+
+    resolve_latest_s, _ = _time(lambda: resolve_all(None), repeat=5)
+    resolve_pinned_s, _ = _time(lambda: resolve_all(1), repeat=5)
+    per_series_us = resolve_latest_s / len(snapshots) * 1e6
+    print(
+        f"frontier resolve over {len(snapshots)} series x "
+        f"{_REVISIONS_PER_SERIES} revisions: latest "
+        f"{resolve_latest_s * 1e3:6.1f} ms, pinned "
+        f"{resolve_pinned_s * 1e3:6.1f} ms "
+        f"({per_series_us:.1f} us/series)"
+    )
+
+    service = CatalogQueryService(
+        catalog,
+        backend="sequential",
+        cache_budget_bytes=_CACHE_BUDGET,
+    )
+    statement = f"SELECT exceedance(21.0) FROM CATALOG '{catalog.root}'"
+    identical = (
+        service.execute(statement + f" AS OF {latest}").json()
+        == service.execute(statement).json()
+    )
+    pinned_s, pinned_result = _time(
+        lambda: service.execute(statement + " AS OF 0"), repeat=3
+    )
+    service.close()
+
+    # AS OF 0 must answer exactly like a catalog that never revised.
+    base_only = build_catalog(workdir / "base_only", revisions=0)
+    base_service = CatalogQueryService(
+        base_only,
+        backend="sequential",
+        cache_budget_bytes=_CACHE_BUDGET,
+    )
+    base_statement = (
+        f"SELECT exceedance(21.0) FROM CATALOG '{base_only.root}'"
+    )
+    identical = identical and (
+        _answer_sans_stats(pinned_result).replace(str(catalog.root), "R")
+        == _answer_sans_stats(
+            base_service.execute(base_statement)
+        ).replace(str(base_only.root), "R")
+    )
+    base_service.close()
+    print(
+        f"replay AS OF 0 over the revised catalog: "
+        f"{pinned_s * 1e3:6.1f} ms (bit-identical: {identical})"
+    )
+    return {
+        "series_count": len(snapshots),
+        "revisions_per_series": _REVISIONS_PER_SERIES,
+        "resolve_latest_s": resolve_latest_s,
+        "resolve_pinned_s": resolve_pinned_s,
+        "resolve_us_per_series": per_series_us,
+        "asof_query_s": pinned_s,
+    }, identical
+
+
+def run_benchmark() -> dict:
+    workdir = Path(tempfile.mkdtemp(prefix="bench_revisions_"))
+    try:
+        fast_path = bench_fast_path(workdir)
+        resolve, replay_identical = bench_resolve(workdir)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    results = {
+        "quick": _QUICK,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "series_count": _SERIES_COUNT,
+        "times_per_series": _TIMES_PER_SERIES,
+        "fast_path": fast_path,
+        "resolve": resolve,
+        "bit_identical": fast_path["bit_identical"] and replay_identical,
+        "headline": {
+            "asof_overhead_ratio": fast_path["asof_overhead_ratio"],
+        },
+    }
+    _OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nwrote {_OUTPUT}")
+    return results
+
+
+# ----------------------------------------------------------------------
+# Pytest entry points (the acceptance caps).
+# ----------------------------------------------------------------------
+_RESULTS: dict | None = None
+
+
+def _results() -> dict:
+    global _RESULTS
+    if _RESULTS is None:
+        _RESULTS = run_benchmark()
+    return _RESULTS
+
+
+def test_asof_fast_path_within_cap():
+    results = _results()
+    ratio = results["headline"]["asof_overhead_ratio"]
+    cap = 1.05
+    assert ratio <= cap, (
+        f"AS OF on a revision-free catalog costs {ratio:.3f}x the plain "
+        f"statement (cap {cap}x): the fast path is not free"
+    )
+
+
+def test_replay_bit_identical():
+    results = _results()
+    assert results["bit_identical"], (
+        "AS OF replay serialized differently from its reference run"
+    )
+
+
+def test_resolve_cost_recorded():
+    results = _results()
+    resolve = results["resolve"]
+    assert resolve["resolve_latest_s"] > 0
+    assert resolve["revisions_per_series"] == _REVISIONS_PER_SERIES
+
+
+if __name__ == "__main__":
+    run_benchmark()

@@ -148,6 +148,22 @@ SPECS: dict[str, tuple[Metric, ...]] = {
         Metric("multi_identical", direction="true"),
         Metric("headline.shared_scan_speedup", tolerance=0.6, floor=1.1),
     ),
+    "BENCH_revisions.json": (
+        # Time-of-knowledge revisions (PR 9): the revision-free default
+        # path must stay free — AS OF on a never-revised catalog resolves
+        # constant frontiers, so its cost is capped at 5% over the plain
+        # statement.  The measured ratio hovers around 1.0, so the
+        # absolute cap carries the claim and the relative band is slack.
+        Metric(
+            "headline.asof_overhead_ratio",
+            direction="lower",
+            tolerance=0.10,
+            floor=1.05,
+        ),
+        # AS OF replay must serialize bit-identically to its reference
+        # run (default == AS OF latest; AS OF 0 == a base-only catalog).
+        Metric("bit_identical", direction="true"),
+    ),
     "BENCH_obs.json": (
         # Always-on instrumentation (PR 7): warm-path cost versus
         # NullRegistry must stay under the 2% cap.  The measured ratio

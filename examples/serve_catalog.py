@@ -5,7 +5,8 @@ query server on a background thread (exactly what ``python -m repro
 server serve <catalog>`` runs in the foreground), and then queries it
 three ways:
 
-1. the blocking :class:`repro.server.Client`;
+1. the unified front door — ``repro.connect("tcp://host:port")`` —
+   whose uniform result object is bit-identical to the local routes;
 2. a raw socket speaking the newline-delimited JSON protocol by hand —
    the same bytes ``nc 127.0.0.1 7411`` would send;
 3. many concurrent clients issuing the *same* statement, to show request
@@ -35,6 +36,7 @@ from pathlib import Path
 
 import numpy as np
 
+import repro
 from repro.server import Client, QueryServer, ServerThread
 from repro.store import Catalog
 from repro.view.omega import OmegaGrid
@@ -74,12 +76,17 @@ def main() -> None:
     with ServerThread(server) as (host, port):
         print(f"server listening on {host}:{port}\n")
 
-        # -- 1. The blocking client. ----------------------------------
-        with Client(host, port) as client:
-            result = client.query(statement)
-            print("hottest series by P(value > 21.0):")
-            for entry in result["results"]:
+        # -- 1. The unified front door. --------------------------------
+        # The same repro.connect() that opens in-memory engines and local
+        # catalog services also speaks tcp:// — the uniform result object
+        # serializes bit-identically to the local routes.
+        with repro.connect(f"tcp://{host}:{port}") as conn:
+            result = conn.execute(statement)
+            print("hottest series by P(value > 21.0) "
+                  f"(kind: {result.kind}):")
+            for entry in result.to_dict()["results"]:
                 print(f"  {entry['series']}: max_p={entry['score']:.4f}")
+            result = result.to_dict()
 
         # -- 2. Raw sockets: the protocol is one JSON object per line. -
         with socket.create_connection((host, port)) as sock:

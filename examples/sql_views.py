@@ -1,14 +1,16 @@
 """SQL-like probabilistic view generation (the paper's offline mode, Fig. 7).
 
-Registers a raw-values table with the database engine and creates
-probabilistic views declaratively, including the paper's own Fig. 7 query
-shape, a cached variant, and downstream probabilistic queries over the
-result.
+Opens an in-memory connection through the unified ``repro.connect()``
+front door, registers a raw-values table with the underlying engine, and
+creates probabilistic views declaratively, including the paper's own
+Fig. 7 query shape, a cached variant, and downstream probabilistic
+queries over the result.
 
 Run:  python examples/sql_views.py
 """
 
-from repro import Database, Table, campus_temperature, threshold_query
+import repro
+from repro import Table, campus_temperature, threshold_query
 from repro.db.queries import expected_value_query
 
 
@@ -17,7 +19,10 @@ def main() -> None:
     table = Table("raw_values", ["t", "r"])
     table.insert_many(zip(series.timestamps.tolist(), series.values.tolist()))
 
-    db = Database()
+    # connect() with no target opens the in-memory engine; the Database
+    # itself stays reachable for table registration.
+    conn = repro.connect()
+    db = conn.database
     db.register_table(table)
     print(f"registered {table!r}")
 
@@ -31,8 +36,9 @@ def main() -> None:
         FROM raw_values
         WHERE t >= 0 AND t <= 40000
     """
-    view = db.execute(query)
-    print(f"created {view!r}")
+    result = conn.execute(query)       # kind == "view"
+    view = result.view
+    print(f"created {view!r} (result kind: {result.kind})")
 
     # Threshold query (Cheng et al. style): which (time, range) tuples
     # carry at least 35% probability?
@@ -53,7 +59,7 @@ def main() -> None:
 
     # A second, uniform-metric view over a restricted time range shows the
     # WHERE clause and metric swapping.
-    db.execute(
+    conn.execute(
         "CREATE VIEW ut_view AS DENSITY r OVER t OMEGA delta=1, n=4 "
         "METRIC ut (threshold=0.3) WINDOW 40 FROM raw_values "
         "WHERE t BETWEEN 12000 AND 60000"

@@ -4,8 +4,10 @@ A plant operator stores two sensor series in one catalog, streams values
 in micro-batches as they arrive, and keeps standing queries registered so
 each append immediately reports the newly answerable results — then
 "restarts" by reopening the catalog and continues exactly where ingestion
-left off.  Finally, one catalog-wide SELECT asks a question of *every*
-stored series at once through the query service.
+left off.  One catalog-wide SELECT then asks a question of *every*
+stored series at once through ``repro.connect()``, and a late
+re-forecast shows time-of-knowledge revisions: ``AS OF`` replays the
+catalog exactly as it was known before the revision landed.
 
 Run:  python examples/store_ingest.py
 """
@@ -14,14 +16,15 @@ import tempfile
 
 import numpy as np
 
+import repro
 from repro import (
     Catalog,
-    CatalogQueryService,
     OmegaGrid,
     StandingQuery,
     campus_temperature,
     car_gps,
 )
+from repro.db.prob_view import ProbabilisticView, ProbTuple
 
 H = 40
 THRESHOLD = 21.0
@@ -92,18 +95,20 @@ def main() -> None:
     print(f"stored view: {view!r}")
 
     # --- one question over the whole catalog ----------------------------
-    # The query service plans a SELECT across every matched series, fans
-    # the work over a thread pool, and caches the materialised views so a
-    # repeated statement skips the .npz reloads entirely.
-    service = CatalogQueryService(root, cache_budget_bytes=64 << 20)
-    result = service.execute(
+    # repro.connect(<path>) opens the catalog query service behind the
+    # unified Connection facade: it plans a SELECT across every matched
+    # series, fans the work over a thread pool, and caches the
+    # materialised views so a repeated statement skips the .npz reloads.
+    conn = repro.connect(root, cache_budget_bytes=64 << 20)
+    service = conn.service
+    result = conn.execute(
         f"SELECT exceedance({THRESHOLD}) FROM CATALOG '{root}' TOP 2"
     )
     print(f"\ncatalog-wide P(value > {THRESHOLD}), hottest series first:")
     for entry in result.results:
         print(f"  {entry.series_id:12s} max_p={entry.score:.4f} "
               f"({entry.size} times)")
-    warm = service.execute(
+    warm = conn.execute(
         f"SELECT exceedance({THRESHOLD}) FROM CATALOG '{root}' TOP 2"
     )
     assert warm.results == result.results
@@ -113,7 +118,7 @@ def main() -> None:
     # SELECT APPROX reads only the per-segment synopses written at append
     # time: each series gets an interval guaranteed to contain its exact
     # score, at a fraction of the exact scan's cost.
-    approx = service.execute(
+    approx = conn.execute(
         f"SELECT APPROX exceedance({THRESHOLD}) FROM CATALOG '{root}' TOP 2"
     )
     print(f"\nAPPROX P(value > {THRESHOLD}) from synopses alone:")
@@ -133,7 +138,7 @@ def main() -> None:
     # complete possible worlds, MCDB-style.  Each world picks one
     # concrete value per time (None = the residual off-grid alternative);
     # with a SEED the result is bit-identical on every backend.
-    worlds = service.execute(f"SIMULATE 3 SEED 7 FROM CATALOG '{root}'")
+    worlds = conn.execute(f"SIMULATE 3 SEED 7 FROM CATALOG '{root}'")
     print(f"\n{worlds.n_worlds} sampled worlds per series (seed "
           f"{worlds.seed}):")
     for entry in worlds.results:
@@ -146,7 +151,7 @@ def main() -> None:
     # A multi-aggregate select list shares one scan; each item's results
     # are bit-identical to running it alone.  PROBABILITY OF answers the
     # per-time range question exactly (half-open, no sampling).
-    combo = service.execute(
+    combo = conn.execute(
         f"SELECT expected_value, PROBABILITY OF v BETWEEN 20 AND 21 "
         f"FROM CATALOG '{root}'"
     )
@@ -155,6 +160,41 @@ def main() -> None:
         peak_t = max(entry.result, key=entry.result.get)
         print(f"  {entry.series_id:12s} "
               f"max P(20 <= v < 21) = {entry.score:.4f} at t={peak_t}")
+
+    # --- revisions: a better model re-forecasts history ------------------
+    # Later knowledge often changes what we believe about *old* valid
+    # times: sensor recalibration, a better model run, backfilled data.
+    # revise() overlays a re-forecast over the already-covered range; the
+    # original rows stay on disk, and every query resolves latest-wins.
+    before = conn.execute(
+        f"SELECT expected_value FROM CATALOG '{root}' SERIES 'plant_temp'"
+    ).results[0].score
+    times = sorted(reopened.view("plant_temp").times)[:6]
+    recal = ProbabilisticView("plant_temp", [
+        ProbTuple(t, 25.0, 25.5, 0.95, "recalibrated") for t in times
+    ])
+    revision = reopened.revise("plant_temp", recal)
+    print(f"\nrevised plant_temp at knowledge_time="
+          f"{revision['knowledge_time']}: "
+          f"{len(times)} early times re-forecast")
+
+    # AS OF <knowledge_time> backtests against what was known *then*:
+    # AS OF 0 ignores the revision entirely; the default sees it.
+    backtest = conn.execute(
+        f"SELECT expected_value FROM CATALOG '{root}' "
+        f"SERIES 'plant_temp'", as_of=0
+    ).results[0].score
+    after = conn.execute(
+        f"SELECT expected_value FROM CATALOG '{root}' SERIES 'plant_temp'"
+    ).results[0].score
+    assert backtest == before          # bit-identical replay
+    print(f"max E[R_t] before revision (AS OF 0): {backtest:.3f}, "
+          f"after: {after:.3f}")
+
+    # replay() iterates the whole knowledge timeline.
+    for k, view in reopened.replay("plant_temp"):
+        lows = view.columns.low
+        print(f"  knowledge_time {k}: min low = {lows.min():.2f}")
     print(f"(catalog left in {root})")
 
 

@@ -91,9 +91,12 @@ from repro.store import (
     save_view_npz,
 )
 from repro.service import (
+    ApproxResult,
     CatalogQueryService,
     MatrixCache,
+    MultiSelectResult,
     SelectResult,
+    SimulateResult,
     execute_select,
 )
 from repro.server import (
@@ -102,6 +105,7 @@ from repro.server import (
     ServerError,
     ServerThread,
 )
+from repro.connection import Connection, connect
 from repro.cleaning import SVRResult, learn_sv_max, successive_variance_reduction
 from repro.evaluation.calibration import CalibrationReport, calibration_report
 from repro.metrics import (
@@ -161,6 +165,7 @@ __all__ = [
     "ARMAModel",
     "ARMAParams",
     "AppendResult",
+    "ApproxResult",
     "ArchTestResult",
     "Catalog",
     "CGARCHMetric",
@@ -169,6 +174,7 @@ __all__ = [
     "CalibrationReport",
     "CatalogQueryService",
     "Client",
+    "Connection",
     "DataError",
     "Database",
     "DensityForecast",
@@ -189,6 +195,7 @@ __all__ = [
     "KalmanParams",
     "MatrixCache",
     "MonteCarloEstimate",
+    "MultiSelectResult",
     "MultiSeries",
     "NotFittedError",
     "OmegaGrid",
@@ -215,6 +222,7 @@ __all__ = [
     "ServerError",
     "ServerThread",
     "SigmaCache",
+    "SimulateResult",
     "StandingQuery",
     "StandingQueryHandle",
     "StoreError",
@@ -235,6 +243,7 @@ __all__ = [
     "campus_temperature",
     "car_gps",
     "conjunctive_range_query",
+    "connect",
     "create_metric",
     "create_probabilistic_view",
     "dataset_summary",

@@ -49,7 +49,7 @@ from repro.experiments import (
 )
 from repro.experiments.ablation import run_ablation
 from repro.timeseries.series import TimeSeries
-from repro.util.tables import format_table
+from repro.util.tables import format_table, render_pruning, render_result
 
 __all__ = ["main", "build_parser"]
 
@@ -221,6 +221,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the per-stage latency breakdown "
                              "(parse/plan/prune/fan-out/finalize) and the "
                              "slowest per-series load/compute spans")
+    vquery.add_argument("--as-of", type=int, default=None, metavar="K",
+                        help="answer from what was known at knowledge "
+                             "time K (rewrites each statement with an "
+                             "AS OF clause)")
 
     server = sub.add_parser(
         "server", help="network query server over a catalog"
@@ -266,6 +270,19 @@ def build_parser() -> argparse.ArgumentParser:
     cquery.add_argument("--trace", action="store_true",
                         help="ask the server for the per-stage trace "
                              "block and print it as a latency table")
+    cquery.add_argument("--stats", action="store_true",
+                        help="print the per-query pruning counters")
+    cquery.add_argument("--as-of", type=int, default=None, metavar="K",
+                        help="answer from what was known at knowledge "
+                             "time K (rewrites the statement with an "
+                             "AS OF clause before sending)")
+    cquery.add_argument("--backend", default=None,
+                        choices=["sequential", "thread", "process"],
+                        help="accepted for flag parity with 'service "
+                             "query'; the executor backend is fixed by "
+                             "the serving process ('server serve "
+                             "--backend'), so this prints a notice and "
+                             "is otherwise ignored")
 
     sstats = server_sub.add_parser(
         "stats", help="print a running server's lifetime counters"
@@ -457,13 +474,21 @@ def _cmd_store(args: argparse.Namespace) -> int:
 
 def _cmd_service(args: argparse.Namespace) -> int:
     from repro.service import CatalogQueryService, execute_select
-    from repro.view.sql import SelectQuery, SimulateQuery, parse_statement
+    from repro.view.sql import (
+        SelectQuery,
+        SimulateQuery,
+        parse_statement,
+        with_as_of,
+    )
 
     cache_budget = max(int(args.cache_mb * (1 << 20)), 1)
     pruning = not args.no_pruning
-    if len(args.sql) == 1:
+    statements = args.sql
+    if args.as_of is not None:
+        statements = [with_as_of(sql, args.as_of) for sql in statements]
+    if len(statements) == 1:
         results = [execute_select(
-            args.sql[0],
+            statements[0],
             max_workers=args.workers,
             cache_budget_bytes=cache_budget,
             backend=args.backend,
@@ -472,7 +497,7 @@ def _cmd_service(args: argparse.Namespace) -> int:
     else:
         # Several statements: one batched fan-out through a shared
         # service, so they dedupe and share the warm matrix cache.
-        first = parse_statement(args.sql[0])
+        first = parse_statement(statements[0])
         if not isinstance(first, (SelectQuery, SimulateQuery)):
             raise InvalidParameterError(
                 "the 'service query' command runs SELECT and SIMULATE "
@@ -490,22 +515,16 @@ def _cmd_service(args: argparse.Namespace) -> int:
                 # pass, which leaves no per-statement trace; run the
                 # batch statement-by-statement (still sharing the warm
                 # cache) so each result carries its own trace block.
-                results = [service.execute(sql) for sql in args.sql]
+                results = [service.execute(sql) for sql in statements]
             else:
-                results = service.execute_many(args.sql)
+                results = service.execute_many(statements)
     for index, result in enumerate(results):
         if index:
             print()
-        _print_select_result(result, args.head)
+        print(render_result(result.to_dict(), args.head))
         if args.stats and result.stats is not None:
-            stats = result.stats
-            print(
-                f"\npruning: scanned {stats.segments_scanned}/"
-                f"{stats.segments_total} segments "
-                f"({stats.segments_pruned} pruned), skipped "
-                f"{stats.series_skipped}/{stats.series_matched} series"
-                + (" [approx]" if stats.approx else "")
-            )
+            print()
+            print(render_pruning(result.stats.as_dict()))
         if args.trace:
             if result.trace is None:
                 print("\n(trace unavailable: instrumentation disabled)")
@@ -513,89 +532,6 @@ def _cmd_service(args: argparse.Namespace) -> int:
                 print()
                 _print_trace(result.trace.as_dict())
     return 0
-
-
-def _print_select_result(result, head: int) -> None:
-    from repro.db.prob_view import ProbTuple
-    from repro.service import MultiSelectResult, SimulateResult
-
-    if isinstance(result, MultiSelectResult):
-        # A multi-aggregate select list: each item renders exactly as it
-        # would standalone — they only shared the scan.
-        for index, item in enumerate(result.items):
-            if index:
-                print()
-            _print_select_result(item, head)
-        return
-    if isinstance(result, SimulateResult):
-        print(
-            f"simulate({result.n_worlds} worlds, seed {result.seed}) "
-            f"over {len(result.matched)} matched series:\n"
-        )
-        print(format_table(
-            ["series", "worlds", "times"],
-            [[entry.series_id,
-              len(entry.result),
-              len(entry.result[0]) if entry.result else 0]
-             for entry in result.results],
-        ))
-        top = next(
-            (e for e in result.results if e.result and e.result[0]), None
-        )
-        if top is not None:
-            print(f"\nhead of {top.series_id!r}, world 0:")
-            print(format_table(
-                ["t", "value"],
-                [[t, "(outside)" if v is None else round(v, 6)]
-                 for t, v in top.result[0][:head]],
-            ))
-            if len(top.result[0]) > head:
-                print(f"... ({len(top.result[0]) - head} more rows)")
-        return
-    if result.approx:
-        print(
-            f"APPROX {result.aggregate} over {len(result.matched)} "
-            f"matched series (answered from synopses):\n"
-        )
-        print(format_table(
-            ["series", "estimate", "error_bound", "lower", "upper"],
-            [[entry.series_id,
-              round(entry.result["estimate"], 6),
-              round(entry.result["error_bound"], 6),
-              round(entry.result["lower"], 6),
-              round(entry.result["upper"], 6)]
-             for entry in result.results],
-        ))
-        return
-    print(
-        f"{result.aggregate} over {len(result.matched)} matched series "
-        f"({len(result.results)} returned):\n"
-    )
-    print(format_table(
-        ["series", result.score_label, "rows"],
-        [[entry.series_id, round(entry.score, 6), entry.size]
-         for entry in result.results],
-    ))
-    if result.results:
-        top = result.results[0]
-        print(f"\nhead of {top.series_id!r}:")
-        if isinstance(top.result, list):
-            rows = [
-                [tup.t, tup.low, tup.high, tup.probability, tup.label]
-                for tup in top.result[:head]
-                if isinstance(tup, ProbTuple)
-            ]
-            print(format_table(
-                ["t", "low", "high", "probability", "label"], rows
-            ))
-        else:
-            rows = [
-                [t, round(v, 6)]
-                for t, v in list(top.result.items())[:head]
-            ]
-            print(format_table(["t", "value"], rows))
-        if top.size > head:
-            print(f"... ({top.size - head} more rows)")
 
 
 def _print_trace(trace: dict) -> None:
@@ -707,14 +643,27 @@ def _cmd_server(args: argparse.Namespace) -> int:
         _print_server_slowlog(payload)
         return 0
 
+    if args.backend is not None:
+        print(
+            "note: --backend is fixed by the serving process "
+            "('server serve --backend'); ignoring",
+            file=sys.stderr,
+        )
     with Client(args.host, args.port) as client:
-        result = client.query(args.sql, trace=args.trace)
+        result = client.query(args.sql, trace=args.trace, as_of=args.as_of)
     if args.json:
         from repro.server import canonical_dumps
 
         print(canonical_dumps(result))
         return 0
-    _print_server_result(result, args.head)
+    print(render_result(result, args.head))
+    if args.stats:
+        pruning = result.get("pruning")
+        print()
+        if pruning:
+            print(render_pruning(pruning))
+        else:
+            print("(pruning counters unavailable for this result kind)")
     if args.trace:
         trace = result.get("trace")
         print()
@@ -790,89 +739,6 @@ def _print_server_slowlog(payload: dict) -> None:
           )]
          for entry in entries],
     ))
-
-
-def _print_server_result(result: dict, head: int) -> None:
-    """Human-readable rendering of a serialized server result."""
-    if result.get("kind") == "view":
-        tuples = result.get("tuples", [])
-        print(f"created view {result.get('name')!r} ({len(tuples)} tuples)")
-        print(format_table(
-            ["t", "low", "high", "probability", "label"], tuples[:head]
-        ))
-        if len(tuples) > head:
-            print(f"... ({len(tuples) - head} more tuples)")
-        return
-    if result.get("kind") == "multi_select":
-        for index, item in enumerate(result.get("statements", [])):
-            if index:
-                print()
-            _print_server_result(item, head)
-        return
-    entries = result.get("results", [])
-    if result.get("kind") == "simulate":
-        print(
-            f"simulate({result.get('n_worlds')} worlds, "
-            f"seed {result.get('seed')}) over "
-            f"{len(result.get('matched', []))} matched series:\n"
-        )
-        print(format_table(
-            ["series", "worlds", "times"],
-            [[entry["series"],
-              len(entry["worlds"]),
-              len(entry["worlds"][0]) if entry["worlds"] else 0]
-             for entry in entries],
-        ))
-        top = next(
-            (e for e in entries if e["worlds"] and e["worlds"][0]), None
-        )
-        if top is not None:
-            print(f"\nhead of {top['series']!r}, world 0:")
-            print(format_table(
-                ["t", "value"],
-                [[t, "(outside)" if v is None else round(v, 6)]
-                 for t, v in top["worlds"][0][:head]],
-            ))
-            if len(top["worlds"][0]) > head:
-                print(f"... ({len(top['worlds'][0]) - head} more rows)")
-        return
-    if result.get("approx"):
-        print(
-            f"APPROX {result.get('aggregate')} over "
-            f"{len(result.get('matched', []))} matched series "
-            f"(answered from synopses):\n"
-        )
-        print(format_table(
-            ["series", "estimate", "error_bound", "lower", "upper"],
-            [[entry["series"],
-              round(entry["approx"]["estimate"], 6),
-              round(entry["approx"]["error_bound"], 6),
-              round(entry["approx"]["lower"], 6),
-              round(entry["approx"]["upper"], 6)]
-             for entry in entries],
-        ))
-        return
-    print(
-        f"{result.get('aggregate')} over {len(result.get('matched', []))} "
-        f"matched series ({len(entries)} returned):\n"
-    )
-    print(format_table(
-        ["series", result.get("score_label", "score"), "rows"],
-        [[entry["series"], round(entry["score"], 6), len(entry["rows"])]
-         for entry in entries],
-    ))
-    if entries:
-        top = entries[0]
-        print(f"\nhead of {top['series']!r}:")
-        rows = top["rows"][:head]
-        if rows and len(rows[0]) == 5:
-            print(format_table(
-                ["t", "low", "high", "probability", "label"], rows
-            ))
-        else:
-            print(format_table(["t", "value"], rows))
-        if len(top["rows"]) > head:
-            print(f"... ({len(top['rows']) - head} more rows)")
 
 
 def main(argv: Sequence[str] | None = None) -> int:

@@ -21,6 +21,17 @@ from repro.server.app import DEFAULT_HOST, DEFAULT_PORT
 __all__ = ["Client", "ServerConnectionError", "ServerError"]
 
 
+def _inject_as_of(statement: str, as_of: int) -> str:
+    """Rewrite ``statement`` to carry ``AS OF as_of``, or raise.
+
+    Deferred import: the client stays importable without pulling the
+    grammar until an ``as_of`` rewrite is actually requested.
+    """
+    from repro.view.sql import with_as_of
+
+    return with_as_of(statement, as_of)
+
+
 class ServerError(ReproError):
     """The server answered ``ok: false``; mirrors the wire error object."""
 
@@ -108,7 +119,11 @@ class Client:
         return result if isinstance(result, dict) else {}
 
     def query(
-        self, statement: str, *, trace: bool = False
+        self,
+        statement: str,
+        *,
+        trace: bool = False,
+        as_of: int | None = None,
     ) -> dict[str, Any]:
         """Execute one statement; the serialized result on success.
 
@@ -116,9 +131,18 @@ class Client:
         block (parse → plan → prune → fan-out → serialize, plus the
         slowest per-series spans) to the result under ``"trace"``.
 
+        ``as_of`` rewrites the statement with an ``AS OF
+        <knowledge_time>`` clause before it goes on the wire, so the
+        server (and its coalescing, which keys on statement text) sees a
+        plain dialect statement — a statement that already carries a
+        *different* ``AS OF`` clause is rejected rather than silently
+        overridden.  Only SELECT / SIMULATE accept the clause.
+
         Raises :class:`ServerError` (with the structured ``type``) when
         the server rejects or fails the statement.
         """
+        if as_of is not None:
+            statement = _inject_as_of(statement, as_of)
         payload: dict[str, Any] = {"statement": statement}
         if trace:
             payload["trace"] = True

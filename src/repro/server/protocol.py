@@ -64,6 +64,7 @@ from repro.service.executor import (
     SelectResult,
     SimulateResult,
 )
+from repro.util.jsonio import canonical_dumps
 
 __all__ = [
     "MAX_STATEMENT_CHARS",
@@ -88,13 +89,6 @@ MAX_STATEMENT_CHARS = 64_000
 #: parsed *or skipped* reliably, so the server answers ``frame_too_large``
 #: and closes that connection.
 DEFAULT_FRAME_LIMIT = 1 << 20
-
-
-def canonical_dumps(payload: Any) -> str:
-    """Deterministic JSON: sorted keys, compact separators, no NaN."""
-    return json.dumps(
-        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
-    )
 
 
 def _reject_constant(name: str) -> float:
@@ -148,124 +142,31 @@ def error_type(exc: BaseException) -> str:
     return "internal"
 
 
+def serialize_select(result: SelectResult) -> dict[str, Any]:
+    """A catalog-wide SELECT result as a JSON-ready dict.
+
+    Thin shim over :meth:`~repro.service.executor.SelectResult.to_dict`
+    — the payload shape (and its bytes under :func:`canonical_dumps`)
+    lives with the result object; the wire just sends it.
+    """
+    return result.to_dict()
+
+
+def serialize_multi_select(result: MultiSelectResult) -> dict[str, Any]:
+    """A multi-aggregate select list as a JSON-ready dict (``to_dict`` shim)."""
+    return result.to_dict()
+
+
+def serialize_simulate(result: SimulateResult) -> dict[str, Any]:
+    """A SIMULATE result as a JSON-ready dict (``to_dict`` shim)."""
+    return result.to_dict()
+
+
 def _scalar_time(value: Any) -> int | float:
     """JSON-safe time key: integral times stay ints, others floats."""
     number = float(value)
     integral = int(number)
     return integral if number == integral else number
-
-
-def _serialize_rows(result: Any) -> list[list[Any]]:
-    """One series' per-query payload as a deterministic row list.
-
-    ``threshold`` returns :class:`ProbTuple` lists (5-column rows); every
-    other aggregate returns a per-time mapping (2-column rows, sorted by
-    time so dict ordering can never leak into the wire bytes).
-    """
-    if isinstance(result, list):
-        return [
-            [
-                _scalar_time(tup.t),
-                float(tup.low),
-                float(tup.high),
-                float(tup.probability),
-                str(tup.label),
-            ]
-            for tup in result
-        ]
-    return [
-        [_scalar_time(t), float(v)] for t, v in sorted(result.items())
-    ]
-
-
-def serialize_select(result: SelectResult) -> dict[str, Any]:
-    """A catalog-wide SELECT result as a JSON-ready dict.
-
-    APPROX results carry per-series ``approx`` mappings (estimate plus
-    its proven interval) instead of exact ``rows``; exact results with
-    plan statistics additionally carry a ``pruning`` block so clients see
-    how much work the zone maps saved.
-    """
-    if result.approx:
-        entries = [
-            {
-                "series": entry.series_id,
-                "score": float(entry.score),
-                "approx": {
-                    key: float(value)
-                    for key, value in sorted(entry.result.items())
-                },
-            }
-            for entry in result.results
-        ]
-    else:
-        entries = [
-            {
-                "series": entry.series_id,
-                "score": float(entry.score),
-                "rows": _serialize_rows(entry.result),
-            }
-            for entry in result.results
-        ]
-    payload = {
-        "kind": "select",
-        "aggregate": result.aggregate,
-        "score_label": result.score_label,
-        "matched": [str(series_id) for series_id in result.matched],
-        "results": entries,
-    }
-    if result.approx:
-        payload["approx"] = True
-    if result.stats is not None:
-        payload["pruning"] = result.stats.as_dict()
-    return payload
-
-
-def serialize_multi_select(result: MultiSelectResult) -> dict[str, Any]:
-    """A multi-aggregate select list as a JSON-ready dict.
-
-    ``statements`` holds one full :func:`serialize_select` payload per
-    select-list item, in list order — byte-for-byte the payload each item
-    would produce as its own statement, which is exactly the bit-identity
-    the acceptance tests pin.
-    """
-    return {
-        "kind": "multi_select",
-        "statements": [serialize_select(item) for item in result.items],
-    }
-
-
-def serialize_simulate(result: SimulateResult) -> dict[str, Any]:
-    """A SIMULATE result as a JSON-ready dict.
-
-    Per series, ``worlds`` is a list of sampled worlds; each world lists
-    ``[t, value]`` pairs in ascending time order with ``null`` marking
-    the OUTSIDE (off-grid) alternative.  ``seed`` is the resolved
-    statement seed, so the payload names its own reproduction recipe.
-    """
-    entries = [
-        {
-            "series": entry.series_id,
-            "worlds": [
-                [
-                    [_scalar_time(t), None if v is None else float(v)]
-                    for t, v in world
-                ]
-                for world in entry.result
-            ],
-        }
-        for entry in result.results
-    ]
-    payload = {
-        "kind": "simulate",
-        "n_worlds": int(result.n_worlds),
-        "seed": int(result.seed),
-        "matched": [str(series_id) for series_id in result.matched],
-        "results": entries,
-    }
-    if result.stats is not None:
-        payload["pruning"] = result.stats.as_dict()
-    return payload
 
 
 def serialize_view(view: ProbabilisticView) -> dict[str, Any]:

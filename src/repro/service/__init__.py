@@ -31,6 +31,7 @@ from repro.service.backends import (
 )
 from repro.service.cache import CacheStats, MatrixCache
 from repro.service.executor import (
+    ApproxResult,
     CatalogQueryService,
     MultiSelectResult,
     SelectResult,
@@ -50,6 +51,7 @@ from repro.service.planner import (
 
 __all__ = [
     "AGGREGATES",
+    "ApproxResult",
     "BACKEND_NAMES",
     "CacheStats",
     "CatalogQueryService",

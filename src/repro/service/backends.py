@@ -168,6 +168,7 @@ def run_envelope(
             envelope.series_id,
             envelope.segments,
             mmap=mmap,
+            shadows=envelope.shadows or None,
         )
         if timings:
             load_s = time.perf_counter() - start

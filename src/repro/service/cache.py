@@ -32,11 +32,15 @@ from repro.exceptions import InvalidParameterError
 __all__ = ["CacheStats", "MatrixCache"]
 
 #: Key layout: (catalog root, series id, generation token, segment
-#: subset).  The subset component is ``()`` for the full segment list;
-#: a pruned plan materialises only its surviving segments under the
-#: subset's names, so differently-pruned views of the same generation
-#: coexist instead of evicting each other.
-CacheKey = tuple[str, str, tuple, tuple]
+#: subset, revision-frontier token).  The subset component is ``()`` for
+#: the full visible segment list; a pruned plan materialises only its
+#: surviving segments under the subset's names, so differently-pruned
+#: views of the same generation coexist instead of evicting each other.
+#: The frontier token is ``()`` on never-revised series and
+#: ``("k", effective_knowledge_time)`` otherwise, so warm entries never
+#: leak across ``AS OF`` points while all AS OF values that resolve to
+#: the same frontier share one entry.
+CacheKey = tuple[str, str, tuple, tuple, tuple]
 
 #: Fixed per-entry overhead estimate (view object, index dict slots, key).
 _ENTRY_OVERHEAD = 512

@@ -45,15 +45,17 @@ from repro.service.planner import (
 )
 from repro.service.synopsis import estimate_series
 from repro.store.binary import compute_view_synopsis, load_view_columns
-from repro.store.catalog import Catalog
+from repro.store.catalog import Catalog, _apply_shadow_mask
+from repro.util.jsonio import canonical_dumps
 from repro.view.sql import (
-    SelectItem,
     SelectQuery,
     SimulateQuery,
     parse_statement,
+    render_statement,
 )
 
 __all__ = [
+    "ApproxResult",
     "CatalogQueryService",
     "MultiSelectResult",
     "SelectResult",
@@ -64,51 +66,39 @@ __all__ = [
 ]
 
 
-def _item_text(item: SelectItem) -> str:
-    """One select-list item rendered exactly as the grammar accepts it."""
-    if item.name == "probability_of":
-        low, high = item.arguments
-        column = item.column or "v"
-        return f"PROBABILITY OF {column} BETWEEN {low:g} AND {high:g}"
-    if item.arguments:
-        arguments = ", ".join(f"{a:g}" for a in item.arguments)
-        return f"{item.name}({arguments})"
-    # Zero-argument aggregates are written bare — the grammar rejects
-    # an empty argument list.
-    return item.name
+# The statement renderer moved next to the grammar; the old private
+# names stay importable because tests and the slow log use them.
+_statement_text = render_statement
 
 
-def _statement_text(query: SelectQuery | SimulateQuery) -> str:
-    """A readable statement reconstruction for traces and the slow log.
+def _scalar_time(value: Any) -> int | float:
+    """JSON-safe time key: integral times stay ints, others floats."""
+    number = float(value)
+    integral = int(number)
+    return integral if number == integral else number
 
-    Parsed queries are inert (they do not keep their source text), so
-    when a caller hands the service a parsed statement directly the slow
-    log still needs something an operator can re-run.  The rendering
-    round-trips: parsing it yields back an equal query object.
+
+def _serialize_rows(result: Any) -> list[list[Any]]:
+    """One series' per-query payload as a deterministic row list.
+
+    ``threshold`` returns :class:`ProbTuple` lists (5-column rows); every
+    other aggregate returns a per-time mapping (2-column rows, sorted by
+    time so dict ordering can never leak into the payload).
     """
-    if isinstance(query, SimulateQuery):
-        parts = [f"SIMULATE {query.n_worlds}"]
-        if query.seed is not None:
-            parts.append(f"SEED {query.seed}")
-    else:
-        parts = ["SELECT"]
-        if query.approx:
-            parts.append("APPROX")
-        parts.append(", ".join(_item_text(item) for item in query.items))
-    parts.append(f"FROM CATALOG '{query.catalog_path}'")
-    if query.series_pattern != "*":
-        parts.append(f"SERIES '{query.series_pattern}'")
-    if query.time_lo is not None and query.time_hi is not None:
-        parts.append(
-            f"WHERE t BETWEEN {query.time_lo:g} AND {query.time_hi:g}"
-        )
-    elif query.time_lo is not None:
-        parts.append(f"WHERE t >= {query.time_lo:g}")
-    elif query.time_hi is not None:
-        parts.append(f"WHERE t <= {query.time_hi:g}")
-    if getattr(query, "top_k", None) is not None:
-        parts.append(f"TOP {query.top_k}")
-    return " ".join(parts)
+    if isinstance(result, list):
+        return [
+            [
+                _scalar_time(tup.t),
+                float(tup.low),
+                float(tup.high),
+                float(tup.probability),
+                str(tup.label),
+            ]
+            for tup in result
+        ]
+    return [
+        [_scalar_time(t), float(v)] for t, v in sorted(result.items())
+    ]
 
 
 @dataclass(frozen=True)
@@ -154,6 +144,59 @@ class SelectResult:
     def scores(self) -> dict[str, float]:
         return {entry.series_id: entry.score for entry in self.results}
 
+    @property
+    def kind(self) -> str:
+        """Uniform result discriminator: ``"approx"`` or ``"select"``."""
+        return "approx" if self.approx else "select"
+
+    def to_dict(self) -> dict[str, Any]:
+        """This result as the JSON-ready payload the wire protocol sends.
+
+        APPROX results carry per-series ``approx`` mappings (estimate
+        plus its proven interval) instead of exact ``rows``; exact
+        results with plan statistics additionally carry a ``pruning``
+        block so clients see how much work the zone maps saved.  The
+        payload's ``kind`` stays ``"select"`` with an ``approx`` flag —
+        the wire shape predates :attr:`kind` and is pinned by clients.
+        """
+        if self.approx:
+            entries = [
+                {
+                    "series": entry.series_id,
+                    "score": float(entry.score),
+                    "approx": {
+                        key: float(value)
+                        for key, value in sorted(entry.result.items())
+                    },
+                }
+                for entry in self.results
+            ]
+        else:
+            entries = [
+                {
+                    "series": entry.series_id,
+                    "score": float(entry.score),
+                    "rows": _serialize_rows(entry.result),
+                }
+                for entry in self.results
+            ]
+        payload: dict[str, Any] = {
+            "kind": "select",
+            "aggregate": self.aggregate,
+            "score_label": self.score_label,
+            "matched": [str(series_id) for series_id in self.matched],
+            "results": entries,
+        }
+        if self.approx:
+            payload["approx"] = True
+        if self.stats is not None:
+            payload["pruning"] = self.stats.as_dict()
+        return payload
+
+    def json(self) -> str:
+        """Canonical JSON of :meth:`to_dict` (deterministic bytes)."""
+        return canonical_dumps(self.to_dict())
+
     def __len__(self) -> int:
         return len(self.results)
 
@@ -165,6 +208,12 @@ class SelectResult:
             f"SelectResult(aggregate={self.aggregate!r}, "
             f"series={len(self.results)}/{len(self.matched)})"
         )
+
+
+#: APPROX answers reuse :class:`SelectResult` with ``approx=True`` (the
+#: per-series payloads are estimate/interval mappings); the alias gives
+#: the uniform result family its fourth name without forking the type.
+ApproxResult = SelectResult
 
 
 @dataclass(frozen=True)
@@ -190,6 +239,47 @@ class SimulateResult:
     @property
     def aggregate(self) -> str:
         return "simulate"
+
+    @property
+    def kind(self) -> str:
+        return "simulate"
+
+    def to_dict(self) -> dict[str, Any]:
+        """This result as the JSON-ready payload the wire protocol sends.
+
+        Per series, ``worlds`` is a list of sampled worlds; each world
+        lists ``[t, value]`` pairs in ascending time order with ``null``
+        marking the OUTSIDE (off-grid) alternative.  ``seed`` is the
+        resolved statement seed, so the payload names its own
+        reproduction recipe.
+        """
+        entries = [
+            {
+                "series": entry.series_id,
+                "worlds": [
+                    [
+                        [_scalar_time(t), None if v is None else float(v)]
+                        for t, v in world
+                    ]
+                    for world in entry.result
+                ],
+            }
+            for entry in self.results
+        ]
+        payload: dict[str, Any] = {
+            "kind": "simulate",
+            "n_worlds": int(self.n_worlds),
+            "seed": int(self.seed),
+            "matched": [str(series_id) for series_id in self.matched],
+            "results": entries,
+        }
+        if self.stats is not None:
+            payload["pruning"] = self.stats.as_dict()
+        return payload
+
+    def json(self) -> str:
+        """Canonical JSON of :meth:`to_dict` (deterministic bytes)."""
+        return canonical_dumps(self.to_dict())
 
     def __len__(self) -> int:
         return len(self.results)
@@ -225,6 +315,27 @@ class MultiSelectResult:
     def stats(self) -> PlanStats | None:
         """No single pruning record exists — read ``items[*].stats``."""
         return None
+
+    @property
+    def kind(self) -> str:
+        return "multi_select"
+
+    def to_dict(self) -> dict[str, Any]:
+        """This result as the JSON-ready payload the wire protocol sends.
+
+        ``statements`` holds one full :meth:`SelectResult.to_dict`
+        payload per select-list item, in list order — byte-for-byte the
+        payload each item would produce as its own statement, which is
+        exactly the bit-identity the acceptance tests pin.
+        """
+        return {
+            "kind": "multi_select",
+            "statements": [item.to_dict() for item in self.items],
+        }
+
+    def json(self) -> str:
+        """Canonical JSON of :meth:`to_dict` (deterministic bytes)."""
+        return canonical_dumps(self.to_dict())
 
     def __len__(self) -> int:
         return len(self.items)
@@ -660,7 +771,12 @@ class CatalogQueryService:
         build and never ``synopsize``d — are loaded once and their
         synopsis computed in memory, so old catalogs degrade to a scan
         instead of erroring; the count of such lazy loads is reported as
-        ``segments_scanned``.
+        ``segments_scanned``.  Partially-shadowed segments (some of their
+        valid times superseded by newer visible revisions) get the same
+        treatment: their stored synopsis covers rows the AS OF view
+        excludes, so the bounds are recomputed from the masked columns —
+        segments invisible at the AS OF point never reach this loop at
+        all (the planner's frontier already excluded them).
         """
         if self._closed:
             raise QueryError(
@@ -672,15 +788,23 @@ class CatalogQueryService:
         with trace.stage("compute"):
             for task in plan.tasks:
                 snapshot = task.snapshot
+                shadows = task.shadows or ((),) * len(task.segments)
+                stored = (
+                    task.synopses
+                    if len(task.synopses) == len(task.segments)
+                    else snapshot.segment_synopses()
+                )
                 synopses = []
                 try:
-                    for name, synopsis in zip(
-                        snapshot.segments, snapshot.segment_synopses()
+                    for name, shadow, synopsis in zip(
+                        task.segments, shadows, stored
                     ):
-                        if synopsis is None:
+                        if synopsis is None or shadow:
                             columns = load_view_columns(
                                 snapshot.directory / name
                             )
+                            if shadow:
+                                columns = _apply_shadow_mask(columns, shadow)
                             synopsis = compute_view_synopsis(
                                 columns["t"],
                                 columns["low"],

@@ -318,15 +318,23 @@ class PlanStats:
 class SeriesTask:
     """One unit of fan-out work: a snapshot plus its cache identity.
 
-    ``segments`` is the (possibly pruned) subset of the snapshot's
-    segments this task must actually scan; the cache key's last component
-    distinguishes pruned materialisations from the full view (``()``
-    marks the full segment list).
+    ``segments`` is the (possibly pruned) subset of the revision
+    frontier's visible segments this task must actually scan;
+    ``shadows`` aligns with it, carrying the valid-time intervals newer
+    revisions override (empty everywhere on a never-revised series).
+    The cache key's fourth component distinguishes pruned
+    materialisations from the full visible list (``()`` marks the full
+    list) and its fifth is the frontier token, so warm entries never
+    leak across ``AS OF`` points.  ``synopses`` (frontier-aligned with
+    ``segments``) feeds the APPROX estimator; exact tasks leave it
+    empty.
     """
 
     snapshot: SeriesSnapshot
     segments: tuple[str, ...]
-    cache_key: tuple[str, str, tuple, tuple]
+    cache_key: tuple[str, str, tuple, tuple, tuple]
+    shadows: tuple[tuple[tuple[int, int], ...], ...] = ()
+    synopses: tuple[dict[str, Any] | None, ...] = ()
 
     @property
     def series_id(self) -> str:
@@ -348,11 +356,16 @@ class TaskEnvelope:
     series_id: str
     directory: str
     segments: tuple[str, ...]
-    cache_key: tuple[str, str, tuple, tuple]
+    cache_key: tuple[str, str, tuple, tuple, tuple]
     aggregate: str
     arguments: tuple[float, ...]
     time_lo: float | None
     time_hi: float | None
+    #: Per-segment shadow intervals (aligned with ``segments``): rows at
+    #: these valid times were superseded by newer visible revisions and
+    #: are dropped at load.  All-empty on never-revised series, keeping
+    #: that load path bit-identical.
+    shadows: tuple[tuple[tuple[int, int], ...], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -395,6 +408,7 @@ class ItemPlan:
             arguments=self.arguments,
             time_lo=self.time_lo,
             time_hi=self.time_hi,
+            shadows=task.shadows,
         )
 
     def label(self) -> str:
@@ -564,16 +578,31 @@ def plan_statement(
     _check_time_range(query)
     root = str(catalog.root)
     snapshots = catalog.open_many(query.series_pattern)
+    # Resolve each snapshot's revision frontier once (shared across
+    # items): which segments are visible AS OF the query's knowledge
+    # time, and which of their valid-time rows newer revisions shadow.
+    # On never-revised series this is the full segment list with an
+    # empty token, so cache keys and load paths stay bit-identical.
+    as_of = getattr(query, "as_of", None)
+    frontiers = [snapshot.as_of(as_of) for snapshot in snapshots]
     segments_total = sum(len(snapshot.segments) for snapshot in snapshots)
     if getattr(query, "approx", False):
         spec, arguments, column = bound[0]
         tasks = tuple(
             SeriesTask(
                 snapshot=snapshot,
-                segments=snapshot.segments,
-                cache_key=(root, snapshot.series_id, snapshot.generation, ()),
+                segments=frontier.segments,
+                cache_key=(
+                    root,
+                    snapshot.series_id,
+                    snapshot.generation,
+                    (),
+                    frontier.token,
+                ),
+                shadows=frontier.shadows,
+                synopses=frontier.synopses,
             )
-            for snapshot in snapshots
+            for snapshot, frontier in zip(snapshots, frontiers)
         )
         stats = PlanStats(
             series_matched=len(snapshots),
@@ -603,18 +632,21 @@ def plan_statement(
             survivors_per_item.append(
                 [
                     prune_segments(
-                        snapshot,
+                        frontier,
                         spec.name,
                         arguments,
                         query.time_lo,
                         query.time_hi,
                     )
-                    for snapshot in snapshots
+                    for frontier in frontiers
                 ]
             )
         else:
+            # Pruning off still honours the frontier: segments invisible
+            # at the AS OF point are a correctness matter, not an
+            # optimisation.
             survivors_per_item.append(
-                [snapshot.segments for snapshot in snapshots]
+                [frontier.segments for frontier in frontiers]
             )
     prune_s = time.perf_counter() - prune_t0
     # Pass 2 — task construction from the surviving lists (plan time).
@@ -625,12 +657,25 @@ def plan_statement(
         tasks_list: list[SeriesTask] = []
         skipped: list[str] = []
         segments_scanned = 0
-        for snapshot, surviving in zip(snapshots, survivors):
+        for snapshot, frontier, surviving in zip(
+            snapshots, frontiers, survivors
+        ):
             if pruning and not surviving:
                 skipped.append(snapshot.series_id)
                 continue
             segments_scanned += len(surviving)
-            subset = () if surviving == snapshot.segments else surviving
+            subset = () if surviving == frontier.segments else surviving
+            if subset == ():
+                shadows = frontier.shadows
+            else:
+                keep = set(surviving)
+                shadows = tuple(
+                    shadow
+                    for name, shadow in zip(
+                        frontier.segments, frontier.shadows
+                    )
+                    if name in keep
+                )
             tasks_list.append(
                 SeriesTask(
                     snapshot=snapshot,
@@ -640,7 +685,9 @@ def plan_statement(
                         snapshot.series_id,
                         snapshot.generation,
                         subset,
+                        frontier.token,
                     ),
+                    shadows=shadows,
                 )
             )
         stats = PlanStats(

@@ -44,7 +44,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.store.binary import PROB_HIST_BUCKETS
-from repro.store.catalog import SeriesSnapshot
+from repro.store.catalog import RevisionFrontier, SeriesSnapshot
 
 __all__ = [
     "ApproxEstimate",
@@ -97,23 +97,30 @@ def segment_contributes(
 
 
 def prune_segments(
-    snapshot: SeriesSnapshot,
+    source: SeriesSnapshot | RevisionFrontier,
     aggregate: str,
     arguments: tuple[float, ...],
     lo: float | None,
     hi: float | None,
 ) -> tuple[str, ...]:
-    """The snapshot's segments that must be scanned, in stored order.
+    """The source's segments that must be scanned, in stored order.
+
+    ``source`` is either a full :class:`SeriesSnapshot` or a resolved
+    :class:`RevisionFrontier` (the AS OF view: only segments visible at
+    the knowledge time, with their stored synopses).  Stored synopses
+    stay conservative-safe for partially-shadowed segments — shadowing
+    only *removes* rows, so a segment whose full synopsis proves
+    non-contribution certainly cannot contribute after masking.
 
     Preserving the stored order matters: the surviving segments are
     column-concatenated exactly as the full list would be, so row order
     (and therefore ``threshold``'s tuple order) is unchanged.
     """
+    getter = getattr(source, "segment_synopses", None)
+    synopses = getter() if callable(getter) else source.synopses
     return tuple(
         name
-        for name, synopsis in zip(
-            snapshot.segments, snapshot.segment_synopses()
-        )
+        for name, synopsis in zip(source.segments, synopses)
         if segment_contributes(synopsis, aggregate, arguments, lo, hi)
     )
 

@@ -18,6 +18,7 @@ from repro.store.binary import (
 from repro.store.catalog import (
     AppendResult,
     Catalog,
+    RevisionFrontier,
     SeriesHandle,
     SeriesSnapshot,
 )
@@ -26,6 +27,7 @@ from repro.store.standing import StandingQuery, StandingQueryHandle
 __all__ = [
     "AppendResult",
     "Catalog",
+    "RevisionFrontier",
     "SCHEMA_VERSION",
     "SeriesHandle",
     "SeriesSnapshot",

@@ -69,7 +69,13 @@ from repro.store.standing import StandingQuery, StandingQueryHandle
 from repro.view.omega import OmegaGrid
 from repro.view.sigma_cache import SigmaCache
 
-__all__ = ["AppendResult", "Catalog", "SeriesHandle", "SeriesSnapshot"]
+__all__ = [
+    "AppendResult",
+    "Catalog",
+    "RevisionFrontier",
+    "SeriesHandle",
+    "SeriesSnapshot",
+]
 
 _CATALOG_FILE = "catalog.json"
 _SERIES_FILE = "series.json"
@@ -129,6 +135,67 @@ def _coerce_synopsis(payload: Any) -> dict[str, Any] | None:
     return None
 
 
+def _coerce_revisions(
+    payload: Any, segments: Sequence[str]
+) -> tuple[dict[str, Any], ...]:
+    """Normalise ``series.json``'s revision chain; drop malformed records.
+
+    Mirrors :func:`_coerce_synopsis`: hand-edited or future-format records
+    degrade to "not a revision" (the segment stays a base segment) instead
+    of crashing reads or silently shadowing the wrong range.
+    """
+    records: list[dict[str, Any]] = []
+    known = set(segments)
+    if isinstance(payload, list):
+        for record in payload:
+            if not isinstance(record, dict):
+                continue
+            name = record.get("segment")
+            try:
+                knowledge = int(record["knowledge_time"])
+                t_min = int(record["t_min"])
+                t_max = int(record["t_max"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            if name in known and knowledge >= 1 and t_min <= t_max:
+                records.append(
+                    {
+                        "segment": str(name),
+                        "knowledge_time": knowledge,
+                        "t_min": t_min,
+                        "t_max": t_max,
+                    }
+                )
+    return tuple(records)
+
+
+def _merge_intervals(
+    intervals: Sequence[tuple[int, int]],
+) -> tuple[tuple[int, int], ...]:
+    """Sorted, merged copy of closed integer intervals (adjacency coalesced)."""
+    if not intervals:
+        return ()
+    merged: list[list[int]] = []
+    for lo, hi in sorted(intervals):
+        if merged and lo <= merged[-1][1] + 1:
+            merged[-1][1] = max(merged[-1][1], hi)
+        else:
+            merged.append([lo, hi])
+    return tuple((lo, hi) for lo, hi in merged)
+
+
+def _intervals_cover(
+    intervals: Sequence[tuple[int, int]], lo: int, hi: int
+) -> bool:
+    """True when the merged ``intervals`` contain every integer in [lo, hi]."""
+    for start, end in intervals:
+        if start <= lo <= end:
+            if end >= hi:
+                return True
+            lo = end + 1
+    return False
+
+
 def _next_segment_index(existing: list[str]) -> int:
     """First segment index after ``existing`` (indices never reused)."""
     indices = [
@@ -183,12 +250,36 @@ def _read_json(path: Path, what: str) -> dict[str, Any]:
     return payload
 
 
+def _apply_shadow_mask(
+    chunk: dict[str, np.ndarray], intervals: Sequence[tuple[int, int]]
+) -> dict[str, np.ndarray]:
+    """Drop the rows of ``chunk`` whose valid time falls in a shadow interval.
+
+    Shadows cover whole valid-time instants, so masking removes complete
+    per-time tuple groups — the surviving rows still satisfy the per-time
+    mass invariant :meth:`ProbabilisticView.from_columns` re-validates.
+    """
+    t = chunk["t"]
+    keep = np.ones(t.shape[0], dtype=bool)
+    for lo, hi in intervals:
+        keep &= (t < lo) | (t > hi)
+    if keep.all():
+        return chunk
+    masked = {
+        key: np.ascontiguousarray(chunk[key][keep])
+        for key in ("t", "low", "high", "probability", "label_code")
+    }
+    masked["labels"] = chunk["labels"]
+    return masked
+
+
 def _load_view_from_segments(
     directory: Path,
     series_id: str,
     names: Sequence[str],
     *,
     mmap: bool = False,
+    shadows: Sequence[Sequence[tuple[int, int]]] | None = None,
 ) -> ProbabilisticView:
     """Column-concatenate the named segment files into one view.
 
@@ -198,6 +289,12 @@ def _load_view_from_segments(
     layout-v2 segments (``.npz`` segments fall back to a regular load);
     a single-segment series keeps the mapped columns as-is — the common
     bulk-ingested case pays no concatenation copy at all.
+
+    ``shadows`` (aligned with ``names``) gives each segment the merged
+    valid-time intervals that newer revisions override; rows at those
+    times are dropped before concatenation (latest-wins reads).  ``None``
+    or all-empty shadows take exactly the historical code path, keeping
+    revision-free loads bit-identical.
     """
     if not names:
         return ProbabilisticView.from_columns(
@@ -212,6 +309,11 @@ def _load_view_from_segments(
     chunks = [
         load_view_columns(directory / name, mmap=mmap) for name in names
     ]
+    if shadows is not None and any(shadows):
+        chunks = [
+            _apply_shadow_mask(chunk, intervals) if intervals else chunk
+            for chunk, intervals in zip(chunks, shadows)
+        ]
     if len(chunks) == 1:
         chunk = chunks[0]
         return ProbabilisticView.from_columns(
@@ -244,6 +346,106 @@ def _load_view_from_segments(
 
 
 @dataclass(frozen=True)
+class RevisionFrontier:
+    """The segments of one series visible at a given knowledge time.
+
+    Produced by :meth:`SeriesSnapshot.as_of`.  ``segments`` keeps the
+    stored order (so loads stay row-order stable); ``shadows`` aligns
+    with it, giving each segment the merged valid-time intervals that
+    strictly-newer visible revisions override (latest-wins) — rows at
+    those times must not be read, pruned on, or counted into APPROX
+    bounds.  Segments whose synopsis proves them fully shadowed are
+    dropped from the frontier outright.
+
+    ``token`` is the hashable cache discriminator threaded into
+    :class:`~repro.service.cache.MatrixCache` keys: ``()`` on a series
+    without revisions (so revision-free cache keys are bit-identical to
+    the historical 4-field layout's semantics), otherwise
+    ``("k", effective_knowledge)`` — every AS OF point between two
+    revisions normalises to one token (they see identical data), while
+    distinct frontiers never share warm cache entries.
+    """
+
+    segments: tuple[str, ...]
+    shadows: tuple[tuple[tuple[int, int], ...], ...]
+    synopses: tuple[dict[str, Any] | None, ...]
+    token: tuple
+    knowledge_time: int
+
+    @property
+    def masked(self) -> bool:
+        """True when any visible segment carries a shadow interval."""
+        return any(self.shadows)
+
+
+def _resolve_frontier(
+    segments: Sequence[str],
+    synopses: Sequence[dict[str, Any] | None],
+    revisions: Sequence[dict[str, Any]],
+    knowledge_time: int | None,
+) -> RevisionFrontier:
+    """Resolve latest-wins segment visibility at ``knowledge_time``.
+
+    Base segments (plain appends / static saves) carry implicit knowledge
+    time 0; revision segments carry the recorded one.  ``None`` means
+    "newest" — everything is visible.  A visible revision shadows its
+    whole ``[t_min, t_max]`` valid-time range in every visible segment of
+    strictly lower ``(knowledge_time, position)`` priority; position
+    breaks ties so two revisions recorded at the same knowledge time
+    resolve to the later one.  The shadow set is computed from the
+    revision-chain metadata alone — no segment file is read.  Segments
+    without a synopsis are never dropped, only masked (row-level masking
+    is equally correct, just less skippable).
+    """
+    if not revisions:
+        return RevisionFrontier(
+            segments=tuple(segments),
+            shadows=((),) * len(segments),
+            synopses=tuple(synopses),
+            token=(),
+            knowledge_time=0,
+        )
+    by_name = {record["segment"]: record for record in revisions}
+    visible: list[tuple[int, int, str, dict[str, Any] | None, Any]] = []
+    effective = 0
+    for index, name in enumerate(segments):
+        record = by_name.get(name)
+        knowledge = record["knowledge_time"] if record is not None else 0
+        if knowledge_time is not None and knowledge > knowledge_time:
+            continue
+        effective = max(effective, knowledge)
+        visible.append((knowledge, index, name, record, synopses[index]))
+    out_names: list[str] = []
+    out_shadows: list[tuple[tuple[int, int], ...]] = []
+    out_synopses: list[dict[str, Any] | None] = []
+    for knowledge, index, name, _record, synopsis in visible:
+        merged = _merge_intervals(
+            [
+                (other["t_min"], other["t_max"])
+                for other_k, other_i, _, other, _syn in visible
+                if other is not None and (other_k, other_i) > (knowledge, index)
+            ]
+        )
+        if (
+            merged
+            and synopsis is not None
+            and synopsis.get("rows")
+            and _intervals_cover(merged, synopsis["t_min"], synopsis["t_max"])
+        ):
+            continue  # Provably fully shadowed: not part of the frontier.
+        out_names.append(name)
+        out_shadows.append(merged)
+        out_synopses.append(synopsis)
+    return RevisionFrontier(
+        segments=tuple(out_names),
+        shadows=tuple(out_shadows),
+        synopses=tuple(out_synopses),
+        token=("k", effective),
+        knowledge_time=effective,
+    )
+
+
+@dataclass(frozen=True)
 class SeriesSnapshot:
     """A point-in-time, read-only capture of one series' stored state.
 
@@ -265,6 +467,9 @@ class SeriesSnapshot:
     #: Per-segment zone-map synopses, aligned with ``segments``; None for
     #: segments written before synopses existed (see Catalog.synopsize).
     synopses: tuple[dict[str, Any] | None, ...] = ()
+    #: Revision-chain records ({"segment", "knowledge_time", "t_min",
+    #: "t_max"}), in recording order; empty for never-revised series.
+    revisions: tuple[dict[str, Any], ...] = ()
 
     def segment_synopses(self) -> tuple[dict[str, Any] | None, ...]:
         """Synopses aligned with ``segments`` (padded when metadata is short)."""
@@ -287,15 +492,67 @@ class SeriesSnapshot:
         last = self.segments[-1] if self.segments else ""
         return (self.created, len(self.segments), self.tuple_count, last)
 
-    def load_view(self, *, mmap: bool = False) -> ProbabilisticView:
+    @property
+    def has_revisions(self) -> bool:
+        """True when the series has ever been revised (re-forecasted)."""
+        return bool(self.revisions)
+
+    def knowledge_times(self) -> tuple[int, ...]:
+        """Distinct knowledge times, ascending, starting at the base 0."""
+        return tuple(
+            sorted(
+                {0, *(record["knowledge_time"] for record in self.revisions)}
+            )
+        )
+
+    def as_of(self, knowledge_time: int | None = None) -> RevisionFrontier:
+        """Latest-wins segment visibility at ``knowledge_time``.
+
+        ``None`` means "newest": every recorded revision applies.  An
+        integer replays the past — only segments whose knowledge time is
+        at or before it are visible, each masked by the revisions *then*
+        known.  On a never-revised series every knowledge time returns
+        the full segment list with an empty ``token`` (the fast path).
+        """
+        if knowledge_time is not None:
+            knowledge_time = int(knowledge_time)
+            if knowledge_time < 0:
+                raise QueryError(
+                    f"AS OF knowledge time must be >= 0, "
+                    f"got {knowledge_time}"
+                )
+        return _resolve_frontier(
+            self.segments,
+            self.segment_synopses(),
+            self.revisions,
+            knowledge_time,
+        )
+
+    def load_view(
+        self, *, mmap: bool = False, as_of: int | None = None
+    ) -> ProbabilisticView:
         """Materialise the captured view (all captured segments).
 
         ``mmap=True`` memory-maps layout-v2 segments read-only instead of
         copying them into fresh arrays — reader processes then share page
         cache.  ``.npz`` segments fall back to a regular load.
+
+        ``as_of`` replays the series as known at that knowledge time; the
+        default materialises the newest frontier (on a revised series,
+        shadowed rows are dropped — latest wins).  Never-revised series
+        take the historical bit-identical path.
         """
+        if as_of is None and not self.revisions:
+            return _load_view_from_segments(
+                self.directory, self.series_id, self.segments, mmap=mmap
+            )
+        frontier = self.as_of(as_of)
         return _load_view_from_segments(
-            self.directory, self.series_id, self.segments, mmap=mmap
+            self.directory,
+            self.series_id,
+            frontier.segments,
+            mmap=mmap,
+            shadows=frontier.shadows,
         )
 
 
@@ -474,7 +731,7 @@ class SeriesHandle:
                 result.deltas.append((handle, handle.update(suffix)))
         return result
 
-    def _write_segment(self, suffix: ProbabilisticView) -> None:
+    def _write_segment(self, suffix: ProbabilisticView) -> str:
         # The persisted counter keeps per-append naming O(1); metadata
         # written before the counter existed falls back to a name scan.
         index = self._meta.get("next_segment")
@@ -505,6 +762,82 @@ class SeriesHandle:
         self._meta.setdefault("synopses", {})[name] = synopsis
         self._meta["next_segment"] = index + 1
         self._meta["tuple_count"] = self.tuple_count + len(suffix)
+        return name
+
+    # ------------------------------------------------------------------
+    # Revisions (time-of-knowledge).
+    # ------------------------------------------------------------------
+    def revise(
+        self,
+        view: ProbabilisticView,
+        *,
+        knowledge_time: int | None = None,
+    ) -> dict[str, Any]:
+        """Record a re-forecast of an already-covered valid-time range.
+
+        Plain appends only ever *extend* a series at ``next_t``; a
+        revision instead overlays ``view``'s rows over whatever the
+        series previously said about those valid times.  The old rows
+        stay on disk — reads resolve latest-wins per time instant, and
+        ``AS OF <knowledge_time>`` replays what was known before the
+        revision landed (:meth:`SeriesSnapshot.as_of`).
+
+        ``knowledge_time`` stamps *when this was learned*: caller-supplied
+        (any int >= 1, non-decreasing across revisions) or the series'
+        monotonic counter.  Base segments carry implicit knowledge time 0.
+        Works for dynamic and static series alike — the pipeline position
+        (``next_t``, window) is untouched, so ingestion resumes exactly
+        where it left off.  Standing queries are incremental over append
+        suffixes and do **not** observe revisions; re-register after
+        revising if a standing result must reflect them.
+
+        Returns the recorded revision-chain entry.
+        """
+        self._check_open()
+        if not len(view):
+            raise InvalidParameterError(
+                "a revision needs at least one tuple"
+            )
+        revisions = self._meta.setdefault("revisions", [])
+        last = revisions[-1]["knowledge_time"] if revisions else 0
+        if knowledge_time is None:
+            knowledge_time = max(
+                int(self._meta.get("next_knowledge", 1)), last + 1
+            )
+        else:
+            knowledge_time = int(knowledge_time)
+            if knowledge_time < 1:
+                raise InvalidParameterError(
+                    f"knowledge_time must be >= 1 (0 is the base "
+                    f"segments' implicit knowledge time), "
+                    f"got {knowledge_time}"
+                )
+            if knowledge_time < last:
+                raise InvalidParameterError(
+                    f"knowledge_time must not decrease: the last "
+                    f"recorded revision is at {last}, got {knowledge_time}"
+                )
+        cols = view.columns
+        record = {
+            "segment": "",
+            "knowledge_time": knowledge_time,
+            "t_min": int(cols.t.min()),
+            "t_max": int(cols.t.max()),
+        }
+        # Same mid-transaction discipline as append: a failure between the
+        # segment write and the metadata flush poisons the handle, and the
+        # orphan segment is ignored on reopen.
+        try:
+            record["segment"] = self._write_segment(view)
+            revisions.append(record)
+            self._meta["next_knowledge"] = knowledge_time + 1
+            self._flush_meta()
+        except BaseException:
+            self._poisoned = True
+            self.catalog._handles.pop(self.series_id, None)
+            raise
+        self._view_cache = None
+        return record
 
     def _flush_meta(self) -> None:
         _write_json_atomic(self.directory / _SERIES_FILE, self._meta)
@@ -524,8 +857,24 @@ class SeriesHandle:
         return self._view_cache
 
     def _load_segments(self) -> ProbabilisticView:
+        names = self.segment_names
+        revisions = _coerce_revisions(self._meta.get("revisions"), names)
+        if not revisions:
+            return _load_view_from_segments(
+                self.directory, self.series_id, names
+            )
+        synopses_map = self._meta.get("synopses") or {}
+        frontier = _resolve_frontier(
+            names,
+            [_coerce_synopsis(synopses_map.get(name)) for name in names],
+            revisions,
+            None,
+        )
         return _load_view_from_segments(
-            self.directory, self.series_id, self.segment_names
+            self.directory,
+            self.series_id,
+            frontier.segments,
+            shadows=frontier.shadows,
         )
 
     # ------------------------------------------------------------------
@@ -742,6 +1091,7 @@ class Catalog:
             synopses=tuple(
                 _coerce_synopsis(synopses_map.get(name)) for name in segments
             ),
+            revisions=_coerce_revisions(meta.get("revisions"), segments),
         )
 
     def open_many(self, pattern: str = "*") -> list[SeriesSnapshot]:
@@ -1023,6 +1373,42 @@ class Catalog:
     def append(self, series_id: str, values: Any) -> AppendResult:
         """Micro-batch ingest into ``series_id`` (see :meth:`SeriesHandle.append`)."""
         return self.series(series_id).append(np.asarray(values, dtype=float))
+
+    def revise(
+        self,
+        series_id: str,
+        view: ProbabilisticView,
+        *,
+        knowledge_time: int | None = None,
+    ) -> dict[str, Any]:
+        """Overlay a re-forecast (see :meth:`SeriesHandle.revise`)."""
+        return self.series(series_id).revise(
+            view, knowledge_time=knowledge_time
+        )
+
+    def replay(
+        self,
+        series_id: str,
+        *,
+        knowledge_times: Sequence[int] | None = None,
+        mmap: bool = False,
+    ) -> list[tuple[int, ProbabilisticView]]:
+        """Materialise the series as it was known at each knowledge time.
+
+        The backtest-replay primitive: each returned ``(knowledge_time,
+        view)`` pair is exactly what a query at ``AS OF knowledge_time``
+        reads — feed the views to the online pipeline (or any consumer)
+        to reproduce decisions made with only the information available
+        at each step.  ``knowledge_times`` defaults to every distinct
+        recorded knowledge time, ascending, starting at the base 0.
+        """
+        snapshot = self.snapshot(series_id)
+        if knowledge_times is None:
+            knowledge_times = snapshot.knowledge_times()
+        return [
+            (int(knowledge), snapshot.load_view(mmap=mmap, as_of=knowledge))
+            for knowledge in knowledge_times
+        ]
 
     def view(self, series_id: str) -> ProbabilisticView:
         """The stored view of ``series_id``."""

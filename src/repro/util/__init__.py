@@ -8,8 +8,9 @@ validation utilities.
 
 from repro.util.arrays import readonly_view
 from repro.util.btree import BTreeMap
+from repro.util.jsonio import canonical_dumps
 from repro.util.rng import ensure_rng
-from repro.util.tables import format_table
+from repro.util.tables import format_table, render_pruning, render_result
 from repro.util.validation import (
     require_finite_array,
     require_in_range,
@@ -18,8 +19,11 @@ from repro.util.validation import (
 
 __all__ = [
     "BTreeMap",
+    "canonical_dumps",
     "ensure_rng",
     "format_table",
+    "render_pruning",
+    "render_result",
     "readonly_view",
     "require_finite_array",
     "require_in_range",

@@ -1,0 +1,23 @@
+"""Canonical JSON rendering shared by results, the wire, and benchmarks.
+
+One serializer, used everywhere bytes must be deterministic: result
+objects' ``.json()``, the NDJSON wire protocol, and the benchmarks that
+assert a statement answered in-process is *bit-identical* to the same
+statement served over a socket.  Canonical means sorted keys, compact
+separators, and no ``NaN``/``Infinity`` constants (they could never be
+round-tripped by a strict JSON peer).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = ["canonical_dumps"]
+
+
+def canonical_dumps(payload: Any) -> str:
+    """Deterministic JSON: sorted keys, compact separators, no NaN."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )

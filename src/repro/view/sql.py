@@ -39,8 +39,11 @@ glob-selects the series ids (default: all); ``TOP k`` keeps the k
 highest-scoring series.  An optional ``APPROX`` modifier directly after
 ``SELECT`` answers a single aggregate from stored segment synopses alone
 — per series an ``(estimate, error_bound)`` pair instead of exact rows,
-in time independent of the stored tuple count.  Parsing yields an inert
-:class:`SelectQuery`; planning and execution belong to
+in time independent of the stored tuple count.  An optional ``AS OF
+<knowledge_time>`` clause (after WHERE, before TOP) replays the catalog
+as known at that knowledge time: revisions recorded later are invisible
+(see :meth:`repro.store.catalog.SeriesSnapshot.as_of`).  Parsing yields
+an inert :class:`SelectQuery`; planning and execution belong to
 :mod:`repro.service`.
 
 A third statement samples complete possible worlds from every matched
@@ -77,6 +80,8 @@ __all__ = [
     "parse_select_query",
     "parse_statement",
     "parse_view_query",
+    "render_statement",
+    "with_as_of",
 ]
 
 _TOKEN_RE = re.compile(
@@ -182,6 +187,9 @@ class SelectQuery:
     #: ``SELECT APPROX ...``: answer from segment synopses alone, as an
     #: ``(estimate, error_bound)`` pair per series, in sublinear time.
     approx: bool = False
+    #: ``AS OF <knowledge_time>``: replay the catalog as known at that
+    #: knowledge time (None: newest — every recorded revision applies).
+    as_of: int | None = None
 
     @property
     def aggregate(self) -> str:
@@ -211,6 +219,9 @@ class SimulateQuery:
     series_pattern: str = "*"
     time_lo: float | None = None
     time_hi: float | None = None
+    #: ``AS OF <knowledge_time>``: sample from the catalog as known at
+    #: that knowledge time (None: newest).
+    as_of: int | None = None
 
 
 def _tokenize(text: str) -> list[_Token]:
@@ -336,6 +347,7 @@ class _Parser:
         time_hi: float | None = None
         if self.accept_keyword("where"):
             time_lo, time_hi = self._parse_where("t")
+        as_of = self._parse_as_of()
         top_k: int | None = None
         if self.accept_keyword("top"):
             top_k = self.expect_int("TOP count")
@@ -354,6 +366,7 @@ class _Parser:
             time_hi=time_hi,
             top_k=top_k,
             approx=approx,
+            as_of=as_of,
         )
 
     def parse_simulate(self) -> SimulateQuery:
@@ -379,6 +392,7 @@ class _Parser:
         time_hi: float | None = None
         if self.accept_keyword("where"):
             time_lo, time_hi = self._parse_where("t")
+        as_of = self._parse_as_of()
         tail = self.peek()
         if tail.kind != "end":
             raise ParseError(
@@ -391,7 +405,20 @@ class _Parser:
             series_pattern=series_pattern,
             time_lo=time_lo,
             time_hi=time_hi,
+            as_of=as_of,
         )
+
+    def _parse_as_of(self) -> int | None:
+        """Optional ``AS OF <knowledge_time>`` clause (None when absent)."""
+        if not self.accept_keyword("as"):
+            return None
+        self.expect_keyword("of")
+        as_of = self.expect_int("AS OF knowledge time")
+        if as_of < 0:
+            raise ParseError(
+                f"AS OF knowledge time must be >= 0, got {as_of}"
+            )
+        return as_of
 
     def _parse_select_item(self) -> SelectItem:
         """One select-list entry: an aggregate call or ``PROBABILITY OF``."""
@@ -679,3 +706,81 @@ def parse_statement(text: str) -> ViewQuery | SelectQuery | SimulateQuery:
     if not text or not text.strip():
         raise ParseError("empty query")
     return _Parser(text).parse_statement()
+
+
+def _render_item(item: SelectItem) -> str:
+    """One select-list item rendered exactly as the grammar accepts it."""
+    if item.name == "probability_of":
+        low, high = item.arguments
+        column = item.column or "v"
+        return f"PROBABILITY OF {column} BETWEEN {low:g} AND {high:g}"
+    if item.arguments:
+        arguments = ", ".join(f"{a:g}" for a in item.arguments)
+        return f"{item.name}({arguments})"
+    # Zero-argument aggregates are written bare — the grammar rejects
+    # an empty argument list.
+    return item.name
+
+
+def render_statement(query: SelectQuery | SimulateQuery) -> str:
+    """A parsed SELECT / SIMULATE back as statement text.
+
+    Parsed queries are inert (they do not keep their source text), so
+    traces, the slow log, and clients that rewrite a statement (for
+    example to inject ``AS OF``) need a rendering an operator can re-run.
+    The rendering round-trips: parsing it yields back an equal query
+    object.
+    """
+    if isinstance(query, SimulateQuery):
+        parts = [f"SIMULATE {query.n_worlds}"]
+        if query.seed is not None:
+            parts.append(f"SEED {query.seed}")
+    else:
+        parts = ["SELECT"]
+        if query.approx:
+            parts.append("APPROX")
+        parts.append(", ".join(_render_item(item) for item in query.items))
+    parts.append(f"FROM CATALOG '{query.catalog_path}'")
+    if query.series_pattern != "*":
+        parts.append(f"SERIES '{query.series_pattern}'")
+    if query.time_lo is not None and query.time_hi is not None:
+        parts.append(
+            f"WHERE t BETWEEN {query.time_lo:g} AND {query.time_hi:g}"
+        )
+    elif query.time_lo is not None:
+        parts.append(f"WHERE t >= {query.time_lo:g}")
+    elif query.time_hi is not None:
+        parts.append(f"WHERE t <= {query.time_hi:g}")
+    if getattr(query, "as_of", None) is not None:
+        parts.append(f"AS OF {query.as_of}")
+    if getattr(query, "top_k", None) is not None:
+        parts.append(f"TOP {query.top_k}")
+    return " ".join(parts)
+
+
+def with_as_of(statement: str, as_of: int) -> str:
+    """Rewrite ``statement`` to carry ``AS OF as_of``, or raise.
+
+    The one statement-rewrite clients and the CLI share: parse with the
+    same grammar the engine uses (so an accepted rewrite is an
+    executable statement), set the knowledge time, render back.  A
+    statement that already pins a *different* ``AS OF`` is rejected
+    rather than silently overridden; only SELECT / SIMULATE carry the
+    clause.
+    """
+    from dataclasses import replace
+
+    from repro.exceptions import QueryError
+
+    parsed = parse_statement(statement)
+    if not hasattr(parsed, "as_of"):
+        raise QueryError(
+            "as_of applies to SELECT and SIMULATE statements only, "
+            f"not {type(parsed).__name__}"
+        )
+    if parsed.as_of is not None and parsed.as_of != int(as_of):
+        raise QueryError(
+            f"statement already pins AS OF {parsed.as_of}; refusing to "
+            f"override it with as_of={as_of}"
+        )
+    return render_statement(replace(parsed, as_of=int(as_of)))
