@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Ruff-format ratchet: enforce formatting only off the allowlist.
+
+``ruff format --check`` over the whole tree would fail CI on formatting
+drift that predates the enforced check — drift a tree-wide rewrite would
+fix only at the cost of burying real changes under a format-only diff.
+This script runs the check and splits the offenders against
+``.github/ruff-format-allowlist.txt``:
+
+* files **on** the allowlist may drift — they are grandfathered and only
+  produce a warning line;
+* files **off** the allowlist (anything added after the ratchet landed,
+  or anything removed from the allowlist once reformatted) fail the job.
+
+The allowlist may only ever shrink.  To ratchet a file: run
+``ruff format <file>``, commit the result, and delete its line here.
+Never add a line — new files must land formatted.
+
+Exit status: 0 when no unallowlisted drift, 1 otherwise; ruff's own
+failures (missing binary, bad flags) propagate verbatim.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[2]
+ALLOWLIST = ROOT / ".github" / "ruff-format-allowlist.txt"
+TARGETS = ("src", "tests", "benchmarks", "examples")
+_PREFIX = "Would reformat: "
+
+
+def load_allowlist() -> set[str]:
+    entries: set[str] = set()
+    for raw in ALLOWLIST.read_text().splitlines():
+        line = raw.strip()
+        if line and not line.startswith("#"):
+            entries.add(line)
+    return entries
+
+
+def main() -> int:
+    allowed = load_allowlist()
+    proc = subprocess.run(
+        ["ruff", "format", "--check", *TARGETS],
+        cwd=ROOT,
+        capture_output=True,
+        text=True,
+    )
+    drifted: list[str] = []
+    for line in proc.stdout.splitlines() + proc.stderr.splitlines():
+        line = line.strip()
+        if line.startswith(_PREFIX):
+            drifted.append(line[len(_PREFIX):])
+    if proc.returncode != 0 and not drifted:
+        # ruff failed without reporting drift (crash, bad invocation):
+        # surface its output and propagate the failure untouched.
+        sys.stdout.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        return proc.returncode
+    grandfathered = sorted(path for path in drifted if path in allowed)
+    offenders = sorted(path for path in drifted if path not in allowed)
+    if grandfathered:
+        print(
+            f"{len(grandfathered)} allowlisted file(s) still drift "
+            "(grandfathered — reformat and remove from the allowlist):"
+        )
+        for path in grandfathered:
+            print(f"  {path}")
+    if offenders:
+        print(
+            f"{len(offenders)} file(s) fail `ruff format --check` and "
+            "are not on .github/ruff-format-allowlist.txt:"
+        )
+        for path in offenders:
+            print(f"  {path}")
+        print("Fix: run `ruff format <file>` and commit the result.")
+        return 1
+    print("ruff format: no unallowlisted drift.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

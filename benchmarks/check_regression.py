@@ -105,14 +105,30 @@ SPECS: dict[str, tuple[Metric, ...]] = {
         # The tentpole claim: true multi-core execution.  Gated only
         # where the hardware can exhibit it; the absolute floor (not the
         # committed baseline, which may come from a small host) carries
-        # the 1.5x qualitative claim.
+        # the qualitative claim.  The gated floor is 1.0x — processes
+        # must at least hold thread parity on multi-core hosts — while
+        # the 2.0x stretch target is recorded ungated in the payload
+        # (``stretch.process_vs_thread_meets_target``).
         Metric(
             "headline.process_vs_thread",
             tolerance=0.6,
-            floor=1.5,
+            floor=1.0,
+            min_cpus=2,
+        ),
+        # Warm scans ship results over the shm transport with every
+        # view already resident: parity with threads is the floor there
+        # too, and a warm collapse is how a transport regression shows
+        # up first.
+        Metric(
+            "headline.warm_process_vs_thread",
+            tolerance=0.6,
+            floor=1.0,
             min_cpus=2,
         ),
         Metric("bit_identical", direction="true"),
+        # The shm and pickle transports must agree byte-for-byte on any
+        # host, including single-core ones.
+        Metric("shm_transport.pickle_parity", direction="true"),
     ),
     "BENCH_synopsis.json": (
         # Zone-map pruning on a selective query: the 10x acceptance

@@ -537,8 +537,12 @@ def _cmd_service(args: argparse.Namespace) -> int:
 def _print_trace(trace: dict) -> None:
     """Render a trace block (service- or server-side) as latency tables."""
     wall_ms = trace.get("wall_ms", 0.0)
-    backend = trace.get("backend")
-    suffix = f" (backend={backend})" if backend else ""
+    tags = [
+        f"{key}={trace[key]}"
+        for key in ("backend", "transport")
+        if trace.get(key)
+    ]
+    suffix = f" ({', '.join(tags)})" if tags else ""
     print(f"trace: wall {wall_ms:.3f} ms{suffix}")
     stages = trace.get("stages", [])
     if stages:
@@ -681,7 +685,11 @@ def _print_server_stats(stats: dict, metrics: dict) -> None:
         if not isinstance(value, dict)
     ]
     print(format_table(["counter", "value"], scalars, title="server"))
-    for key, title in (("pruning", "execution"), ("cache", "matrix cache")):
+    for key, title in (
+        ("pruning", "execution"),
+        ("cache", "matrix cache"),
+        ("transport", "result transport"),
+    ):
         block = stats.get(key, {})
         if block:
             print()

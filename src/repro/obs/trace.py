@@ -23,6 +23,7 @@ the request asked for it)::
 
     {
       "backend": "thread",
+      "transport": "inline",
       "wall_ms": 12.41,
       "stages": [{"name": "parse", "ms": 0.05}, ...],
       "series": [{"series": "room-1", "load_ms": 3.1,
@@ -79,6 +80,7 @@ class QueryTrace:
     __slots__ = (
         "statement",
         "backend",
+        "transport",
         "stages",
         "series",
         "cache_hits",
@@ -90,6 +92,7 @@ class QueryTrace:
     def __init__(self, statement: str | None = None) -> None:
         self.statement = statement
         self.backend: str | None = None
+        self.transport: str | None = None
         self.stages: list[Span] = []
         self.series: list[tuple[str, float, float, bool]] = []
         self.cache_hits = 0
@@ -184,6 +187,8 @@ class QueryTrace:
         }
         if self.backend is not None:
             payload["backend"] = self.backend
+        if self.transport is not None:
+            payload["transport"] = self.transport
         if self.statement is not None:
             payload["statement"] = self.statement
         return payload
@@ -206,6 +211,7 @@ class _NullTrace:
     enabled = False
     statement = None
     backend = None
+    transport = None
     stages: list = []
     series: list = []
     cache_hits = 0

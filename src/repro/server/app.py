@@ -504,6 +504,10 @@ class QueryServer:
         # Zone-map effectiveness: how many segments the synopses let the
         # service skip, and how many statements ran as APPROX.
         payload["pruning"] = self.service.execution_stats()
+        # How results travel from workers: "inline" for same-process
+        # backends, "shm"/"pickle" (with chunk and fallback counters)
+        # for the process backend.
+        payload["transport"] = self.service.backend.transport_stats()
         return payload
 
     def _metrics_payload(self) -> dict[str, Any]:

@@ -16,6 +16,9 @@ segment.
   the picklable per-series task envelopes backends consume;
 * :mod:`repro.service.backends` — the executor backends and the single
   per-envelope compute path they all share;
+* :mod:`repro.service.shm` — the shared-memory result transport the
+  process backend ships numeric result columns through (descriptor
+  pickling, chunk-batched kernels, crash-safe arena lifecycle);
 * :mod:`repro.service.executor` — runs the plan through the selected
   backend and ranks the per-series results;
 * :mod:`repro.service.cache` — the shared materialised-view cache.
@@ -48,6 +51,7 @@ from repro.service.planner import (
     plan_select,
     plan_statement,
 )
+from repro.service.shm import ChunkDescriptor, ShmArena, shm_available
 
 __all__ = [
     "AGGREGATES",
@@ -55,6 +59,7 @@ __all__ = [
     "BACKEND_NAMES",
     "CacheStats",
     "CatalogQueryService",
+    "ChunkDescriptor",
     "ExecutorBackend",
     "ItemPlan",
     "KERNELS",
@@ -66,6 +71,7 @@ __all__ = [
     "SelectResult",
     "SequentialBackend",
     "SeriesResult",
+    "ShmArena",
     "SimulateResult",
     "ThreadBackend",
     "execute_select",
@@ -74,4 +80,5 @@ __all__ = [
     "make_backend",
     "plan_select",
     "plan_statement",
+    "shm_available",
 ]

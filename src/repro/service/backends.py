@@ -57,6 +57,16 @@ from repro.exceptions import (
 from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.service.cache import MatrixCache
 from repro.service.planner import KERNELS, TaskEnvelope
+from repro.service.shm import (
+    ArrayResult,
+    ChunkDescriptor,
+    PackedResult,
+    ShmArena,
+    compute_chunk,
+    decode_result,
+    pack_chunk,
+    shm_available,
+)
 from repro.store.catalog import _load_view_from_segments
 
 __all__ = [
@@ -70,6 +80,16 @@ __all__ = [
     "restrict_time_range",
     "run_envelope",
 ]
+
+#: Histogram buckets for per-chunk shared-memory block sizes: the
+#: default latency buckets top out at 60 (seconds) — useless for bytes.
+_SHM_ALLOC_BUCKETS = (
+    4096.0,
+    65536.0,
+    1048576.0,
+    16777216.0,
+    268435456.0,
+)
 
 #: Spellings accepted wherever a backend is selected by name (service
 #: constructor, ``server serve --backend``, ``service query --backend``).
@@ -222,6 +242,14 @@ class ExecutorBackend:
     #: Worker-side load/compute timing on result envelopes (see
     #: :func:`run_envelope`); subclass ``__init__`` may turn it off.
     timings: bool = True
+    #: How results travel from workers to the caller: ``"inline"`` for
+    #: same-process backends, ``"shm"``/``"pickle"`` for the process
+    #: backend depending on shared-memory availability.
+    transport: str = "inline"
+
+    def transport_stats(self) -> dict[str, Any]:
+        """The transport mode and its counters (``server stats`` block)."""
+        return {"mode": self.transport}
 
     def _init_metrics(self, registry: MetricsRegistry | None) -> None:
         """Bind this backend's metric families (call from ``__init__``)."""
@@ -385,20 +413,60 @@ def _worker_init(
     _WORKER_TIMINGS = bool(timings)
 
 
-def _run_chunk(chunk: list[TaskEnvelope]) -> list[ResultEnvelope]:
-    """Worker-side entry point: run one chunk against the warm cache."""
+def _run_chunk(
+    chunk: list[TaskEnvelope], shm_name: str | None = None
+) -> "ChunkDescriptor | list[ArrayResult]":
+    """Worker-side entry point: run one chunk against the warm cache.
+
+    Results come back in array form (:func:`~repro.service.shm.compute_chunk`
+    — batched kernels, no per-time boxing on the worker).  With a parent-
+    assigned ``shm_name`` the arrays are packed into that shared-memory
+    block and only the descriptor is pickled; without one — or when the
+    block cannot be created (``/dev/shm`` full, platform without POSIX
+    shm) — the array results themselves cross the pipe as the plain
+    pickle fallback.  Either way the parent's decode builds identical
+    result objects.
+    """
     crash = os.environ.get(_CRASH_ENV)
     if crash and any(envelope.series_id == crash for envelope in chunk):
         os._exit(17)  # Fault injection: die like an OOM-killed worker.
     cache = _WORKER_CACHE
     if cache is None:  # pragma: no cover - initializer always ran.
         cache = MatrixCache()
-    return [
-        run_envelope(
-            envelope, cache, mmap=_WORKER_MMAP, timings=_WORKER_TIMINGS
+    results = compute_chunk(
+        chunk, cache, mmap=_WORKER_MMAP, timings=_WORKER_TIMINGS
+    )
+    if shm_name is not None:
+        try:
+            return pack_chunk(results, shm_name)
+        except OSError:
+            # Transport trouble must never change results: ship the
+            # already-computed arrays through the pickle pipe instead.
+            pass
+    return results
+
+
+def _envelope_from_arrays(
+    packed: "PackedResult | ArrayResult", result: Any, score: float
+) -> ResultEnvelope:
+    """One decoded array-form result as the classic envelope."""
+    if packed.error is not None:
+        return ResultEnvelope(
+            series_id=packed.series_id,
+            score=0.0,
+            result=None,
+            error=packed.error,
+            load_s=packed.load_s,
+            cache_hit=packed.cache_hit,
         )
-        for envelope in chunk
-    ]
+    return ResultEnvelope(
+        series_id=packed.series_id,
+        score=score,
+        result=result,
+        load_s=packed.load_s,
+        compute_s=packed.compute_s,
+        cache_hit=packed.cache_hit,
+    )
 
 
 class ProcessBackend(ExecutorBackend):
@@ -411,6 +479,15 @@ class ProcessBackend(ExecutorBackend):
     outright — and each builds its own :class:`MatrixCache`, so repeated
     statements hit worker-resident views exactly like the thread backend
     hits the shared one.
+
+    Results come back through shared memory when the platform supports
+    it (``transport == "shm"``): one block per chunk, allocated under a
+    parent-assigned name from the backend's :class:`~repro.service.shm.ShmArena`
+    so crashes can never orphan a block, with only a small descriptor
+    pickled.  ``shm=None`` probes availability; ``shm=False`` (or
+    ``REPRO_SHM_TRANSPORT=0``) forces the plain-pickle transport, and a
+    worker that cannot allocate a block falls back per chunk — counted
+    in :meth:`transport_stats`, never silently different results.
 
     ``mmap`` defaults to on: combined with layout-v2 segments the workers
     map the same bytes the page cache already holds.  The flag is a no-op
@@ -426,6 +503,7 @@ class ProcessBackend(ExecutorBackend):
         cache_budget_bytes: int = 64 << 20,
         mmap: bool = True,
         chunks_per_worker: int = 2,
+        shm: bool | None = None,
         registry: MetricsRegistry | None = None,
     ) -> None:
         if max_workers < 1:
@@ -440,11 +518,44 @@ class ProcessBackend(ExecutorBackend):
         self.cache_budget_bytes = int(cache_budget_bytes)
         self.mmap = bool(mmap)
         self.chunks_per_worker = int(chunks_per_worker)
+        self.shm = shm_available() if shm is None else (
+            bool(shm) and shm_available()
+        )
+        self.transport = "shm" if self.shm else "pickle"
+        self._arena = ShmArena()
+        self._transport_lock = threading.Lock()
+        self._shm_chunks = 0
+        self._pickle_chunks = 0
+        self._shm_fallbacks = 0
+        self._shm_bytes = 0
         self._init_metrics(registry)
+        registry_resolved = (
+            default_registry() if registry is None else registry
+        )
+        self._obs_shm_bytes = registry_resolved.counter(
+            "repro_backend_shm_bytes_total",
+            "Result bytes shipped through shared-memory blocks, by backend",
+        )
+        self._obs_shm_alloc = registry_resolved.histogram(
+            "repro_backend_shm_alloc_bytes",
+            "Size of one per-chunk shared-memory arena allocation",
+            buckets=_SHM_ALLOC_BUCKETS,
+        )
         # Locked for the same reason as ThreadBackend — doubly so here,
         # where a duplicate pool leaks whole worker *processes*.
         self._pool_lock = threading.Lock()
         self._pool: ProcessPoolExecutor | None = None
+
+    def transport_stats(self) -> dict[str, Any]:
+        """Transport mode plus shm/pickle chunk counters for stats output."""
+        with self._transport_lock:
+            return {
+                "mode": self.transport,
+                "shm_chunks": self._shm_chunks,
+                "pickle_chunks": self._pickle_chunks,
+                "shm_fallbacks": self._shm_fallbacks,
+                "shm_bytes": self._shm_bytes,
+            }
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         with self._pool_lock:
@@ -475,40 +586,88 @@ class ProcessBackend(ExecutorBackend):
             for start in range(0, len(envelopes), size)
         ]
 
+    def _collect(
+        self, outcome: "ChunkDescriptor | list[ArrayResult]", name: str | None
+    ) -> list[ResultEnvelope]:
+        """Rehydrate one chunk's worker outcome, whichever transport ran."""
+        if isinstance(outcome, ChunkDescriptor):
+            decoded = self._arena.unpack(outcome)
+            with self._transport_lock:
+                self._shm_chunks += 1
+                self._shm_bytes += outcome.nbytes
+            self._obs_shm_bytes.inc(outcome.nbytes, backend=self.name)
+            self._obs_shm_alloc.observe(
+                float(outcome.nbytes), backend=self.name
+            )
+            return [
+                _envelope_from_arrays(packed, result, score)
+                for packed, result, score in decoded
+            ]
+        envelopes: list[ResultEnvelope] = []
+        for arrays in outcome:
+            if arrays.error is not None:
+                envelopes.append(_envelope_from_arrays(arrays, None, 0.0))
+                continue
+            result, score = decode_result(arrays)
+            envelopes.append(_envelope_from_arrays(arrays, result, score))
+        with self._transport_lock:
+            self._pickle_chunks += 1
+            if name is not None:
+                # A block was assigned but the worker could not use it.
+                self._shm_fallbacks += 1
+        return envelopes
+
     def _map(self, envelopes: list[TaskEnvelope]) -> list[ResultEnvelope]:
         if not envelopes:
             return []
         chunks = self._chunks(envelopes)
+        names: list[str | None] = [
+            self._arena.next_name() if self.shm else None for _ in chunks
+        ]
+        # Every name a worker might have turned into a block; entries
+        # leave the set once the parent has consumed (and unlinked) the
+        # block, and the finally sweep reaps whatever remains — the
+        # crash/error paths can never leak a segment.
+        pending = {name for name in names if name is not None}
         try:
-            pool = self._ensure_pool()
-            futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
-        except RuntimeError as exc:
-            raise QueryError(
-                f"catalog query service is shut down: {exc}"
-            ) from exc
-        results: list[ResultEnvelope] = []
-        lost: list[str] = []
-        broken: BaseException | None = None
-        for future, chunk in zip(futures, chunks):
             try:
-                results.extend(future.result())
-            except BrokenExecutor as exc:
-                broken = exc
-                lost.extend(envelope.series_id for envelope in chunk)
-        if broken is not None:
-            # The pool is dead; drop it so the next statement rebuilds a
-            # fresh one instead of failing forever.  Another statement
-            # may have raced to the same conclusion — only tear down the
-            # pool this map actually used.
-            with self._pool_lock:
-                if self._pool is pool:
-                    self._pool = None
-            pool.shutdown(wait=False, cancel_futures=True)
-            raise QueryError(
-                f"worker process died while computing series "
-                f"{sorted(set(lost))}: {broken}"
-            ) from broken
-        return results
+                pool = self._ensure_pool()
+                futures = [
+                    pool.submit(_run_chunk, chunk, name)
+                    for chunk, name in zip(chunks, names)
+                ]
+            except RuntimeError as exc:
+                raise QueryError(
+                    f"catalog query service is shut down: {exc}"
+                ) from exc
+            results: list[ResultEnvelope] = []
+            lost: list[str] = []
+            broken: BaseException | None = None
+            for future, chunk, name in zip(futures, chunks, names):
+                try:
+                    results.extend(self._collect(future.result(), name))
+                except BrokenExecutor as exc:
+                    broken = exc
+                    lost.extend(envelope.series_id for envelope in chunk)
+                    continue
+                pending.discard(name)
+            if broken is not None:
+                # The pool is dead; drop it so the next statement
+                # rebuilds a fresh one instead of failing forever.
+                # Another statement may have raced to the same
+                # conclusion — only tear down the pool this map used.
+                with self._pool_lock:
+                    if self._pool is pool:
+                        self._pool = None
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise QueryError(
+                    f"worker process died while computing series "
+                    f"{sorted(set(lost))}: {broken}"
+                ) from broken
+            return results
+        finally:
+            for name in pending:
+                self._arena.reap(name)
 
     def close(self) -> None:
         with self._pool_lock:
@@ -524,6 +683,7 @@ def make_backend(
     cache: MatrixCache,
     cache_budget_bytes: int = 64 << 20,
     mmap: bool | None = None,
+    shm: bool | None = None,
     registry: MetricsRegistry | None = None,
 ) -> ExecutorBackend:
     """Resolve a backend spec (name or instance) into an instance.
@@ -532,8 +692,10 @@ def make_backend(
     work overlaps beyond the core count) but exactly ``cpus`` for
     processes (a process per core is the point; more only costs memory).
     ``mmap=None`` resolves to on for the process backend and off
-    otherwise.  A ``max_workers=1`` thread backend degrades to the
-    sequential reference — same per-task code, no pool.
+    otherwise.  ``shm`` (process backend only) selects the result
+    transport: ``None`` probes shared-memory availability, ``False``
+    forces the pickle fallback.  A ``max_workers=1`` thread backend
+    degrades to the sequential reference — same per-task code, no pool.
     """
     if isinstance(backend, ExecutorBackend):
         return backend
@@ -554,6 +716,7 @@ def make_backend(
             max_workers,
             cache_budget_bytes=cache_budget_bytes,
             mmap=True if mmap is None else mmap,
+            shm=shm,
             registry=registry,
         )
     mmap = False if mmap is None else mmap

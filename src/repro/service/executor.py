@@ -601,6 +601,7 @@ class CatalogQueryService:
         """Run a plan under a trace; finish the trace only when owned."""
         if trace.enabled:
             trace.backend = self._backend.name
+            trace.transport = self._backend.transport
         if plan.stats.approx:
             result = self._execute_approx(plan, trace=trace)
         else:

@@ -264,6 +264,21 @@ class TestBackendFaults:
                     f"SELECT expected_value FROM CATALOG '{root}'"
                 )
 
+    @staticmethod
+    def _leaked_shm_blocks() -> list[str]:
+        """Leftover transport blocks from this process (Linux-visible)."""
+        import os
+        from pathlib import Path
+
+        shm_dir = Path("/dev/shm")
+        if not shm_dir.is_dir():
+            return []
+        return sorted(
+            entry.name
+            for entry in shm_dir.iterdir()
+            if entry.name.startswith(f"repro-{os.getpid()}-")
+        )
+
     def test_worker_crash_names_series_and_pool_recovers(
         self, v2_root, monkeypatch
     ):
@@ -275,11 +290,94 @@ class TestBackendFaults:
             with pytest.raises(QueryError, match="s-3") as excinfo:
                 service.execute(statement)
             assert "worker process died" in str(excinfo.value)
+            # Mid-chunk shared-memory blocks from the dead worker (and
+            # any chunks the crash interrupted) must have been reaped.
+            assert self._leaked_shm_blocks() == []
             # The dead pool was dropped; with the fault cleared the next
             # statement spawns a fresh pool and succeeds.
             monkeypatch.delenv("REPRO_FAULT_WORKER_CRASH")
             result = service.execute(statement)
             assert len(result.results) == SERIES
+        assert self._leaked_shm_blocks() == []
+
+    def test_worker_crash_has_no_tracker_leak_warnings(
+        self, tmp_path
+    ):
+        # The resource tracker reports leaked shared_memory blocks on
+        # interpreter exit, so the whole crash/recover cycle runs in a
+        # subprocess whose stderr must stay free of tracker complaints.
+        import subprocess
+        import sys
+        import textwrap
+        from pathlib import Path
+
+        import repro
+
+        script = tmp_path / "crash_cycle.py"
+        script.write_text(textwrap.dedent(
+            """
+            import os
+            import sys
+
+            import numpy as np
+
+            from repro.exceptions import QueryError
+            from repro.service import CatalogQueryService
+            from repro.store import Catalog
+            from repro.view.omega import OmegaGrid
+
+
+            def main(root: str) -> int:
+                catalog = Catalog(root, segment_layout="v2")
+                for index in range(4):
+                    series_id = f"s-{index}"
+                    catalog.create_series(
+                        series_id,
+                        metric="variable_threshold",
+                        H=16,
+                        grid=OmegaGrid(delta=0.5, n=4),
+                    )
+                    catalog.append(series_id, 20.0 + 0.01 * np.arange(48.0))
+                statement = (
+                    f"SELECT expected_value FROM CATALOG '{root}'"
+                )
+                with CatalogQueryService(
+                    root, backend="process", max_workers=2
+                ) as service:
+                    try:
+                        service.execute(statement)
+                    except QueryError as exc:
+                        print(f"CRASHED {exc}")
+                    else:
+                        return 1
+                    os.environ.pop("REPRO_FAULT_WORKER_CRASH", None)
+                    result = service.execute(statement)
+                    print(f"RECOVERED {len(result.results)}")
+                return 0
+
+
+            if __name__ == "__main__":
+                sys.exit(main(sys.argv[1]))
+            """
+        ))
+        env = dict(
+            __import__("os").environ,
+            PYTHONPATH=str(Path(repro.__file__).resolve().parents[1]),
+            REPRO_FAULT_WORKER_CRASH="s-1",
+        )
+        proc = subprocess.run(
+            [sys.executable, str(script), str(tmp_path / "cat")],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "CRASHED" in proc.stdout
+        assert "RECOVERED 4" in proc.stdout
+        assert "leaked shared_memory" not in proc.stderr
+        assert "resource_tracker" not in proc.stderr
+        assert "Traceback" not in proc.stderr
 
     def test_closed_process_service_raises_service_closed(self, v2_root):
         service = CatalogQueryService(
